@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: delayed branching vs dynamic interleaving (paper sections
+ * 2.0 and 4.1: "delayed branching can be used to help alleviate the
+ * number of cycles needed to be flushed. However, delayed branching
+ * can only be applied to statically analyzable portions of the design
+ * and is less effective as pipeline depth increases").
+ *
+ * A branch-dense kernel (one taken jump every four instructions, all
+ * independent — the compiler's best case for filling delay slots)
+ * runs single-stream with 0/1/2 delay slots and multi-stream with
+ * none, across pipe depths. Interleaving recovers everything the
+ * delay slots recover and keeps scaling where they stop.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+namespace
+{
+
+double
+utilization(unsigned depth, unsigned delay_slots, unsigned streams)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 1       ; independent fillers: exactly what a
+            ldi r2, 2       ; compiler would hoist into delay slots
+            ldi r3, 3
+            jmp entry
+    )");
+    MachineConfig cfg;
+    cfg.pipeDepth = depth;
+    cfg.branchDelaySlots = delay_slots;
+    Machine m(cfg);
+    m.load(p);
+    for (StreamId s = 0; s < streams; ++s)
+        m.startStream(s, p.symbol("entry"));
+    m.run(60000, false);
+    return m.stats().utilization();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==== Ablation: delayed branching vs interleaving "
+                "====\n\n");
+
+    Table t("utilisation on a branch-dense kernel (jump every 4th "
+            "instruction)");
+    t.setHeader({"pipe depth", "1 IS, 0 slots", "1 IS, 1 slot",
+                 "1 IS, 2 slots", "4 IS, 0 slots"});
+    for (unsigned depth : {4u, 5u, 6u, 8u}) {
+        t.addRow({Table::cell(static_cast<long long>(depth)),
+                  Table::cell(utilization(depth, 0, 1), 3),
+                  Table::cell(utilization(depth, 1, 1), 3),
+                  Table::cell(utilization(depth, 2, 1), 3),
+                  Table::cell(utilization(depth, 0, 4), 3)});
+    }
+    t.print();
+
+    std::printf(
+        "\nDelay slots claw back a fixed number of issue slots per "
+        "branch, so their benefit shrinks\nrelative to the flush cost "
+        "as the pipe deepens - and they only work when the compiler "
+        "can\nfill them (this kernel is the best case). Four-way "
+        "interleaving reaches full utilisation at\nevery depth with "
+        "no compiler support and no static analysis, which is the "
+        "paper's argument.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: dynamic slot reallocation vs a strict static partition.
+ *
+ * This isolates the "dynamic" in Dynamic Instruction Stream Computer:
+ * both configurations keep the 16-slot table, but the static one
+ * wastes the slot of any stream that is inactive or waiting. The gap
+ * between the two columns is the entire benefit claimed by section
+ * 3.4's dynamic interleaving.
+ */
+
+#include "bench_util.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    bench::banner("Ablation: dynamic vs static slot allocation "
+                  "(4 streams, even partition)");
+
+    Table t("PD by scheduling policy");
+    t.setHeader({"load", "dynamic PD", "static PD", "dynamic delta %",
+                 "static delta %"});
+
+    for (unsigned ld = 1; ld <= 4; ++ld) {
+        StochasticConfig dyn_cfg = bench::defaultConfig();
+        StochasticConfig sta_cfg = bench::defaultConfig();
+        sta_cfg.schedMode = Scheduler::Mode::Static;
+        auto dyn = runPartitioned(dyn_cfg, standardLoad(ld), 4,
+                                  bench::kReplications);
+        auto sta = runPartitioned(sta_cfg, standardLoad(ld), 4,
+                                  bench::kReplications);
+        t.addRow({strprintf("load %u", ld), bench::meanErr(dyn.pd),
+                  bench::meanErr(sta.pd),
+                  Table::cell(dyn.delta.mean(), 1),
+                  Table::cell(sta.delta.mean(), 1)});
+    }
+    t.print();
+    std::printf("\nStatic scheduling wastes the slots of waiting/"
+                "inactive streams; the dynamic column is the\nDISC "
+                "concept, the static column is classic fixed barrel "
+                "interleaving (e.g. CDC 6600 PPs / HEP-style\nfixed "
+                "rotation) on the same hardware.\n");
+    return 0;
+}

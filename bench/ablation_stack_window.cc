@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ablation: the stack-window calling convention vs a conventional
+ * flat register file with explicit save/restore (section 3.5's
+ * motivation).
+ *
+ * Both programs compute the same nested-call workload on the same
+ * machine. The stack-window version allocates locals by sliding the
+ * AWP (zero instructions to save, RET n to unwind); the flat version
+ * spills its live registers to an explicit memory stack around every
+ * call, the way a conventional register machine must.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+namespace
+{
+
+constexpr int kIterations = 200;
+
+const char *kWindowed = R"(
+    .org 0x20
+    main:
+        ldi  g0, 200
+    outer:
+        call f1
+        subi g0, g0, 1
+        cmpi g0, 0
+        bne  outer
+        halt
+    f1:
+        winc
+        winc
+        winc            ; three locals
+        ldi r0, 1
+        ldi r1, 2
+        ldi r2, 3
+        call f2
+        add r0, r1, r2
+        ret 3
+    f2:
+        winc
+        winc            ; two locals
+        ldi r0, 4
+        ldi r1, 5
+        call f3
+        ret 2
+    f3:
+        winc            ; one local
+        ldi r0, 6
+        ret 1
+)";
+
+// Conventional model: a *flat* register file emulated by immediately
+// undoing the CALL's hardware window push (wdec) so register names
+// never shift. Each function is callee-save: it pushes the return
+// address and every register it uses onto a memory stack (g1 = SP)
+// and returns through JR — exactly the per-call traffic a
+// conventional register machine pays.
+const char *kFlat = R"(
+    .org 0x20
+    main:
+        ldi  g0, 200
+        ldi  g1, 0x100   ; memory stack pointer
+    outer:
+        call f1
+        subi g0, g0, 1
+        cmpi g0, 0
+        bne  outer
+        halt
+    f1:
+        stm r0, [g1]     ; push return address
+        wdec             ; neutralise the hardware push: flat names
+        stm r1, [g1+1]   ; callee-save the three registers f1 uses
+        stm r2, [g1+2]
+        stm r3, [g1+3]
+        addi g1, g1, 4
+        ldi r1, 1
+        ldi r2, 2
+        ldi r3, 3
+        call f2
+        add r1, r2, r3
+        subi g1, g1, 4
+        ldm r4, [g1]     ; reload RA
+        ldm r1, [g1+1]
+        ldm r2, [g1+2]
+        ldm r3, [g1+3]
+        jr r4
+    f2:
+        stm r0, [g1]
+        wdec
+        stm r1, [g1+1]
+        stm r2, [g1+2]
+        addi g1, g1, 3
+        ldi r1, 4
+        ldi r2, 5
+        call f3
+        subi g1, g1, 3
+        ldm r4, [g1]
+        ldm r1, [g1+1]
+        ldm r2, [g1+2]
+        jr r4
+    f3:
+        stm r0, [g1]
+        wdec
+        stm r1, [g1+1]
+        addi g1, g1, 2
+        ldi r1, 6
+        subi g1, g1, 2
+        ldm r4, [g1]
+        ldm r1, [g1+1]
+        jr r4
+)";
+
+Cycle
+cyclesFor(const char *src)
+{
+    Program p = assemble(src);
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(1000000);
+    if (!m.idle())
+        fatal("ablation program did not terminate");
+    return m.stats().busyCycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==== Ablation: stack window vs flat register file "
+                "====\n\n");
+    Cycle windowed = cyclesFor(kWindowed);
+    Cycle flat = cyclesFor(kFlat);
+    std::printf("%d iterations of a 3-deep call chain (6 locals live "
+                "across calls):\n\n", kIterations);
+    std::printf("  stack window : %8llu cycles\n",
+                static_cast<unsigned long long>(windowed));
+    std::printf("  flat + spill : %8llu cycles\n",
+                static_cast<unsigned long long>(flat));
+    std::printf("  speedup      : %.2fx\n\n",
+                static_cast<double>(flat) /
+                    static_cast<double>(windowed));
+    std::printf("The stack window converts per-call register traffic "
+                "into a pointer change, which is\nexactly the property "
+                "section 3.5 needs for cheap interrupts and context "
+                "activation.\n");
+    return 0;
+}

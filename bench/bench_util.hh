@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses.
+ */
+
+#ifndef DISC_BENCH_BENCH_UTIL_HH
+#define DISC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "stochastic/experiment.hh"
+
+namespace disc::bench
+{
+
+/** Replications per experiment cell (averaged with distinct seeds). */
+constexpr unsigned kReplications = 5;
+
+/** Default stochastic configuration used by all table harnesses. */
+inline StochasticConfig
+defaultConfig()
+{
+    StochasticConfig cfg;
+    cfg.warmup = 5000;
+    cfg.horizon = 200000;
+    return cfg;
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/** Format "mean +- stderr" for a statistic. */
+inline std::string
+meanErr(const RunningStat &s, int precision = 3)
+{
+    return strprintf("%.*f", precision, s.mean());
+}
+
+} // namespace disc::bench
+
+#endif // DISC_BENCH_BENCH_UTIL_HH

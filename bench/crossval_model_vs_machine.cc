@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cross-validation: the section 4.1 stochastic model against the
+ * cycle-accurate DISC1 machine on matched deterministic workloads.
+ *
+ * Workloads: (a) jump-only - blocks of four independent constant
+ * loads ended by a jump (aljmp = 0.2); (b) I/O-only - seven
+ * independent instructions then an external load from a fixed-latency
+ * device (mean_req = 8, access = 6 cycles).
+ *
+ * The two simulators differ in one documented respect: the machine
+ * resolves control at EX (flushing pipe-2 younger instructions) while
+ * the paper's model resolves at the end of the pipe (flushing
+ * pipe-1), so machine PD sits slightly above model PD for jump-heavy
+ * runs. The stream-count *trend* must agree.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "arch/devices.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+namespace
+{
+
+double
+machineJumpOnly(unsigned streams)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 1
+            ldi r2, 2
+            ldi r3, 3
+            ldi r4, 4
+            jmp entry
+    )");
+    Machine m;
+    m.load(p);
+    for (StreamId s = 0; s < streams; ++s)
+        m.startStream(s, p.symbol("entry"));
+    m.run(100000, false);
+    return m.stats().utilization();
+}
+
+double
+machineIoOnly(unsigned streams)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi  g0, 0x00
+            ldih g0, 0x10
+        loop:
+            ldi r1, 1
+            ldi r2, 2
+            ldi r3, 3
+            ldi r4, 4
+            ldi r5, 5
+            ldi r6, 6
+            ldi r7, 7
+            ld  r1, [g0]
+            jmp loop
+    )");
+    Machine m;
+    ExternalMemoryDevice dev(64, 6);
+    m.attachDevice(0x1000, 64, &dev);
+    m.load(p);
+    for (StreamId s = 0; s < streams; ++s)
+        m.startStream(s, p.symbol("entry"));
+    m.run(100000, false);
+    return m.stats().utilization();
+}
+
+} // namespace
+
+int
+main()
+{
+    StochasticConfig cfg = bench::defaultConfig();
+
+    bench::banner("Cross-validation: stochastic model vs cycle-accurate "
+                  "machine");
+
+    {
+        Table t("(a) jump-only workload, aljmp = 0.2");
+        t.setHeader({"streams", "model PD", "machine PD"});
+        LoadSpec spec{"jump", 0, 0, 0, 0, 0, 0, 0.2};
+        for (unsigned k = 1; k <= 4; ++k) {
+            auto r = runPartitioned(cfg, spec, k, 3);
+            t.addRow({Table::cell((long long)k),
+                      bench::meanErr(r.pd),
+                      Table::cell(machineJumpOnly(k), 3)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    {
+        Table t("(b) I/O-only workload, one 6-cycle access per 8 "
+                "instructions");
+        t.setHeader({"streams", "model PD", "machine PD"});
+        LoadSpec spec{"io", 0, 0, /*meanReq=*/8, /*alpha=*/1.0,
+                      /*tmem=*/6, /*meanIo=*/0, /*alJmp=*/0.0};
+        for (unsigned k = 1; k <= 4; ++k) {
+            auto r = runPartitioned(cfg, spec, k, 3);
+            t.addRow({Table::cell((long long)k),
+                      bench::meanErr(r.pd),
+                      Table::cell(machineIoOnly(k), 3)});
+        }
+        t.print();
+    }
+
+    std::printf("\nBoth columns must rise monotonically with the stream "
+                "count; absolute values differ by the\ndocumented "
+                "control-resolution point (machine: EX; model: end of "
+                "pipe) and by the machine's\nreal per-instruction "
+                "accounting (the I/O workload's jump closes each "
+                "block).\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Figure 3.1: an interleaved pipeline in which every
+ * in-flight instruction belongs to a different stream, so no data or
+ * control hazards exist between pipe stages.
+ *
+ * DISC1 has four streams and a four-stage pipe (the paper's figure
+ * illustrates the concept with five); with all four streams active
+ * and an even partition, consecutive pipe slots carry instructions
+ * "a1, b2, c3, d4, ..." exactly as in the figure.
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 1
+            ldi r2, 2
+            ldi r3, 3
+            ldi r4, 4
+            ldi r5, 5
+            ldi r6, 6
+            halt
+    )");
+
+    Machine m;
+    m.load(p);
+    PipeTrace trace(m.pipeDepth(), 32);
+    m.setTrace(&trace);
+    for (StreamId s = 0; s < kNumStreams; ++s)
+        m.startStream(s, p.symbol("entry"));
+    m.run(16, false);
+
+    std::printf("==== Figure 3.1 - Interleaved Pipeline ====\n\n");
+    std::printf("Four active streams, even partition; cell \"a1\" means "
+                "instruction 'a' of stream 1.\n\n");
+    std::printf("%s\n", trace.render().c_str());
+    std::printf("Every column holds instructions from distinct streams: "
+                "no intra-stream hazards.\n");
+    std::printf("Utilisation over the window: %.3f\n",
+                m.stats().utilization());
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates Figure 3.2: the interleaved pipeline during a jump.
+ *
+ * Two renderings are produced:
+ *  1. four active streams - stream 1's jump flushes nothing because no
+ *     other instruction in the pipe belongs to stream 1 (the figure's
+ *     point: interleaving eliminates the control hazard);
+ *  2. stream 1 running alone - the same jump now squashes its own
+ *     younger in-flight instructions (bracketed cells).
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+using namespace disc;
+
+namespace
+{
+
+const char *kProgram = R"(
+    .org 0x20
+    entry:
+        ldi r1, 1
+        ldi r2, 2
+        jmp skip
+        ldi r3, 3        ; fetched down the wrong path when alone
+        ldi r4, 4
+    skip:
+        ldi r5, 5
+        ldi r6, 6
+        halt
+)";
+
+} // namespace
+
+int
+main()
+{
+    Program p = assemble(kProgram);
+
+    std::printf("==== Figure 3.2 - Interleaved Pipeline During a Jump "
+                "====\n\n");
+
+    {
+        Machine m;
+        m.load(p);
+        PipeTrace trace(m.pipeDepth(), 32);
+        m.setTrace(&trace);
+        for (StreamId s = 0; s < kNumStreams; ++s)
+            m.startStream(s, p.symbol("entry"));
+        m.run(24, false);
+        std::printf("(a) four streams: the jump of each stream meets no "
+                    "same-stream instruction in the pipe.\n\n%s\n",
+                    trace.render().c_str());
+        std::printf("    squashed by control: %llu\n\n",
+                    static_cast<unsigned long long>(
+                        m.stats().squashedJump));
+    }
+
+    {
+        Machine m;
+        m.load(p);
+        PipeTrace trace(m.pipeDepth(), 32);
+        m.setTrace(&trace);
+        m.startStream(0, p.symbol("entry"));
+        m.run(24, false);
+        std::printf("(b) stream 1 alone: the jump squashes its own "
+                    "younger fetches (bracketed).\n\n%s\n",
+                    trace.render().c_str());
+        std::printf("    squashed by control: %llu\n",
+                    static_cast<unsigned long long>(
+                        m.stats().squashedJump));
+    }
+    return 0;
+}

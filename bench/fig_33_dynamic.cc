@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regenerates Figure 3.3: the dynamic instruction stream diagram.
+ *
+ * The static partition assigns T/2 to IS1 and roughly T/6 to each of
+ * IS2..IS4 (shares 8/4/2/2 of 16). Streams halt and restart over the
+ * run; within every interval the issue bandwidth of halted streams is
+ * dynamically reallocated to the remaining active ones, so each
+ * stream's *observed* share follows the figure's staircase.
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    // Each stream runs an endless independent compute loop; we control
+    // activity from outside via HALT-equivalent (clearing run bits)
+    // and FORK-equivalent (startStream).
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 0
+        spin:
+            ldi r2, 1
+            ldi r3, 2
+            ldi r4, 3
+            jmp spin
+    )");
+
+    Machine m;
+    m.load(p);
+    m.scheduler().setShares({8, 4, 2, 2});
+
+    std::printf("==== Figure 3.3 - Dynamic Instruction Stream Diagram "
+                "====\n\n");
+    std::printf("Static partition: IS1=8/16, IS2=4/16, IS3=2/16, "
+                "IS4=2/16.\n");
+    std::printf("Observed issue share per 2000-cycle interval (%%):\n\n");
+    std::printf("%-28s %6s %6s %6s %6s\n", "interval (active streams)",
+                "IS1", "IS2", "IS3", "IS4");
+
+    struct Phase
+    {
+        const char *label;
+        unsigned activeMask;
+    };
+    const Phase phases[] = {
+        {"IS1 only", 0x1},
+        {"IS1+IS2", 0x3},
+        {"IS1+IS2+IS3+IS4", 0xf},
+        {"IS2+IS3+IS4 (IS1 halted)", 0xe},
+        {"IS3+IS4", 0xc},
+        {"IS1 only again", 0x1},
+    };
+
+    std::array<std::uint64_t, kNumStreams> last{};
+    for (const Phase &ph : phases) {
+        // Apply the phase's activity pattern.
+        for (StreamId s = 0; s < kNumStreams; ++s) {
+            bool want = ph.activeMask & (1u << s);
+            bool have = m.interrupts().isActive(s);
+            if (want && !have)
+                m.startStream(s, p.symbol("entry"));
+            else if (!want && have)
+                m.interrupts().clear(s, 0);
+        }
+        m.run(2000, false);
+        std::printf("%-28s", ph.label);
+        std::uint64_t total = 0;
+        std::array<std::uint64_t, kNumStreams> delta{};
+        for (StreamId s = 0; s < kNumStreams; ++s) {
+            delta[s] = m.stats().retired[s] - last[s];
+            last[s] = m.stats().retired[s];
+            total += delta[s];
+        }
+        for (StreamId s = 0; s < kNumStreams; ++s) {
+            std::printf(" %5.1f%%",
+                        total ? 100.0 * static_cast<double>(delta[s]) /
+                                    static_cast<double>(total)
+                              : 0.0);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nReading: when only IS1 is active it receives ~100%% "
+                "of T although its static share is T/2;\n"
+                "halting a stream redistributes its slots to the "
+                "remaining active streams.\n");
+    return 0;
+}

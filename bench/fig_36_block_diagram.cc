@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates Figure 3.6: the block diagram of DISC1 — rendered from
+ * the simulator's *actual* configured parameters so the diagram can
+ * never drift from the implementation.
+ */
+
+#include <cstdio>
+
+#include "arch/stack_window.hh"
+#include "common/types.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    Machine machine; // default DISC1 configuration
+
+    std::printf("==== Figure 3.6 - Block Diagram of DISC1 ====\n\n");
+    std::printf(
+        "                      program bus (24-bit)\n"
+        "            +---------------+----------------+\n"
+        "            |                                 |\n"
+        "   +--------v---------+            +----------+---------+\n"
+        "   |  program memory  |            |  hardware scheduler|\n"
+        "   |  24-bit words    |            |  %2u slots (1/%u)   |\n"
+        "   +--------+---------+            +----------+---------+\n"
+        "            |   fetch                         | pick/cycle\n"
+        "   +--------v---------------------------------v--------+\n"
+        "   |          %u-stage pipeline  IF  ID  EX  WR         |\n"
+        "   +---+-----------------+------------------------+----+\n"
+        "       |                 |                        |\n"
+        "  +----v-----+   +-------v--------+     +---------v-------+\n"
+        "  | %u x ctx  |   | register file  |     | interrupt unit  |\n"
+        "  | PC,SR per|   | %uxR 4xG 4xS    |     | IR/MR per IS    |\n"
+        "  | stream   |   | stack windows  |     | %u levels        |\n"
+        "  +----------+   +-------+--------+     +---------+-------+\n"
+        "                         |                        ^\n"
+        "              +----------v-----------+            |\n"
+        "              |  internal memory     |            |\n"
+        "              |  %4zu x 16 bits      |            |\n"
+        "              |  stacks: %ux%3u words |            |\n"
+        "              +----------+-----------+            |\n"
+        "                         |                        |\n"
+        "  +----------+   +------v--------+               |\n"
+        "  | 16x16 MUL|   |     ABI       +---------------+\n"
+        "  | 1 cycle  |   | 1 outstanding |  device interrupts\n"
+        "  +----------+   +------+--------+\n"
+        "                        |\n"
+        "            asynchronous data bus (16-bit)\n"
+        "        +---------+-----+----+----------+\n"
+        "        | extmem  | sensors  | timers   | uart/dma ...\n"
+        "        +---------+----------+----------+\n\n",
+        kScheduleSlots, kScheduleSlots, machine.pipeDepth(),
+        kNumStreams, kNumWindowRegs, kNumIntLevels,
+        machine.internalMemory().size(), kNumStreams,
+        kStackRegionWords);
+
+    std::printf("Configured architectural parameters:\n");
+    std::printf("  instruction streams   : %u\n", kNumStreams);
+    std::printf("  pipeline depth        : %u (IF, ID/RR, EX, WR)\n",
+                machine.pipeDepth());
+    std::printf("  scheduler granularity : 1/%u of total throughput\n",
+                kScheduleSlots);
+    std::printf("  registers per stream  : %u window + %u global "
+                "(shared) + %u special\n",
+                kNumWindowRegs, kNumGlobalRegs, kNumSpecialRegs);
+    std::printf("  internal memory       : %zu x 16-bit words (2 KB)\n",
+                machine.internalMemory().size());
+    std::printf("  stack regions         : %u words per stream at "
+                "0x%03x+\n",
+                kStackRegionWords, kStackRegionBase);
+    std::printf("  interrupt levels      : %u per stream (bit 7 "
+                "highest, bit 0 background)\n",
+                kNumIntLevels);
+    std::printf("  program word          : 24 bits; data word: 16 "
+                "bits (Harvard)\n");
+    std::printf("  multiplier            : 16x16 -> 32, single "
+                "cycle (MUL/MULH)\n");
+    return 0;
+}

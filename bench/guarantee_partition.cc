@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Throughput-guarantee study (paper sections 1.0 and 3.4): with
+ * partitionable throughput, "scheduling which is in some senses
+ * optimal can be achieved" (Coffman & Denning) — but only if the
+ * partition is actually enforced under interference.
+ *
+ * A critical stream is given a static share; three aggressive
+ * interfering streams are always ready. The harness reports the
+ * critical stream's observed instruction rate against its guarantee
+ * for a range of shares, under both dynamic and static scheduling,
+ * and then shows the other face of dynamic reallocation: when the
+ * interferers go idle, the critical stream picks up the slack.
+ */
+
+#include "bench_util.hh"
+
+using namespace disc;
+
+namespace
+{
+
+double
+criticalShare(const StochasticConfig &base, unsigned share,
+              bool interferers_active)
+{
+    StochasticConfig cfg = base;
+    unsigned rest = kScheduleSlots - share;
+    cfg.shares = {share, (rest + 2) / 3, (rest + 1) / 3, rest / 3};
+
+    std::vector<std::unique_ptr<WorkSource>> sources;
+    // Critical stream: clean compute (no jumps -> any shortfall is
+    // scheduling, not its own stalls).
+    sources.push_back(std::make_unique<LoadProcess>(
+        LoadSpec{"critical", 0, 0, 0, 0, 0, 0, 0.0}, 11));
+    for (unsigned s = 0; s < 3; ++s) {
+        LoadSpec hog{"hog", 0, 0, 0, 0, 0, 0, 0.0};
+        if (!interferers_active) {
+            hog.meanOn = 10;
+            hog.meanOff = 1000; // mostly idle
+        }
+        sources.push_back(
+            std::make_unique<LoadProcess>(hog, 21 + s));
+    }
+    StochasticModel model(cfg, std::move(sources));
+    RunTotals t = model.run();
+    return static_cast<double>(t.perStreamExecuted[0]) /
+           static_cast<double>(t.cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    StochasticConfig cfg = bench::defaultConfig();
+
+    bench::banner("Throughput guarantees under the 16-slot partition");
+
+    Table t("critical stream's instructions/cycle vs its share "
+            "(3 saturating interferers)");
+    t.setHeader({"share", "guarantee", "dynamic", "static",
+                 "dynamic, idle rivals"});
+    for (unsigned share : {2u, 4u, 8u, 12u}) {
+        double guarantee = static_cast<double>(share) / kScheduleSlots;
+        StochasticConfig dyn = cfg;
+        StochasticConfig sta = cfg;
+        sta.schedMode = Scheduler::Mode::Static;
+        double got_dyn = criticalShare(dyn, share, true);
+        double got_sta = criticalShare(sta, share, true);
+        double got_idle = criticalShare(dyn, share, false);
+        t.addRow({strprintf("%u/16", share), Table::cell(guarantee, 3),
+                  Table::cell(got_dyn, 3), Table::cell(got_sta, 3),
+                  Table::cell(got_idle, 3)});
+    }
+    t.print();
+    std::printf("\nBoth policies honour the guarantee under full "
+                "interference (columns ~= guarantee); only the\n"
+                "dynamic policy lets the critical stream harvest idle "
+                "bandwidth (last column -> ~1.0) - the\npaper's 'own "
+                "virtual processor of adjustable computational "
+                "power'.\n");
+    return 0;
+}

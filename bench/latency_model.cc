@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Future-work study (paper section 5.0): "appropriate measures of
+ * interrupt latency need to be defined and modeled."
+ *
+ * Two measures are defined and measured:
+ *  1. scheduling latency (stochastic model) — cycles from a stream's
+ *     activation (interrupt arrival starting a burst) to its first
+ *     issued instruction, as a function of competing load, partition
+ *     shares and scheduling policy;
+ *  2. vector-entry latency (cycle-accurate machine, reported by
+ *     bench/interrupt_latency) — cycles from the request bit to the
+ *     first handler fetch.
+ *
+ * The paper's observation holds: the *common* latency figure (time to
+ * start a trivial handler) is tiny by construction on DISC; the
+ * meaningful figure under load is the scheduling latency, which is
+ * bounded by the slot spacing of the stream's partition.
+ */
+
+#include "bench_util.hh"
+
+using namespace disc;
+
+namespace
+{
+
+struct LatencyRow
+{
+    double mean;
+    std::uint64_t p95;
+    std::uint64_t worst;
+};
+
+LatencyRow
+measure(Scheduler::Mode mode,
+        const std::array<unsigned, kNumStreams> &shares,
+        unsigned interferers)
+{
+    StochasticConfig cfg = bench::defaultConfig();
+    cfg.schedMode = mode;
+    cfg.shares = shares;
+
+    std::vector<std::unique_ptr<WorkSource>> sources;
+    // The bursty "interrupt" stream whose activations we time.
+    sources.push_back(std::make_unique<LoadProcess>(
+        LoadSpec{"evt", /*meanOn=*/15, /*meanOff=*/150, 0, 0, 0, 0,
+                 0.1},
+        7));
+    for (unsigned s = 0; s < interferers; ++s) {
+        sources.push_back(std::make_unique<LoadProcess>(
+            LoadSpec{"bg", 0, 0, 0, 0, 0, 0, 0.1}, 30 + s));
+    }
+    StochasticModel model(cfg, std::move(sources));
+    RunTotals t = model.run();
+    return {t.activationLatency.mean(), t.activationLatency.percentile(0.95),
+            t.activationLatency.maxValue()};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Defining interrupt latency: scheduling latency of a "
+                  "bursty stream");
+
+    Table t("activation -> first issue (cycles), bursty stream vs "
+            "always-ready interferers");
+    t.setHeader({"configuration", "mean", "p95", "worst"});
+
+    struct Case
+    {
+        const char *label;
+        Scheduler::Mode mode;
+        std::array<unsigned, kNumStreams> shares;
+        unsigned interferers;
+    };
+    const Case cases[] = {
+        {"alone, even shares, dynamic", Scheduler::Mode::Dynamic,
+         {0, 0, 0, 0}, 0},
+        {"3 interferers, even, dynamic", Scheduler::Mode::Dynamic,
+         {4, 4, 4, 4}, 3},
+        {"3 interferers, even, static", Scheduler::Mode::Static,
+         {4, 4, 4, 4}, 3},
+        {"3 interferers, evt=8/16, dynamic", Scheduler::Mode::Dynamic,
+         {8, 3, 3, 2}, 3},
+        {"3 interferers, evt=1/16, dynamic", Scheduler::Mode::Dynamic,
+         {1, 5, 5, 5}, 3},
+        {"3 interferers, evt=1/16, static", Scheduler::Mode::Static,
+         {1, 5, 5, 5}, 3},
+    };
+    for (const Case &c : cases) {
+        LatencyRow r = measure(c.mode, c.shares, c.interferers);
+        t.addRow({c.label, Table::cell(r.mean, 2),
+                  Table::cell(static_cast<long long>(r.p95)),
+                  Table::cell(static_cast<long long>(r.worst))});
+    }
+    t.print();
+
+    std::printf("\nReading: worst-case scheduling latency is bounded "
+                "by the slot spacing of the stream's\npartition "
+                "(~16/share cycles); dynamic reallocation improves the "
+                "mean but the *guarantee*\ncomes from the static "
+                "share - exactly why DISC keeps both mechanisms.\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Host-performance microbenchmarks (google-benchmark): how many
+ * simulated cycles per second the cycle-accurate machine and the
+ * stochastic model deliver on the host.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/devices.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "stochastic/model.hh"
+
+namespace disc
+{
+namespace
+{
+
+void
+BM_MachineComputeLoop(benchmark::State &state)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 1
+            ldi r2, 2
+            add r3, r1, r2
+            jmp entry
+    )");
+    Machine m;
+    m.load(p);
+    unsigned streams = static_cast<unsigned>(state.range(0));
+    for (StreamId s = 0; s < streams; ++s)
+        m.startStream(s, p.symbol("entry"));
+    for (auto _ : state)
+        m.run(1000, false);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1000,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineComputeLoop)->Arg(1)->Arg(4);
+
+void
+BM_MachineWithBusTraffic(benchmark::State &state)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi  g0, 0x00
+            ldih g0, 0x10
+        loop:
+            ld  r1, [g0]
+            addi r2, r2, 1
+            jmp loop
+    )");
+    Machine m;
+    ExternalMemoryDevice dev(64, 5);
+    m.attachDevice(0x1000, 64, &dev);
+    m.load(p);
+    for (StreamId s = 0; s < 4; ++s)
+        m.startStream(s, p.symbol("entry"));
+    for (auto _ : state)
+        m.run(1000, false);
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1000,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineWithBusTraffic);
+
+void
+BM_StochasticModel(benchmark::State &state)
+{
+    StochasticConfig cfg;
+    cfg.warmup = 0;
+    cfg.horizon = 1000;
+    unsigned streams = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        std::vector<std::unique_ptr<WorkSource>> sources;
+        for (unsigned s = 0; s < streams; ++s) {
+            sources.push_back(std::make_unique<LoadProcess>(
+                standardLoad(1), 1234 + s));
+        }
+        StochasticModel model(cfg, std::move(sources));
+        benchmark::DoNotOptimize(model.run());
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1000,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StochasticModel)->Arg(1)->Arg(4);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    std::string src = ".org 0x20\nmain:\n";
+    for (int i = 0; i < 200; ++i)
+        src += "    addi r1, r1, 1\n    ldm r2, [r1+3]\n";
+    src += "    halt\n";
+    for (auto _ : state) {
+        Program p = assemble(src);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_Assembler);
+
+} // namespace
+} // namespace disc

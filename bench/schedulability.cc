@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Schedulability and graceful degradation (paper section 1.0):
+ * "reasonable provisions must be made for graceful degradation of low
+ * priority tasks in exceptional circumstances."
+ *
+ * A three-task set (high/mid/low priority) runs on the machine while
+ * the offered load rises (shrinking periods). Reported per load
+ * point: deadline-miss ratio per task and background throughput, for
+ * DISC (a stream per task) and the conventional single-stream
+ * configuration with context-switch overhead.
+ *
+ * The shape that matters: as the system saturates, DISC sheds load
+ * strictly by priority (the high-priority task stays clean while the
+ * low-priority one degrades), while the conventional machine's
+ * save/restore overhead drives every task over its deadline at much
+ * lower offered load.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "rts/system.hh"
+
+using namespace disc;
+
+namespace
+{
+
+struct Point
+{
+    double missHi;
+    double missMid;
+    double missLo;
+    std::uint64_t background;
+};
+
+Point
+measure(double load_scale, bool dedicated, bool weighted = false)
+{
+    auto period = [&](unsigned base) {
+        return static_cast<unsigned>(base / load_scale);
+    };
+    RtsConfig cfg;
+    cfg.horizon = 120000;
+    cfg.contextSwitchOverhead = dedicated ? 0 : 16;
+    if (weighted) {
+        // Throughput partitioning by priority: hi gets half the
+        // machine, background the leftovers.
+        cfg.shares = {1, 8, 4, 3};
+    }
+    std::vector<RtsTask> tasks = {
+        {"hi", static_cast<StreamId>(1), 7, period(400), 0, 8, 1},
+        {"mid", static_cast<StreamId>(dedicated ? 2 : 1), 5,
+         period(900), 0, 25, 2},
+        {"lo", static_cast<StreamId>(dedicated ? 3 : 1), 2,
+         period(2200), 0, 70, 4},
+    };
+    RtsSystem sys(std::move(tasks), cfg);
+    RtsReport rep = sys.run();
+    auto ratio = [](const RtsTaskResult &t) {
+        return t.activations
+                   ? static_cast<double>(t.deadlineMisses) /
+                         static_cast<double>(t.activations)
+                   : 0.0;
+    };
+    return {ratio(rep.tasks[0]), ratio(rep.tasks[1]),
+            ratio(rep.tasks[2]), rep.backgroundProgress};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==== Schedulability: graceful degradation under "
+                "rising load ====\n\n");
+
+    struct Config
+    {
+        const char *label;
+        bool dedicated;
+        bool weighted;
+    };
+    const Config configs[] = {
+        {"DISC: one stream per task, even partition", true, false},
+        {"DISC: one stream per task, priority-weighted partition "
+         "(hi=8/16, mid=4/16, lo=3/16)",
+         true, true},
+        {"conventional: shared stream + 16-instr save/restore", false,
+         false},
+    };
+    for (const Config &c : configs) {
+        Table t(c.label);
+        t.setHeader({"load scale", "hi miss %", "mid miss %",
+                     "lo miss %", "background iters"});
+        for (double scale : {1.0, 1.5, 2.0, 2.5, 3.0}) {
+            Point p = measure(scale, c.dedicated, c.weighted);
+            t.addRow({Table::cell(scale, 1),
+                      Table::cell(100 * p.missHi, 1),
+                      Table::cell(100 * p.missMid, 1),
+                      Table::cell(100 * p.missLo, 1),
+                      Table::cell(static_cast<long long>(
+                          p.background))});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Reading: with an even partition every stream overloads alike "
+        "once the machine saturates\n(scale 3.0). The paper's "
+        "throughput partitioning (section 1.0 / Coffman-Denning) "
+        "extends the\nhigh-priority task's clean region (0%% misses "
+        "at scale 2.5 where the even split already\nsheds load) and "
+        "halves its misses at full saturation, pushing the overload "
+        "onto the lower\npriorities and the background - graceful, "
+        "priority-ordered degradation. The conventional\nmachine "
+        "inverts priorities instead: the highest-rate task pays the "
+        "save/restore overhead\nmost often and collapses first.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates the section 4.2 pipeline-length runs: PD and delta for
+ * load 1 as the pipe deepens from 2 to 8 stages.
+ *
+ * Expected shape: deeper pipes amplify the per-jump flush cost, so
+ * single-stream utilisation falls with depth while interleaving over
+ * four streams recovers most of it; delta therefore grows with depth
+ * (the paper: delayed branching "is less effective as pipeline depth
+ * increases" - interleaving is the scalable alternative).
+ */
+
+#include "bench_util.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    bench::banner("Sweep: pipeline depth (load 1)");
+
+    Table pd("PD vs pipe depth");
+    Table dt("delta (%) vs pipe depth");
+    std::vector<std::string> header{"depth"};
+    for (unsigned k = 1; k <= 4; ++k)
+        header.push_back(strprintf("%u IS", k));
+    pd.setHeader(header);
+    dt.setHeader(header);
+
+    for (unsigned depth : {2u, 3u, 4u, 5u, 6u, 8u}) {
+        StochasticConfig cfg = bench::defaultConfig();
+        cfg.pipeDepth = depth;
+        std::vector<std::string> pd_row{Table::cell((long long)depth)};
+        std::vector<std::string> dt_row{Table::cell((long long)depth)};
+        for (unsigned k = 1; k <= 4; ++k) {
+            auto r = runPartitioned(cfg, standardLoad(1), k,
+                                    bench::kReplications);
+            pd_row.push_back(bench::meanErr(r.pd));
+            dt_row.push_back(Table::cell(r.delta.mean(), 1));
+        }
+        pd.addRow(pd_row);
+        dt.addRow(dt_row);
+    }
+    pd.print();
+    std::printf("\n");
+    dt.print();
+    return 0;
+}

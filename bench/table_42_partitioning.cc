@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Tables 4.2a and 4.2b: processor utilisation PD and
+ * delta for each standard load partitioned into 1..4 instruction
+ * streams.
+ *
+ * Paper claims reproduced here (section 4.2): utilisation rises with
+ * the degree of partitioning; gains are large when single-stream
+ * utilisation is low and small (but positive) when it is already high
+ * (load 3); at one stream delta is near zero or negative.
+ */
+
+#include "bench_util.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    StochasticConfig cfg = bench::defaultConfig();
+
+    bench::banner("Table 4.2a - Processor Utilization PD");
+    Table pd("PD vs maximum number of instruction streams");
+    pd.setHeader({"load", "1", "2", "3", "4"});
+    bench::banner("(running...)");
+
+    std::vector<std::vector<ExperimentResult>> results(5);
+    for (unsigned ld = 1; ld <= 4; ++ld) {
+        std::vector<std::string> row{strprintf("load %u", ld)};
+        for (unsigned k = 1; k <= 4; ++k) {
+            results[ld].push_back(runPartitioned(
+                cfg, standardLoad(ld), k, bench::kReplications));
+            row.push_back(bench::meanErr(results[ld].back().pd));
+        }
+        pd.addRow(row);
+    }
+    pd.print();
+
+    bench::banner("Table 4.2b - Delta (%)");
+    Table dt("delta = (PD - Ps)/Ps * 100%");
+    dt.setHeader({"load", "1", "2", "3", "4"});
+    for (unsigned ld = 1; ld <= 4; ++ld) {
+        std::vector<std::string> row{strprintf("load %u", ld)};
+        for (unsigned k = 1; k <= 4; ++k)
+            row.push_back(Table::cell(results[ld][k - 1].delta.mean(), 1));
+        dt.addRow(row);
+    }
+    dt.print();
+
+    bench::banner("Reference: standard-processor utilisation Ps");
+    Table ps("Ps (independent of stream count)");
+    ps.setHeader({"load", "Ps"});
+    for (unsigned ld = 1; ld <= 4; ++ld)
+        ps.addRow({strprintf("load %u", ld),
+                   bench::meanErr(results[ld][0].ps)});
+    ps.print();
+    return 0;
+}

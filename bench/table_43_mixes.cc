@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates Tables 4.3a and 4.3b: load 1 combined with each other
+ * load, run as (a) a statistical combination in a single stream,
+ * (b) two separate streams, (c) three streams (load 1 split in two),
+ * (d) four streams (both loads split in two).
+ *
+ * Paper claim (section 4.2): "The range of improvement of DISC over a
+ * traditional single-instruction-stream processor (delta) is dramatic
+ * as long as at least two ISs are enabled, especially when
+ * traditional processor performance is poor."
+ */
+
+#include "bench_util.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    StochasticConfig cfg = bench::defaultConfig();
+    LoadSpec l1 = standardLoad(1);
+
+    Table pd("Table 4.3a - Processor Utilization PD");
+    pd.setHeader({"loads", "combined", "separated", "three ISs",
+                  "four ISs"});
+    Table dt("Table 4.3b - Delta (%)");
+    dt.setHeader({"loads", "combined", "separated", "three ISs",
+                  "four ISs"});
+
+    for (unsigned x = 2; x <= 4; ++x) {
+        LoadSpec lx = standardLoad(x);
+        ExperimentResult combined = runExperiment(
+            cfg, {makeCombinedFactory(l1, lx)}, bench::kReplications);
+        ExperimentResult separated = runExperiment(
+            cfg, {makeLoadFactory(l1), makeLoadFactory(lx)},
+            bench::kReplications);
+        ExperimentResult three = runExperiment(
+            cfg,
+            {makeLoadFactory(l1), makeLoadFactory(l1),
+             makeLoadFactory(lx)},
+            bench::kReplications);
+        ExperimentResult four = runExperiment(
+            cfg,
+            {makeLoadFactory(l1), makeLoadFactory(l1),
+             makeLoadFactory(lx), makeLoadFactory(lx)},
+            bench::kReplications);
+
+        std::string label = strprintf("1 & %u", x);
+        pd.addRow({label, bench::meanErr(combined.pd),
+                   bench::meanErr(separated.pd), bench::meanErr(three.pd),
+                   bench::meanErr(four.pd)});
+        dt.addRow({label, Table::cell(combined.delta.mean(), 1),
+                   Table::cell(separated.delta.mean(), 1),
+                   Table::cell(three.delta.mean(), 1),
+                   Table::cell(four.delta.mean(), 1)});
+    }
+
+    bench::banner("Table 4.3 - Load 1 Combined With Each Other Load");
+    pd.print();
+    std::printf("\n");
+    dt.print();
+    return 0;
+}

@@ -1,0 +1,24 @@
+; gcd.s - Euclid's algorithm on DISC1.
+; Run:  disc-run gcd.s --dump 0x80:1
+; Result: mem[0x80] = gcd(462, 1071) = 21
+.org 0x20
+main:
+    ldi  r0, 462
+    ldi  r1, 1071
+gcd:
+    cmpi r1, 0
+    beq  done
+    ; r2 = r0 mod r1 by repeated subtraction
+mod:
+    cmp  r0, r1
+    bult mod_done
+    sub  r0, r0, r1
+    jmp  mod
+mod_done:
+    mov  r2, r0
+    mov  r0, r1
+    mov  r1, r2
+    jmp  gcd
+done:
+    stmd r0, [0x80]
+    halt

@@ -1,0 +1,81 @@
+; parallel_sum.s - four streams each sum a quarter of 1..100, stream 0
+; combines the partial sums.
+; Run:  disc-run parallel_sum.s --entry combine \
+;         --stream 1:worker_a --stream 2:worker_b --stream 3:worker_c \
+;         --dump 0x90:5
+; Result: mem[0x94] = 5050
+.equ P0, 0x90
+.equ P1, 0x91
+.equ P2, 0x92
+.equ P3, 0x93
+.equ TOTAL, 0x94
+.equ D0, 0x98
+.equ D1, 0x99
+.equ D2, 0x9a
+.equ D3, 0x9b
+
+.org 0x20
+; sum [r0, r1] into r2, store at [r3], flag at [r4]
+sum_range:
+    ldi r2, 0
+sr_loop:
+    add r2, r2, r0
+    addi r0, r0, 1
+    cmp r1, r0
+    buge sr_loop
+    stm r2, [r3]
+    ldi r5, 1
+    stm r5, [r4]
+    halt
+
+combine:
+    ; stream 0 computes its own quarter inline, then combines
+    ldi r0, 1
+    ldi r1, 25
+    ldi r2, 0
+c_loop:
+    add r2, r2, r0
+    addi r0, r0, 1
+    cmp r1, r0
+    buge c_loop
+    stmd r2, [P0]
+    ldi r5, 1
+    stmd r5, [D0]
+wait:
+    ldmd r5, [D0]
+    ldmd r6, [D1]
+    add  r5, r5, r6
+    ldmd r6, [D2]
+    add  r5, r5, r6
+    ldmd r6, [D3]
+    add  r5, r5, r6
+    cmpi r5, 4
+    bne  wait
+    ldmd r5, [P0]
+    ldmd r6, [P1]
+    add  r5, r5, r6
+    ldmd r6, [P2]
+    add  r5, r5, r6
+    ldmd r6, [P3]
+    add  r5, r5, r6
+    stmd r5, [TOTAL]
+    halt
+
+worker_a:
+    ldi r0, 26
+    ldi r1, 50
+    ldi r3, P1
+    ldi r4, D1
+    jmp sum_range
+worker_b:
+    ldi r0, 51
+    ldi r1, 75
+    ldi r3, P2
+    ldi r4, D2
+    jmp sum_range
+worker_c:
+    ldi r0, 76
+    ldi r1, 100
+    ldi r3, P3
+    ldi r4, D3
+    jmp sum_range

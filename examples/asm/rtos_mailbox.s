@@ -1,0 +1,112 @@
+; rtos_mailbox.s - an OS-service pattern on DISC1: a kernel stream
+; serves arithmetic requests from client streams through a locked
+; mailbox. Clients BLOCK (halt) while waiting; the kernel wakes them
+; with an inter-stream interrupt whose handler re-arms the run level
+; and returns to the instruction after the halt. Lost wakeups are
+; prevented by masking the wake level until the moment of blocking.
+;
+; Run: disc-run rtos_mailbox.s --entry idle --stream 1:client1 \
+;          --stream 2:client2 --dump 0x120:3
+; Expected: mem[0x120]=42 (20+22), 002a; mem[0x121]=42 (6*7);
+;           mem[0x122]=25 (5*5)
+
+.equ LOCK,  0x100
+.equ OP,    0x101      ; 1 = add, 2 = mul
+.equ ARG_A, 0x102
+.equ ARG_B, 0x103
+.equ CLIENT,0x104      ; requesting stream id
+.equ REPLY, 0x108      ; reply slot base: REPLY + client id
+
+; --- vector table ---
+.org 11                ; stream 1, level 3: client1 wake-up
+    jmp wake_isr
+.org 19                ; stream 2, level 3: client2 wake-up
+    jmp wake_isr
+.org 28                ; stream 3, level 4: kernel request service
+    jmp kernel_isr
+
+.org 0x40
+idle:                      ; stream 0 takes no part in this demo
+    halt
+
+; Post one request and block until the kernel replies.
+.macro request op, a, b, self
+acquire\@:
+    tas  r1, [g1]          ; g1 holds LOCK's address
+    cmpi r1, 0
+    bne  acquire\@
+    ldi  r1, \op
+    stmd r1, [OP]
+    ldi  r1, \a
+    stmd r1, [ARG_A]
+    ldi  r1, \b
+    stmd r1, [ARG_B]
+    ldi  r1, \self
+    stmd r1, [CLIENT]
+    swi  3, 4              ; ring the kernel
+    ldi  r1, 0x09          ; unmask the wake level (bits 0 and 3)...
+    mov  imr, r1
+    halt                   ; ...and block; wake resumes *here*
+    ldi  r1, 0x01          ; re-mask while running
+    mov  imr, r1
+.endm
+
+; Wake-up handler (any client): re-arm the run level and resume.
+wake_isr:
+    ldi  r1, 0x01
+    mov  irr, r1           ; set own background bit again
+    clri 3
+    reti
+
+; The kernel: woken only by request interrupts on stream 3.
+kernel_isr:
+    ldmd r1, [OP]
+    ldmd r2, [ARG_A]
+    ldmd r3, [ARG_B]
+    cmpi r1, 1
+    beq  k_add
+    mul  r4, r2, r3
+    jmp  k_reply
+k_add:
+    add  r4, r2, r3
+k_reply:
+    ldmd r5, [CLIENT]
+    ldi  r6, REPLY
+    add  r6, r6, r5
+    stm  r4, [r6]          ; deposit the reply
+    cmpi r5, 1             ; wake the right client
+    beq  k_wake1
+    swi  2, 3
+    jmp  k_unlock
+k_wake1:
+    swi  1, 3
+k_unlock:
+    ldi  r1, 0
+    stmd r1, [LOCK]        ; release the mailbox
+    clri 4
+    reti
+
+client1:
+    ldi  g1, LOCK
+    ldi  r1, 0x01
+    mov  imr, r1           ; wake level masked while running
+    request 1, 20, 22, 1
+    ldmd r2, [REPLY+1]
+    stmd r2, [0x120]
+    request 2, 6, 7, 1
+    ldmd r2, [REPLY+1]
+    stmd r2, [0x121]
+    ldi  r1, 0xff          ; restore the full mask before exit
+    mov  imr, r1
+    halt
+
+client2:
+    ldi  g1, LOCK
+    ldi  r1, 0x01
+    mov  imr, r1
+    request 2, 5, 5, 2
+    ldmd r2, [REPLY+2]
+    stmd r2, [0x122]
+    ldi  r1, 0xff
+    mov  imr, r1
+    halt

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Inter-stream communication and synchronisation (paper section 3.6.2):
+ *
+ *  - a producer stream fills a ring buffer in shared internal memory,
+ *    guarded by a TAS (test-and-set) semaphore;
+ *  - a consumer stream drains it and accumulates a checksum in a
+ *    shared global register;
+ *  - when the producer finishes it *software-interrupts* the consumer
+ *    (SWI) whose handler records the shutdown - interrupt-based
+ *    synchronisation instead of semaphore polling, which the paper
+ *    recommends because polling throughput is dynamically reallocated
+ *    to useful streams.
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    Program prog = assemble(R"(
+        .equ LOCK,  0x100
+        .equ HEAD,  0x101      ; next write index
+        .equ TAIL,  0x102      ; next read index
+        .equ RING,  0x110      ; 8-entry ring buffer
+        .equ COUNT, 40         ; items to transfer
+
+        ; consumer stream 2, level 4: producer-finished notification
+        .org 20                ; vectorAddress(2, 4)
+            jmp done_isr
+
+        .org 0x40
+        producer:
+            ldi r7, 0          ; produced count
+        p_next:
+            tas r1, [g1]       ; acquire LOCK (g1 = LOCK)
+            cmpi r1, 0
+            bne p_next
+            ; room in ring? (head - tail) < 8
+            ldmd r2, [HEAD]
+            ldmd r3, [TAIL]
+            sub r4, r2, r3
+            cmpi r4, 8
+            bge p_release
+            ; write item = 3*count + 1
+            ldi r5, 3
+            mul r5, r7, r5
+            addi r5, r5, 1
+            andi r4, r2, 7
+            ldi r6, RING
+            add r6, r6, r4
+            stm r5, [r6]
+            addi r2, r2, 1
+            stmd r2, [HEAD]
+            addi r7, r7, 1
+        p_release:
+            ldi r1, 0
+            stmd r1, [LOCK]
+            cmpi r7, COUNT
+            bne p_next
+            swi 2, 4           ; tell the consumer we are done
+            halt
+
+        consumer:
+            ldi g3, 0          ; checksum lives in a shared global
+        c_next:
+            tas r1, [g1]
+            cmpi r1, 0
+            bne c_next
+            ldmd r2, [HEAD]
+            ldmd r3, [TAIL]
+            cmp r3, r2
+            beq c_release      ; empty
+            andi r4, r3, 7
+            ldi r6, RING
+            add r6, r6, r4
+            ldm r5, [r6]
+            add g3, g3, r5
+            addi r3, r3, 1
+            stmd r3, [TAIL]
+        c_release:
+            ldi r1, 0
+            stmd r1, [LOCK]
+            ; exit when the producer signalled and the ring is empty
+            ldmd r1, [0x104]   ; done flag set by the interrupt handler
+            cmpi r1, 1
+            bne c_next
+            ldmd r2, [HEAD]
+            ldmd r3, [TAIL]
+            cmp r3, r2
+            bne c_next
+            ldi r1, 1
+            stmd r1, [0x103]   ; drained marker
+            halt
+
+        done_isr:
+            ldi r1, 1
+            stmd r1, [0x104]
+            clri 4
+            reti
+    )");
+
+    Machine m;
+    m.load(prog);
+    m.writeReg(0, reg::G1, 0x100); // LOCK address in a shared global
+    m.startStream(1, prog.symbol("producer"));
+    m.startStream(2, prog.symbol("consumer"));
+    m.run(200000);
+
+    // Expected checksum: sum_{k=0..39} (3k + 1) = 3*780 + 40 = 2380.
+    std::printf("==== IPC via semaphores and software interrupts "
+                "====\n\n");
+    std::printf("items produced    : 40\n");
+    std::printf("checksum (g3)     : %u (expected 2380)\n",
+                m.readReg(0, reg::G3));
+    std::printf("drained marker    : %u\n",
+                m.internalMemory().read(0x103));
+    std::printf("machine idle      : %s\n", m.idle() ? "yes" : "no");
+    std::printf("bus/TAS conflicts resolved by hardware read-modify-"
+                "write; the shutdown used an\ninter-stream interrupt "
+                "(SWI 2,4) rather than a polled flag.\n");
+    return 0;
+}

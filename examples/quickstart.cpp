@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: assemble a small DISC1 program, run it on the
+ * cycle-accurate machine, and inspect the results.
+ *
+ * Demonstrates the three layers a user touches first:
+ *  - the assembler (text -> Program);
+ *  - the Machine (load, start a stream, run);
+ *  - architectural state access (registers, internal memory, stats).
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    // Sum the numbers 1..10 and leave the result in internal memory,
+    // then compute 12 * 34 with the hardware multiplier.
+    Program prog = assemble(R"(
+        .org 0x20              ; program space above the vector table
+        main:
+            ldi r0, 10         ; loop counter
+            ldi r1, 0          ; accumulator
+        loop:
+            add r1, r1, r0
+            subi r0, r0, 1
+            cmpi r0, 0
+            bne loop
+            stmd r1, [0x80]    ; internal memory[0x80] = 55
+
+            ldi r2, 12
+            ldi r3, 34
+            mul r4, r2, r3
+            stmd r4, [0x81]    ; internal memory[0x81] = 408
+            halt
+    )");
+
+    std::printf("Assembled %zu instruction words. Disassembly:\n\n%s\n",
+                prog.size(), disassemble(prog).c_str());
+
+    Machine machine;
+    machine.load(prog);
+    machine.startStream(0, prog.symbol("main"));
+    Cycle cycles = machine.run(10000);
+
+    std::printf("Finished in %llu cycles (idle=%s).\n",
+                static_cast<unsigned long long>(cycles),
+                machine.idle() ? "yes" : "no");
+    std::printf("sum(1..10)  = %u\n", machine.internalMemory().read(0x80));
+    std::printf("12 * 34     = %u\n", machine.internalMemory().read(0x81));
+
+    const MachineStats &st = machine.stats();
+    std::printf("\nretired=%llu  utilisation=%.3f  redirects=%llu  "
+                "squashed(jump)=%llu  bubbles=%llu\n",
+                static_cast<unsigned long long>(st.totalRetired),
+                st.utilization(),
+                static_cast<unsigned long long>(st.redirects),
+                static_cast<unsigned long long>(st.squashedJump),
+                static_cast<unsigned long long>(st.bubbles));
+    std::printf("\nNote the single-stream utilisation: the dependent "
+                "loop stalls the pipe, and each taken\nbranch flushes "
+                "younger fetches - exactly the losses dynamic "
+                "interleaving recovers when more\nstreams are active "
+                "(see examples/sensor_fusion).\n");
+    return 0;
+}

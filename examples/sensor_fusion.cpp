@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Sensor-fusion scenario: three sensors with very different access
+ * times are polled by three streams while a fourth stream runs the
+ * fusion computation. Demonstrates the paper's core throughput claim:
+ * slow I/O waits on some streams are filled with useful work from the
+ * others (dynamic interleaving), so the same program finishes far
+ * sooner than a serial single-stream version.
+ */
+
+#include <cstdio>
+
+#include "arch/devices.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+namespace
+{
+
+const char *kSource = R"(
+    .equ RESULT, 0x0c0
+    .equ DONE0,  0x0c8
+    .equ DONE1,  0x0c9
+    .equ DONE2,  0x0ca
+
+    .org 0x20
+    ; Reader for sensor in g0, accumulates into RESULT+offset in r7.
+    reader0:
+        ldi r6, 50          ; samples to take
+        ldi r5, 0
+    r0_loop:
+        ld  r1, [g0]
+        add r5, r5, r1
+        subi r6, r6, 1
+        cmpi r6, 0
+        bne r0_loop
+        stmd r5, [RESULT]
+        ldi r1, 1
+        stmd r1, [DONE0]
+        halt
+    reader1:
+        ldi r6, 50
+        ldi r5, 0
+    r1_loop:
+        ld  r1, [g1]
+        add r5, r5, r1
+        subi r6, r6, 1
+        cmpi r6, 0
+        bne r1_loop
+        stmd r5, [RESULT+1]
+        ldi r1, 1
+        stmd r1, [DONE1]
+        halt
+    reader2:
+        ldi r6, 50
+        ldi r5, 0
+    r2_loop:
+        ld  r1, [g2]
+        add r5, r5, r1
+        subi r6, r6, 1
+        cmpi r6, 0
+        bne r2_loop
+        stmd r5, [RESULT+2]
+        ldi r1, 1
+        stmd r1, [DONE2]
+        halt
+
+    ; Fusion: wait for all three, then combine.
+    fusion:
+        ldmd r1, [DONE0]
+        ldmd r2, [DONE1]
+        ldmd r3, [DONE2]
+        add  r4, r1, r2
+        add  r4, r4, r3
+        cmpi r4, 3
+        bne  fusion
+        ldmd r1, [RESULT]
+        ldmd r2, [RESULT+1]
+        ldmd r3, [RESULT+2]
+        add  r4, r1, r2
+        add  r4, r4, r3
+        ldi  r5, 2
+        shr  r4, r4, r5      ; weighted-ish average
+        stmd r4, [RESULT+3]
+        halt
+)";
+
+Cycle
+runConfig(bool parallel)
+{
+    Program prog = assemble(kSource);
+    Machine m;
+    SensorDevice fast(11, /*latency=*/2);
+    SensorDevice mid(29, /*latency=*/7);
+    SensorDevice slow(97, /*latency=*/19);
+    m.attachDevice(0x1000, 16, &fast);
+    m.attachDevice(0x1100, 16, &mid);
+    m.attachDevice(0x1200, 16, &slow);
+    m.load(prog);
+    m.writeReg(0, reg::G0, 0x1000);
+    m.writeReg(0, reg::G1, 0x1100);
+    m.writeReg(0, reg::G2, 0x1200);
+
+    if (parallel) {
+        m.startStream(0, prog.symbol("fusion"));
+        m.startStream(1, prog.symbol("reader0"));
+        m.startStream(2, prog.symbol("reader1"));
+        m.startStream(3, prog.symbol("reader2"));
+        m.run(2000000);
+        if (!m.idle())
+            std::printf("(parallel run did not finish!)\n");
+        return m.stats().busyCycles;
+    }
+
+    // Serial: the same work on one stream, one phase after another.
+    Cycle total = 0;
+    for (const char *entry :
+         {"reader0", "reader1", "reader2", "fusion"}) {
+        m.startStream(0, prog.symbol(entry));
+        m.run(2000000);
+        if (!m.idle())
+            std::printf("(serial phase %s did not finish!)\n", entry);
+        total = m.stats().busyCycles;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==== Sensor fusion: dynamic interleaving in action "
+                "====\n\n");
+    Cycle parallel = runConfig(true);
+    Cycle serial = runConfig(false);
+    std::printf("three sensors (latencies 2/7/19 cycles), 50 samples "
+                "each, plus fusion:\n\n");
+    std::printf("  single stream, serial : %8llu busy cycles\n",
+                static_cast<unsigned long long>(serial));
+    std::printf("  four streams, DISC    : %8llu busy cycles\n",
+                static_cast<unsigned long long>(parallel));
+    std::printf("  speedup               : %.2fx\n\n",
+                static_cast<double>(serial) /
+                    static_cast<double>(parallel));
+    std::printf("While one reader waits on the asynchronous bus the "
+                "scheduler hands its slots to the other\nreaders and "
+                "the fusion stream - the waits overlap instead of "
+                "accumulating.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Command-line explorer for the section 4.1 stochastic model: set the
+ * workload parameters and machine shape on the command line, get PD,
+ * Ps and delta.
+ *
+ * Usage:
+ *   stochastic_explorer [options]
+ *     --streams N      1..4 identical streams        (default 2)
+ *     --meanon X       burst length, 0 = always on   (default 0)
+ *     --meanoff X      idle length                   (default 0)
+ *     --meanreq X      instrs between requests, 0 = none (default 20)
+ *     --alpha X        memory fraction of requests   (default 0.5)
+ *     --tmem N         memory wait cycles            (default 4)
+ *     --meanio X       mean I/O wait cycles          (default 12)
+ *     --aljmp X        jump fraction                 (default 0.15)
+ *     --depth N        pipe depth                    (default 4)
+ *     --static         strict static slot allocation
+ *     --horizon N      measured cycles               (default 200000)
+ *     --reps N         replications                  (default 5)
+ *     --load N         preset: standard load 1..4
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "stochastic/experiment.hh"
+
+using namespace disc;
+
+int
+main(int argc, char **argv)
+{
+    LoadSpec spec = standardLoad(1);
+    spec.name = "custom";
+    unsigned streams = 2;
+    unsigned reps = 5;
+    StochasticConfig cfg;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("option %s needs a value", argv[i]);
+        return argv[++i];
+    };
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            if (!std::strcmp(a, "--streams"))
+                streams = std::strtoul(need_value(i), nullptr, 0);
+            else if (!std::strcmp(a, "--meanon"))
+                spec.meanOn = std::strtod(need_value(i), nullptr);
+            else if (!std::strcmp(a, "--meanoff"))
+                spec.meanOff = std::strtod(need_value(i), nullptr);
+            else if (!std::strcmp(a, "--meanreq"))
+                spec.meanReq = std::strtod(need_value(i), nullptr);
+            else if (!std::strcmp(a, "--alpha"))
+                spec.alpha = std::strtod(need_value(i), nullptr);
+            else if (!std::strcmp(a, "--tmem"))
+                spec.tmem = std::strtoul(need_value(i), nullptr, 0);
+            else if (!std::strcmp(a, "--meanio"))
+                spec.meanIo = std::strtod(need_value(i), nullptr);
+            else if (!std::strcmp(a, "--aljmp"))
+                spec.alJmp = std::strtod(need_value(i), nullptr);
+            else if (!std::strcmp(a, "--depth"))
+                cfg.pipeDepth = std::strtoul(need_value(i), nullptr, 0);
+            else if (!std::strcmp(a, "--horizon"))
+                cfg.horizon = std::strtoull(need_value(i), nullptr, 0);
+            else if (!std::strcmp(a, "--reps"))
+                reps = std::strtoul(need_value(i), nullptr, 0);
+            else if (!std::strcmp(a, "--static"))
+                cfg.schedMode = Scheduler::Mode::Static;
+            else if (!std::strcmp(a, "--load"))
+                spec = standardLoad(
+                    std::strtoul(need_value(i), nullptr, 0));
+            else
+                fatal("unknown option '%s' (see the file header)", a);
+        }
+
+        ExperimentResult r = runPartitioned(cfg, spec, streams, reps);
+        std::printf("load '%s' x %u stream(s), depth %u, %s "
+                    "scheduling\n",
+                    spec.name.c_str(), streams, cfg.pipeDepth,
+                    cfg.schedMode == Scheduler::Mode::Dynamic
+                        ? "dynamic"
+                        : "static");
+        std::printf("  meanon=%g meanoff=%g mean_req=%g alpha=%g "
+                    "tmem=%u mean_io=%g aljmp=%g\n",
+                    spec.meanOn, spec.meanOff, spec.meanReq, spec.alpha,
+                    spec.tmem, spec.meanIo, spec.alJmp);
+        std::printf("\n  PD    = %.4f (+- %.4f)\n", r.pd.mean(),
+                    r.pd.stderror());
+        std::printf("  Ps    = %.4f (+- %.4f)\n", r.ps.mean(),
+                    r.ps.stderror());
+        std::printf("  delta = %+.2f%% (+- %.2f)\n", r.delta.mean(),
+                    r.delta.stderror());
+        std::printf("  machine busy fraction = %.3f\n",
+                    r.busyFraction.mean());
+    } catch (const FatalError &e) {
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Interrupt-driven UART echo with protocol framing — the canonical
+ * "no polling" controller demo.
+ *
+ * A UART receives a scripted message one word at a time; a dedicated
+ * stream wakes on each RX interrupt, applies a trivial protocol
+ * (XOR checksum accumulated across the frame, appended at the end),
+ * and transmits. A compute stream runs a control-law loop the whole
+ * time, and the report shows it barely noticed.
+ */
+
+#include <cstdio>
+
+#include "arch/devices.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+using namespace disc;
+
+int
+main()
+{
+    Program prog = assemble(R"(
+        .equ CHK, 0x0b0        ; running checksum cell
+        .org 12                ; vectorAddress(1, 4): UART RX
+            jmp rx_isr
+
+        .org 0x20
+        control_law:
+            ldmd r1, [0x0b8]
+            ldi  r2, 3
+            mul  r1, r1, r2
+            addi r1, r1, 7
+            andi r1, r1, 0x7f
+            stmd r1, [0x0b8]
+            ldmd r3, [0x0b9]
+            addi r3, r3, 1
+            stmd r3, [0x0b9]   ; iteration counter
+            jmp  control_law
+
+        rx_isr:
+            ld   r1, [g0]      ; read RX word (g0 = uart base)
+            cmpi r1, 0         ; 0 terminates the frame
+            beq  frame_end
+            ldmd r2, [CHK]
+            xor  r2, r2, r1
+            stmd r2, [CHK]
+            st   r1, [g0+1]    ; echo the payload word
+            clri 4
+            reti
+        frame_end:
+            ldmd r2, [CHK]
+            st   r2, [g0+1]    ; transmit the checksum
+            ldi  r3, 0
+            stmd r3, [CHK]
+            clri 4
+            reti
+    )");
+
+    Machine m;
+    UartDevice uart(/*rx_period=*/80, /*latency=*/3);
+    uart.setRxInterrupt(/*stream=*/1, /*bit=*/4);
+    uart.scriptRx({0x11, 0x22, 0x44, 0x00,      // frame 1 + terminator
+                   0x0f, 0xf0, 0x00});          // frame 2 + terminator
+    m.attachDevice(0x2000, 4, &uart);
+
+    m.load(prog);
+    m.writeReg(0, reg::G0, 0x2000);
+    m.startStream(0, prog.symbol("control_law"));
+
+    ExecTrace trace(64);
+    m.setExecTrace(&trace);
+    m.run(1500, false);
+
+    std::printf("==== UART echo with checksum framing ====\n\n");
+    std::printf("transmitted words:");
+    for (Word w : uart.transmitted())
+        std::printf(" 0x%02x", w);
+    std::printf("\nexpected         : 0x11 0x22 0x44 0x77 0x0f 0xf0 "
+                "0xff\n");
+    std::printf("rx overruns      : %llu\n",
+                static_cast<unsigned long long>(uart.overruns()));
+    std::printf("control-law iters: %u\n",
+                m.internalMemory().read(0x0b9));
+    std::printf("vector latency   : mean %.2f cycles\n\n",
+                m.latencyHistogram().mean());
+    std::printf("last instructions retired (is1 = control law, is2 = "
+                "echo handler):\n%s",
+                trace.render().c_str());
+    return 0;
+}

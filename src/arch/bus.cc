@@ -1,0 +1,206 @@
+#include "arch/bus.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+void
+Bus::attach(Addr base, Addr size, Device *device)
+{
+    if (!device)
+        panic("attaching null device");
+    if (size == 0)
+        fatal("device %s mapped with zero size", device->name().c_str());
+    std::uint32_t end = static_cast<std::uint32_t>(base) + size;
+    if (end > 0x10000u)
+        fatal("device %s range wraps the address space",
+              device->name().c_str());
+    for (const auto &r : ranges_) {
+        std::uint32_t rend = static_cast<std::uint32_t>(r.base) + r.size;
+        if (base < rend && r.base < end) {
+            fatal("device %s overlaps device %s", device->name().c_str(),
+                  r.device->name().c_str());
+        }
+    }
+    ranges_.push_back({base, size, device});
+}
+
+Device *
+Bus::decode(Addr addr, Addr &offset) const
+{
+    for (const auto &r : ranges_) {
+        if (addr >= r.base &&
+            static_cast<std::uint32_t>(addr) <
+                static_cast<std::uint32_t>(r.base) + r.size) {
+            offset = static_cast<Addr>(addr - r.base);
+            return r.device;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<IntRequest>
+Bus::tickDevices()
+{
+    std::vector<IntRequest> reqs;
+    for (const auto &r : ranges_) {
+        if (auto req = r.device->tick())
+            reqs.push_back(*req);
+    }
+    return reqs;
+}
+
+AsyncBusInterface::AsyncBusInterface(Bus &bus)
+    : bus_(bus)
+{}
+
+AsyncBusInterface::Outcome
+AsyncBusInterface::request(StreamId stream, Addr addr, bool is_write,
+                           Word wdata, int dest_reg)
+{
+    if (busy_ || immediate_)
+        return Outcome::Busy;
+
+    Addr offset = 0;
+    Device *dev = bus_.decode(addr, offset);
+    if (!dev)
+        return Outcome::Fault;
+
+    Completion c;
+    c.stream = stream;
+    c.isWrite = is_write;
+    c.destReg = is_write ? kNoDest : dest_reg;
+    c.data = wdata;
+    c.addr = addr;
+
+    unsigned latency = dev->latency(offset, is_write);
+    if (latency == 0) {
+        // Zero-wait-state device: complete in the same cycle.
+        if (is_write)
+            dev->write(offset, wdata);
+        else
+            c.data = dev->read(offset);
+        ++completed_;
+        immediate_ = c;
+        return Outcome::Started;
+    }
+
+    busy_ = true;
+    remaining_ = latency;
+    pending_ = c;
+    return Outcome::Started;
+}
+
+std::optional<AsyncBusInterface::Completion>
+AsyncBusInterface::takeImmediate()
+{
+    auto c = immediate_;
+    immediate_.reset();
+    return c;
+}
+
+AsyncBusInterface::Completion
+AsyncBusInterface::finish()
+{
+    Addr offset = 0;
+    Device *dev = bus_.decode(pending_.addr, offset);
+    if (!dev)
+        panic("device vanished during access at 0x%04x", pending_.addr);
+    if (pending_.isWrite)
+        dev->write(offset, pending_.data);
+    else
+        pending_.data = dev->read(offset);
+    busy_ = false;
+    ++completed_;
+    return pending_;
+}
+
+std::optional<AsyncBusInterface::Completion>
+AsyncBusInterface::tick()
+{
+    if (!busy_)
+        return std::nullopt;
+    ++busyCycles_;
+    if (--remaining_ == 0)
+        return finish();
+    return std::nullopt;
+}
+
+void
+Bus::saveDevices(Serializer &out) const
+{
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(ranges_.size()));
+    for (const auto &r : ranges_)
+        r.device->save(out);
+}
+
+void
+Bus::restoreDevices(Deserializer &in)
+{
+    auto n = in.get<std::uint32_t>();
+    if (n != ranges_.size())
+        fatal("checkpoint device count mismatch (%u vs %zu)", n,
+              ranges_.size());
+    for (const auto &r : ranges_)
+        r.device->restore(in);
+}
+
+void
+AsyncBusInterface::save(Serializer &out) const
+{
+    out.putBool(busy_);
+    out.put<std::uint32_t>(remaining_);
+    out.put(pending_.stream);
+    out.putBool(pending_.isWrite);
+    out.put<std::int32_t>(pending_.destReg);
+    out.put(pending_.data);
+    out.put(pending_.addr);
+    out.putBool(immediate_.has_value());
+    if (immediate_) {
+        out.put(immediate_->stream);
+        out.putBool(immediate_->isWrite);
+        out.put<std::int32_t>(immediate_->destReg);
+        out.put(immediate_->data);
+        out.put(immediate_->addr);
+    }
+    out.put<Cycle>(busyCycles_);
+    out.put<Cycle>(completed_);
+}
+
+void
+AsyncBusInterface::restore(Deserializer &in)
+{
+    busy_ = in.getBool();
+    remaining_ = in.get<std::uint32_t>();
+    pending_.stream = in.get<StreamId>();
+    pending_.isWrite = in.getBool();
+    pending_.destReg = in.get<std::int32_t>();
+    pending_.data = in.get<Word>();
+    pending_.addr = in.get<Addr>();
+    if (in.getBool()) {
+        Completion c;
+        c.stream = in.get<StreamId>();
+        c.isWrite = in.getBool();
+        c.destReg = in.get<std::int32_t>();
+        c.data = in.get<Word>();
+        c.addr = in.get<Addr>();
+        immediate_ = c;
+    } else {
+        immediate_.reset();
+    }
+    busyCycles_ = in.get<Cycle>();
+    completed_ = in.get<Cycle>();
+}
+
+void
+AsyncBusInterface::reset()
+{
+    busy_ = false;
+    remaining_ = 0;
+    immediate_.reset();
+    busyCycles_ = 0;
+    completed_ = 0;
+}
+
+} // namespace disc

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The asynchronous data bus and its pseudo-DMA interface (paper
+ * section 3.6.1).
+ *
+ * DISC1's data bus is asynchronous because real-time peripherals have
+ * wildly different access times. A load/store computes its effective
+ * address in the pipe, hands the access to the Asynchronous Bus
+ * Interface (ABI) together with the destination register, and the
+ * issuing stream enters a wait state. Exactly one access is in flight
+ * at a time; further external requests find the bus busy and their
+ * streams wait for it to free. When the access completes, the ABI
+ * writes the destination register (loads) and re-activates *all*
+ * waiting streams.
+ */
+
+#ifndef DISC_ARCH_BUS_HH
+#define DISC_ARCH_BUS_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "common/types.hh"
+
+namespace disc
+{
+
+class InterruptUnit;
+
+/** Request a device can make when ticked. */
+struct IntRequest
+{
+    StreamId stream;
+    unsigned bit;
+};
+
+/**
+ * Abstract bus peripheral. Devices decode an offset within their
+ * mapped range, report a per-access latency in bus cycles, and may
+ * raise stream interrupts when ticked.
+ */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+
+    /** Short name for traces. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Access time in cycles for the given offset. Zero is legal and
+     * models a zero-wait-state device (the stream does not wait).
+     */
+    virtual unsigned latency(Addr offset, bool is_write) const = 0;
+
+    /** Read the word at @p offset (called when the access completes). */
+    virtual Word read(Addr offset) = 0;
+
+    /** Write the word at @p offset. */
+    virtual void write(Addr offset, Word value) = 0;
+
+    /**
+     * Advance one machine cycle. Devices that generate interrupts
+     * (timers, sensors signalling data-ready) return a request.
+     */
+    virtual std::optional<IntRequest> tick() { return std::nullopt; }
+
+    /**
+     * Serialize device-local mutable state (configuration such as
+     * latencies, interrupt wiring or generator functions is not
+     * saved; the restoring side must construct an identically
+     * configured device).
+     */
+    virtual void save(Serializer &out) const { (void)out; }
+
+    /** Restore state written by save(). */
+    virtual void restore(Deserializer &in) { (void)in; }
+};
+
+/** Address decoder over the external 16-bit data space. */
+class Bus
+{
+  public:
+    /**
+     * Map @p device at [base, base+size). Ranges must not overlap.
+     * The bus does not own the device.
+     */
+    void attach(Addr base, Addr size, Device *device);
+
+    /**
+     * Decode an address.
+     * @param addr   full data address.
+     * @param offset receives the offset within the device range.
+     * @return the device, or nullptr for an unmapped address.
+     */
+    Device *decode(Addr addr, Addr &offset) const;
+
+    /** Tick every attached device, collecting interrupt requests. */
+    std::vector<IntRequest> tickDevices();
+
+    /** Serialize every attached device, in attach order. */
+    void saveDevices(Serializer &out) const;
+
+    /** Restore devices saved by saveDevices() (same attach order). */
+    void restoreDevices(Deserializer &in);
+
+    /** Number of attached devices. */
+    std::size_t numDevices() const { return ranges_.size(); }
+
+  private:
+    struct Range
+    {
+        Addr base;
+        Addr size;
+        Device *device;
+    };
+
+    std::vector<Range> ranges_;
+};
+
+/**
+ * The ABI: the single outstanding external access plus completion
+ * bookkeeping.
+ */
+class AsyncBusInterface
+{
+  public:
+    /** Destination-register sentinel for stores. */
+    static constexpr int kNoDest = -1;
+
+    /** Result of a completed access. */
+    struct Completion
+    {
+        StreamId stream;  ///< the stream that issued the access
+        bool isWrite;
+        int destReg;      ///< architected register index, or kNoDest
+        Word data;        ///< loaded data (reads) / stored data (writes)
+        Addr addr;        ///< full bus address
+    };
+
+    explicit AsyncBusInterface(Bus &bus);
+
+    /** True while an access is in flight. */
+    bool busy() const { return busy_; }
+
+    /**
+     * Try to start an access.
+     * @param stream    issuing stream.
+     * @param addr      full data address.
+     * @param is_write  store if true.
+     * @param wdata     store data.
+     * @param dest_reg  architected destination register (loads).
+     * @retval Started  the access was latched; the stream must wait
+     *                  unless the device reported zero latency, in
+     *                  which case the completion is immediate and
+     *                  available via takeImmediate().
+     * @retval Busy     another access is in flight.
+     * @retval Fault    the address decodes to no device.
+     */
+    enum class Outcome { Started, Busy, Fault };
+    Outcome request(StreamId stream, Addr addr, bool is_write, Word wdata,
+                    int dest_reg);
+
+    /**
+     * Completion of a zero-latency request made this cycle, if any.
+     * Consuming it clears the busy flag.
+     */
+    std::optional<Completion> takeImmediate();
+
+    /**
+     * Advance one bus cycle.
+     * @return the completion record when the in-flight access finishes
+     *         this cycle.
+     */
+    std::optional<Completion> tick();
+
+    /** Total cycles the bus spent busy (paper's "data bus busy"). */
+    Cycle busyCycles() const { return busyCycles_; }
+
+    /** Completed access count. */
+    Cycle completedAccesses() const { return completed_; }
+
+    /** Clear in-flight state and statistics. */
+    void reset();
+
+    /** Serialize the in-flight access and counters. */
+    void save(Serializer &out) const;
+
+    /** Restore state saved by save(). */
+    void restore(Deserializer &in);
+
+  private:
+    Bus &bus_;
+    bool busy_ = false;
+    unsigned remaining_ = 0;
+    Completion pending_{};
+    std::optional<Completion> immediate_;
+    Cycle busyCycles_ = 0;
+    Cycle completed_ = 0;
+
+    Completion finish();
+};
+
+} // namespace disc
+
+#endif // DISC_ARCH_BUS_HH

@@ -1,0 +1,454 @@
+#include "arch/devices.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+ExternalMemoryDevice::ExternalMemoryDevice(std::size_t words,
+                                           unsigned latency)
+    : mem_(words, 0), latency_(latency)
+{
+    if (words == 0)
+        fatal("external memory needs at least one word");
+}
+
+unsigned
+ExternalMemoryDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return latency_;
+}
+
+Word
+ExternalMemoryDevice::read(Addr offset)
+{
+    return mem_[offset % mem_.size()];
+}
+
+void
+ExternalMemoryDevice::write(Addr offset, Word value)
+{
+    mem_[offset % mem_.size()] = value;
+}
+
+Word
+ExternalMemoryDevice::peek(Addr offset) const
+{
+    return mem_[offset % mem_.size()];
+}
+
+void
+ExternalMemoryDevice::poke(Addr offset, Word value)
+{
+    mem_[offset % mem_.size()] = value;
+}
+
+SensorDevice::SensorDevice(unsigned period, unsigned read_latency)
+    : period_(period), readLatency_(read_latency), countdown_(period)
+{
+    if (period == 0)
+        fatal("sensor period must be positive");
+    gen_ = [](std::uint64_t n) { return static_cast<Word>(n * 17 + 3); };
+}
+
+void
+SensorDevice::setInterrupt(StreamId stream, unsigned bit)
+{
+    intEnabled_ = true;
+    intReq_ = {stream, bit};
+}
+
+unsigned
+SensorDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return readLatency_;
+}
+
+Word
+SensorDevice::read(Addr offset)
+{
+    if (offset == 0) {
+        ++reads_;
+        return latest_;
+    }
+    return static_cast<Word>(samples_ & 0xffff);
+}
+
+void
+SensorDevice::write(Addr offset, Word value)
+{
+    (void)offset;
+    (void)value;
+    // Sensors are read-only; a real device would ignore the cycle.
+}
+
+std::optional<IntRequest>
+SensorDevice::tick()
+{
+    if (--countdown_ == 0) {
+        countdown_ = period_;
+        latest_ = gen_(samples_);
+        ++samples_;
+        if (intEnabled_)
+            return intReq_;
+    }
+    return std::nullopt;
+}
+
+ActuatorDevice::ActuatorDevice(unsigned write_latency)
+    : writeLatency_(write_latency)
+{}
+
+unsigned
+ActuatorDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return writeLatency_;
+}
+
+Word
+ActuatorDevice::read(Addr offset)
+{
+    (void)offset;
+    return lastValue();
+}
+
+void
+ActuatorDevice::write(Addr offset, Word value)
+{
+    outputs_.push_back({now_, offset, value});
+}
+
+std::optional<IntRequest>
+ActuatorDevice::tick()
+{
+    ++now_;
+    return std::nullopt;
+}
+
+Word
+ActuatorDevice::lastValue() const
+{
+    for (auto it = outputs_.rbegin(); it != outputs_.rend(); ++it) {
+        if (it->offset == 0)
+            return it->value;
+    }
+    return 0;
+}
+
+TimerDevice::TimerDevice(unsigned period, StreamId stream, unsigned bit)
+    : period_(period), countdown_(period), intReq_{stream, bit}
+{
+    if (period == 0)
+        fatal("timer period must be positive");
+}
+
+unsigned
+TimerDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return 0;
+}
+
+Word
+TimerDevice::read(Addr offset)
+{
+    (void)offset;
+    return static_cast<Word>(countdown_ & 0xffff);
+}
+
+void
+TimerDevice::write(Addr offset, Word value)
+{
+    (void)offset;
+    if (value == 0)
+        return;
+    period_ = value;
+    countdown_ = value;
+}
+
+std::optional<IntRequest>
+TimerDevice::tick()
+{
+    if (--countdown_ == 0) {
+        countdown_ = period_;
+        ++fired_;
+        return intReq_;
+    }
+    return std::nullopt;
+}
+
+UartDevice::UartDevice(unsigned rx_period, unsigned latency)
+    : period_(rx_period), latency_(latency), countdown_(rx_period)
+{
+    if (rx_period == 0)
+        fatal("uart rx period must be positive");
+}
+
+void
+UartDevice::scriptRx(std::vector<Word> words)
+{
+    for (Word w : words)
+        script_.push_back(w);
+}
+
+void
+UartDevice::setRxInterrupt(StreamId stream, unsigned bit)
+{
+    intEnabled_ = true;
+    intReq_ = {stream, bit};
+}
+
+unsigned
+UartDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return latency_;
+}
+
+Word
+UartDevice::read(Addr offset)
+{
+    switch (offset) {
+      case 0:
+        rxReady_ = false;
+        return rxData_;
+      case 2:
+        return rxReady_ ? 1 : 0;
+      default:
+        return 0;
+    }
+}
+
+void
+UartDevice::write(Addr offset, Word value)
+{
+    if (offset == 1)
+        tx_.push_back(value);
+}
+
+std::optional<IntRequest>
+UartDevice::tick()
+{
+    if (script_.empty())
+        return std::nullopt;
+    if (--countdown_ != 0)
+        return std::nullopt;
+    countdown_ = period_;
+    if (rxReady_)
+        ++overruns_; // the previous word was never read
+    rxData_ = script_.front();
+    script_.pop_front();
+    rxReady_ = true;
+    if (intEnabled_)
+        return intReq_;
+    return std::nullopt;
+}
+
+DmaDevice::DmaDevice(ExternalMemoryDevice &target,
+                     unsigned cycles_per_word)
+    : target_(target), cyclesPerWord_(cycles_per_word)
+{
+    if (cycles_per_word == 0)
+        fatal("dma needs at least one cycle per word");
+}
+
+void
+DmaDevice::setCompletionInterrupt(StreamId stream, unsigned bit)
+{
+    intEnabled_ = true;
+    intReq_ = {stream, bit};
+}
+
+unsigned
+DmaDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return 0; // register file access, zero wait states
+}
+
+Word
+DmaDevice::read(Addr offset)
+{
+    switch (offset) {
+      case 0: return src_;
+      case 1: return dst_;
+      case 2: return remaining_;
+      case 3: return remaining_ > 0 ? 1 : 0;
+      default: return 0;
+    }
+}
+
+void
+DmaDevice::write(Addr offset, Word value)
+{
+    switch (offset) {
+      case 0:
+        src_ = value;
+        break;
+      case 1:
+        dst_ = value;
+        break;
+      case 2:
+        if (remaining_ == 0 && value > 0) {
+            remaining_ = value;
+            countdown_ = cyclesPerWord_;
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+std::optional<IntRequest>
+DmaDevice::tick()
+{
+    if (remaining_ == 0)
+        return std::nullopt;
+    if (--countdown_ != 0)
+        return std::nullopt;
+    countdown_ = cyclesPerWord_;
+    target_.poke(dst_, target_.peek(src_));
+    ++src_;
+    ++dst_;
+    if (--remaining_ == 0) {
+        ++done_;
+        if (intEnabled_)
+            return intReq_;
+    }
+    return std::nullopt;
+}
+
+void
+ExternalMemoryDevice::save(Serializer &out) const
+{
+    out.putVector(mem_);
+}
+
+void
+ExternalMemoryDevice::restore(Deserializer &in)
+{
+    auto words = in.getVector<Word>();
+    if (words.size() != mem_.size())
+        fatal("checkpoint external-memory size mismatch");
+    mem_ = std::move(words);
+}
+
+void
+SensorDevice::save(Serializer &out) const
+{
+    out.put<std::uint32_t>(countdown_);
+    out.put<std::uint64_t>(samples_);
+    out.put<std::uint64_t>(reads_);
+    out.put(latest_);
+}
+
+void
+SensorDevice::restore(Deserializer &in)
+{
+    countdown_ = in.get<std::uint32_t>();
+    samples_ = in.get<std::uint64_t>();
+    reads_ = in.get<std::uint64_t>();
+    latest_ = in.get<Word>();
+}
+
+void
+ActuatorDevice::save(Serializer &out) const
+{
+    out.put<Cycle>(now_);
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(outputs_.size()));
+    for (const Output &o : outputs_) {
+        out.put<Cycle>(o.cycle);
+        out.put(o.offset);
+        out.put(o.value);
+    }
+}
+
+void
+ActuatorDevice::restore(Deserializer &in)
+{
+    now_ = in.get<Cycle>();
+    auto n = in.get<std::uint32_t>();
+    outputs_.clear();
+    outputs_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Output o;
+        o.cycle = in.get<Cycle>();
+        o.offset = in.get<Addr>();
+        o.value = in.get<Word>();
+        outputs_.push_back(o);
+    }
+}
+
+void
+TimerDevice::save(Serializer &out) const
+{
+    out.put<std::uint32_t>(period_);
+    out.put<std::uint32_t>(countdown_);
+    out.put<std::uint64_t>(fired_);
+}
+
+void
+TimerDevice::restore(Deserializer &in)
+{
+    period_ = in.get<std::uint32_t>();
+    countdown_ = in.get<std::uint32_t>();
+    fired_ = in.get<std::uint64_t>();
+}
+
+void
+UartDevice::save(Serializer &out) const
+{
+    out.put<std::uint32_t>(countdown_);
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(script_.size()));
+    for (Word w : script_)
+        out.put(w);
+    out.putVector(tx_);
+    out.put(rxData_);
+    out.putBool(rxReady_);
+    out.put<std::uint64_t>(overruns_);
+}
+
+void
+UartDevice::restore(Deserializer &in)
+{
+    countdown_ = in.get<std::uint32_t>();
+    auto n = in.get<std::uint32_t>();
+    script_.clear();
+    for (std::uint32_t i = 0; i < n; ++i)
+        script_.push_back(in.get<Word>());
+    tx_ = in.getVector<Word>();
+    rxData_ = in.get<Word>();
+    rxReady_ = in.getBool();
+    overruns_ = in.get<std::uint64_t>();
+}
+
+void
+DmaDevice::save(Serializer &out) const
+{
+    out.put<std::uint32_t>(countdown_);
+    out.put(src_);
+    out.put(dst_);
+    out.put(remaining_);
+    out.put<std::uint64_t>(done_);
+}
+
+void
+DmaDevice::restore(Deserializer &in)
+{
+    countdown_ = in.get<std::uint32_t>();
+    src_ = in.get<Word>();
+    dst_ = in.get<Word>();
+    remaining_ = in.get<Word>();
+    done_ = in.get<std::uint64_t>();
+}
+
+} // namespace disc

@@ -1,0 +1,147 @@
+#include "arch/interrupts.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+InterruptUnit::InterruptUnit()
+{
+    reset();
+}
+
+const InterruptUnit::StreamState &
+InterruptUnit::state(StreamId s) const
+{
+    if (s >= kNumStreams)
+        panic("interrupt unit: bad stream %u", s);
+    return streams_[s];
+}
+
+InterruptUnit::StreamState &
+InterruptUnit::state(StreamId s)
+{
+    if (s >= kNumStreams)
+        panic("interrupt unit: bad stream %u", s);
+    return streams_[s];
+}
+
+void
+InterruptUnit::raise(StreamId s, unsigned bit)
+{
+    if (bit >= kNumIntLevels)
+        panic("interrupt bit %u out of range", bit);
+    state(s).ir |= static_cast<std::uint8_t>(1u << bit);
+}
+
+void
+InterruptUnit::clear(StreamId s, unsigned bit)
+{
+    if (bit >= kNumIntLevels)
+        panic("interrupt bit %u out of range", bit);
+    state(s).ir &= static_cast<std::uint8_t>(~(1u << bit));
+}
+
+Word
+InterruptUnit::ir(StreamId s) const
+{
+    return state(s).ir;
+}
+
+Word
+InterruptUnit::mr(StreamId s) const
+{
+    return state(s).mr;
+}
+
+void
+InterruptUnit::setMr(StreamId s, Word value)
+{
+    state(s).mr = static_cast<std::uint8_t>(value & 0xff);
+}
+
+bool
+InterruptUnit::isActive(StreamId s) const
+{
+    const StreamState &st = state(s);
+    return (st.ir & st.mr) != 0;
+}
+
+std::optional<unsigned>
+InterruptUnit::pendingVector(StreamId s) const
+{
+    const StreamState &st = state(s);
+    unsigned pending = st.ir & st.mr;
+    unsigned running = runningLevel(s);
+    for (unsigned lvl = kNumIntLevels - 1; lvl >= 1; --lvl) {
+        if (pending & (1u << lvl)) {
+            if (lvl > running)
+                return lvl;
+            return std::nullopt; // highest pending not above running
+        }
+    }
+    return std::nullopt;
+}
+
+void
+InterruptUnit::enterService(StreamId s, unsigned level)
+{
+    if (level == 0 || level >= kNumIntLevels)
+        panic("cannot enter service for level %u", level);
+    state(s).service.push_back(static_cast<std::uint8_t>(level));
+}
+
+bool
+InterruptUnit::exitService(StreamId s)
+{
+    StreamState &st = state(s);
+    if (st.service.empty())
+        return false;
+    st.service.pop_back();
+    return true;
+}
+
+unsigned
+InterruptUnit::runningLevel(StreamId s) const
+{
+    const StreamState &st = state(s);
+    return st.service.empty() ? 0 : st.service.back();
+}
+
+unsigned
+InterruptUnit::serviceDepth(StreamId s) const
+{
+    return static_cast<unsigned>(state(s).service.size());
+}
+
+void
+InterruptUnit::save(Serializer &out) const
+{
+    for (const StreamState &st : streams_) {
+        out.put(st.ir);
+        out.put(st.mr);
+        out.putVector(st.service);
+    }
+}
+
+void
+InterruptUnit::restore(Deserializer &in)
+{
+    for (StreamState &st : streams_) {
+        st.ir = in.get<std::uint8_t>();
+        st.mr = in.get<std::uint8_t>();
+        st.service = in.getVector<std::uint8_t>();
+    }
+}
+
+void
+InterruptUnit::reset()
+{
+    for (auto &st : streams_) {
+        st.ir = 0;
+        st.mr = 0xff;
+        st.service.clear();
+    }
+}
+
+} // namespace disc

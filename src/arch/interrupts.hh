@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Per-stream interrupt architecture (paper section 3.6.3).
+ *
+ * Every instruction stream has an 8-bit interrupt request register
+ * (IR) and mask register (MR). Bit 7 is the highest priority, bit 0
+ * the background / normal-run level. Bits 7..1 are vectored; bit 0
+ * generates no vector. Request bits are set by external events,
+ * software interrupts from any stream (SWI), or automatically (stack
+ * overflow, illegal instruction); they can only be *cleared* by the
+ * owning stream (CLRI).
+ *
+ * A stream is schedulable ("active") while (IR & MR) != 0. When the
+ * highest pending unmasked level exceeds the stream's current running
+ * level, the next instruction of that stream starts at the vector
+ * address; the hardware records the new running level on a small
+ * in-service stack that RETI pops.
+ */
+
+#ifndef DISC_ARCH_INTERRUPTS_HH
+#define DISC_ARCH_INTERRUPTS_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "common/types.hh"
+
+namespace disc
+{
+
+/** Interrupt bit raised on an illegal instruction. */
+constexpr unsigned kIllegalInstBit = 7;
+
+/** Interrupt bit raised when an external access decodes to no device. */
+constexpr unsigned kBusFaultBit = 5;
+
+/** Program-memory address of stream @p s's vector for level @p lvl. */
+constexpr PAddr
+vectorAddress(StreamId s, unsigned lvl)
+{
+    return static_cast<PAddr>(s * kNumIntLevels + lvl);
+}
+
+/** First program address after the vector table. */
+constexpr PAddr kVectorTableEnd = kNumStreams * kNumIntLevels;
+
+/** The per-stream interrupt state for the whole machine. */
+class InterruptUnit
+{
+  public:
+    InterruptUnit();
+
+    /** Set request bit @p bit of stream @p s (any source may do this). */
+    void raise(StreamId s, unsigned bit);
+
+    /** Clear request bit @p bit of stream @p s (owner only: CLRI). */
+    void clear(StreamId s, unsigned bit);
+
+    /** Current request register of a stream. */
+    Word ir(StreamId s) const;
+
+    /** Current mask register of a stream. */
+    Word mr(StreamId s) const;
+
+    /** Write the mask register (low 8 bits used). */
+    void setMr(StreamId s, Word value);
+
+    /** True while the stream has any unmasked request pending. */
+    bool isActive(StreamId s) const;
+
+    /**
+     * Level of the vectored interrupt the stream should take now, if
+     * any: the highest unmasked pending level in 7..1 that is strictly
+     * above the running level.
+     */
+    std::optional<unsigned> pendingVector(StreamId s) const;
+
+    /** Record vector entry: push @p level onto the in-service stack. */
+    void enterService(StreamId s, unsigned level);
+
+    /**
+     * RETI: pop the in-service stack.
+     * @return false if the stream was not servicing an interrupt.
+     */
+    bool exitService(StreamId s);
+
+    /** Current running level (0 = background). */
+    unsigned runningLevel(StreamId s) const;
+
+    /** Nesting depth of in-service interrupts. */
+    unsigned serviceDepth(StreamId s) const;
+
+    /** Reset all streams: IR = 0, MR = 0xff, running level 0. */
+    void reset();
+
+    /** Serialize all per-stream interrupt state. */
+    void save(Serializer &out) const;
+
+    /** Restore state saved by save(). */
+    void restore(Deserializer &in);
+
+  private:
+    struct StreamState
+    {
+        std::uint8_t ir = 0;
+        std::uint8_t mr = 0xff;
+        std::vector<std::uint8_t> service; ///< in-service level stack
+    };
+
+    std::array<StreamState, kNumStreams> streams_;
+
+    const StreamState &state(StreamId s) const;
+    StreamState &state(StreamId s);
+};
+
+} // namespace disc
+
+#endif // DISC_ARCH_INTERRUPTS_HH

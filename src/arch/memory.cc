@@ -1,0 +1,81 @@
+#include "arch/memory.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+InternalMemory::InternalMemory()
+    : mem_(kInternalMemWords, 0)
+{}
+
+Addr
+InternalMemory::index(Addr addr) const
+{
+    return static_cast<Addr>(addr % mem_.size());
+}
+
+Word
+InternalMemory::read(Addr addr) const
+{
+    return mem_[index(addr)];
+}
+
+void
+InternalMemory::write(Addr addr, Word value)
+{
+    mem_[index(addr)] = value;
+}
+
+Word
+InternalMemory::testAndSet(Addr addr)
+{
+    Addr i = index(addr);
+    Word old = mem_[i];
+    mem_[i] = 0xffff;
+    return old;
+}
+
+void
+InternalMemory::reset()
+{
+    std::fill(mem_.begin(), mem_.end(), 0);
+}
+
+void
+InternalMemory::load(const Program &prog)
+{
+    for (const auto &[addr, value] : prog.dataInit)
+        write(addr, value);
+}
+
+void
+InternalMemory::save(Serializer &out) const
+{
+    out.putVector(mem_);
+}
+
+void
+InternalMemory::restore(Deserializer &in)
+{
+    auto words = in.getVector<Word>();
+    if (words.size() != mem_.size())
+        fatal("checkpoint internal-memory size mismatch");
+    mem_ = std::move(words);
+}
+
+void
+ProgramMemory::load(const Program &prog)
+{
+    code_ = prog.code;
+}
+
+InstWord
+ProgramMemory::fetch(PAddr addr) const
+{
+    if (addr >= code_.size())
+        return 0; // NOP encoding
+    return code_[addr];
+}
+
+} // namespace disc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * On-chip memories of DISC1: the 2 KB shared internal data memory and
+ * the 24-bit-wide program memory (Harvard organisation).
+ *
+ * Internal memory is word-addressed (1024 x 16 bits), shared between
+ * all instruction streams, and accessible in a single cycle via
+ * register indirect, register+offset, or 9-bit direct addressing. It
+ * supports an atomic read-modify-write (test-and-set) used for
+ * semaphores (paper section 3.6.2).
+ */
+
+#ifndef DISC_ARCH_MEMORY_HH
+#define DISC_ARCH_MEMORY_HH
+
+#include <vector>
+
+#include "common/serialize.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace disc
+{
+
+/** The shared on-chip data memory (single-cycle, word addressed). */
+class InternalMemory
+{
+  public:
+    InternalMemory();
+
+    /** Read one word; address is taken modulo the memory size. */
+    Word read(Addr addr) const;
+
+    /** Write one word. */
+    void write(Addr addr, Word value);
+
+    /**
+     * Atomic test-and-set for semaphores: returns the old value and
+     * writes all-ones in the same cycle.
+     */
+    Word testAndSet(Addr addr);
+
+    /** Number of words. */
+    std::size_t size() const { return mem_.size(); }
+
+    /** Clear to zero. */
+    void reset();
+
+    /** Apply a program's .dmem preload records. */
+    void load(const Program &prog);
+
+    /** Serialize the full contents. */
+    void save(Serializer &out) const;
+
+    /** Restore contents saved by save(). */
+    void restore(Deserializer &in);
+
+  private:
+    std::vector<Word> mem_;
+
+    Addr index(Addr addr) const;
+};
+
+/** Program memory: one 24-bit instruction word per address. */
+class ProgramMemory
+{
+  public:
+    /** Load a program image (replaces the current contents). */
+    void load(const Program &prog);
+
+    /** Fetch the word at an address; out-of-image fetches return NOP. */
+    InstWord fetch(PAddr addr) const;
+
+    /** Number of valid words. */
+    std::size_t size() const { return code_.size(); }
+
+  private:
+    std::vector<InstWord> code_;
+};
+
+} // namespace disc
+
+#endif // DISC_ARCH_MEMORY_HH

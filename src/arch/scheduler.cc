@@ -1,0 +1,137 @@
+#include "arch/scheduler.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+/** 4-bit bit-reversal, used to interleave proportional slots. */
+unsigned
+bitrev4(unsigned v)
+{
+    unsigned r = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        r |= ((v >> i) & 1u) << (3 - i);
+    return r;
+}
+
+} // namespace
+
+Scheduler::Scheduler()
+{
+    reset();
+}
+
+void
+Scheduler::setSlot(unsigned slot, StreamId s)
+{
+    if (slot >= kScheduleSlots)
+        panic("scheduler slot %u out of range", slot);
+    if (s >= kNumStreams)
+        panic("scheduler: bad stream %u", s);
+    slots_[slot] = s;
+}
+
+StreamId
+Scheduler::slot(unsigned i) const
+{
+    if (i >= kScheduleSlots)
+        panic("scheduler slot %u out of range", i);
+    return slots_[i];
+}
+
+void
+Scheduler::setEven(unsigned n)
+{
+    if (n == 0 || n > kNumStreams)
+        fatal("even partition over %u streams is impossible", n);
+    for (unsigned i = 0; i < kScheduleSlots; ++i)
+        slots_[i] = static_cast<StreamId>(i % n);
+}
+
+void
+Scheduler::setShares(const std::array<unsigned, kNumStreams> &shares)
+{
+    unsigned total = std::accumulate(shares.begin(), shares.end(), 0u);
+    if (total != kScheduleSlots) {
+        fatal("partition shares sum to %u, need %u", total,
+              kScheduleSlots);
+    }
+    // Fill a dense list stream-by-stream, then spread it with a 4-bit
+    // bit-reversal permutation so shares interleave across the frame.
+    std::array<StreamId, kScheduleSlots> dense;
+    unsigned pos = 0;
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        for (unsigned k = 0; k < shares[s]; ++k)
+            dense[pos++] = s;
+    }
+    for (unsigned i = 0; i < kScheduleSlots; ++i)
+        slots_[bitrev4(i)] = dense[i];
+}
+
+StreamId
+Scheduler::pick(unsigned ready_mask)
+{
+    unsigned slot_index = cursor_;
+    cursor_ = (cursor_ + 1) % kScheduleSlots;
+
+    StreamId owner = slots_[slot_index];
+    if (ready_mask & (1u << owner))
+        return owner;
+    if (mode_ == Mode::Static)
+        return kNoStream;
+
+    // Dynamic reallocation: donate the slot to the next ready stream
+    // in table order.
+    for (unsigned k = 1; k < kScheduleSlots; ++k) {
+        StreamId cand = slots_[(slot_index + k) % kScheduleSlots];
+        if (ready_mask & (1u << cand))
+            return cand;
+    }
+    return kNoStream;
+}
+
+void
+Scheduler::reset()
+{
+    setEven();
+    cursor_ = 0;
+    mode_ = Mode::Dynamic;
+}
+
+void
+Scheduler::save(Serializer &out) const
+{
+    for (StreamId s : slots_)
+        out.put(s);
+    out.put<std::uint32_t>(cursor_);
+    out.put<std::uint8_t>(mode_ == Mode::Dynamic ? 0 : 1);
+}
+
+void
+Scheduler::restore(Deserializer &in)
+{
+    for (StreamId &s : slots_) {
+        s = in.get<StreamId>();
+        if (s >= kNumStreams)
+            fatal("checkpoint scheduler slot out of range");
+    }
+    cursor_ = in.get<std::uint32_t>() % kScheduleSlots;
+    mode_ = in.get<std::uint8_t>() ? Mode::Static : Mode::Dynamic;
+}
+
+std::string
+Scheduler::describe() const
+{
+    std::string out;
+    for (StreamId s : slots_)
+        out += static_cast<char>('0' + s);
+    return out;
+}
+
+} // namespace disc

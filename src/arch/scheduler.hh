@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The hardware stream scheduler (paper sections 3.4 and 3.7).
+ *
+ * Throughput is partitioned with a 16-slot table: slot i names the
+ * stream that owns the i-th 1/16 of the machine's issue bandwidth.
+ * Every cycle the scheduler consumes one slot. If the slot's owner is
+ * ready, it issues; otherwise the slot is *dynamically reallocated*:
+ * the table is scanned circularly for the next ready stream, so idle
+ * or waiting streams donate their bandwidth to the others (Figure
+ * 3.3). If no stream is ready the cycle is a bubble.
+ *
+ * A strict-static mode (no reallocation) is provided for the ablation
+ * study: a slot whose owner is not ready is simply wasted.
+ */
+
+#ifndef DISC_ARCH_SCHEDULER_HH
+#define DISC_ARCH_SCHEDULER_HH
+
+#include <array>
+#include <string>
+
+#include "common/serialize.hh"
+#include "common/types.hh"
+
+namespace disc
+{
+
+/** Slot-table stream scheduler with dynamic reallocation. */
+class Scheduler
+{
+  public:
+    /** Scheduling policy. */
+    enum class Mode
+    {
+        Dynamic, ///< reallocate unready slots (the DISC concept)
+        Static,  ///< strict partition: unready slot -> bubble (ablation)
+    };
+
+    Scheduler();
+
+    /** Assign slot @p slot to stream @p s (the SCHED instruction). */
+    void setSlot(unsigned slot, StreamId s);
+
+    /** Owner of a slot. */
+    StreamId slot(unsigned i) const;
+
+    /** Set an even round-robin partition over @p n streams. */
+    void setEven(unsigned n = kNumStreams);
+
+    /**
+     * Set a proportional partition: shares[s] sixteenths for stream s.
+     * The shares must sum to kScheduleSlots. Slots are distributed in
+     * an interleaved (bit-reversal) order so each stream's slots are
+     * spread across the frame rather than clustered.
+     */
+    void setShares(const std::array<unsigned, kNumStreams> &shares);
+
+    /** Select the scheduling policy. */
+    void setMode(Mode m) { mode_ = m; }
+
+    /** Current policy. */
+    Mode mode() const { return mode_; }
+
+    /**
+     * Pick the stream to issue this cycle and advance the slot cursor.
+     * @param ready_mask bit s set when stream s can issue.
+     * @return the chosen stream, or kNoStream for a bubble.
+     */
+    StreamId pick(unsigned ready_mask);
+
+    /** Slot cursor position (for tracing). */
+    unsigned cursor() const { return cursor_; }
+
+    /** Restore the reset partition (even) and rewind the cursor. */
+    void reset();
+
+    /** Printable slot table, e.g. "0123012301230123". */
+    std::string describe() const;
+
+    /** Serialize the table, cursor and mode. */
+    void save(Serializer &out) const;
+
+    /** Restore state saved by save(). */
+    void restore(Deserializer &in);
+
+  private:
+    std::array<StreamId, kScheduleSlots> slots_;
+    unsigned cursor_ = 0;
+    Mode mode_ = Mode::Dynamic;
+};
+
+} // namespace disc
+
+#endif // DISC_ARCH_SCHEDULER_HH

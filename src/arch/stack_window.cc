@@ -1,0 +1,87 @@
+#include "arch/stack_window.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+StackWindow::StackWindow(InternalMemory &mem, Addr base, Addr size)
+    : mem_(mem), base_(base), limit_(base + size)
+{
+    if (size < kNumWindowRegs)
+        fatal("stack region of %u words cannot hold a window", size);
+    if (limit_ > mem.size())
+        fatal("stack region [%u, %u) exceeds internal memory", base,
+              limit_);
+    reset();
+}
+
+Word
+StackWindow::read(unsigned n) const
+{
+    if (n >= kNumWindowRegs)
+        panic("window register r%u out of range", n);
+    return mem_.read(static_cast<Addr>(awp_ - n));
+}
+
+void
+StackWindow::write(unsigned n, Word value)
+{
+    if (n >= kNumWindowRegs)
+        panic("window register r%u out of range", n);
+    mem_.write(static_cast<Addr>(awp_ - n), value);
+}
+
+bool
+StackWindow::move(int delta)
+{
+    int next = static_cast<int>(awp_) + delta;
+    if (next < static_cast<int>(minAwp())) {
+        awp_ = minAwp();
+        return true;
+    }
+    if (next >= static_cast<int>(limit_)) {
+        awp_ = static_cast<Addr>(limit_ - 1);
+        return true;
+    }
+    awp_ = static_cast<Addr>(next);
+    return false;
+}
+
+bool
+StackWindow::setAwp(Addr value)
+{
+    if (value < minAwp()) {
+        awp_ = minAwp();
+        return true;
+    }
+    if (value >= limit_) {
+        awp_ = static_cast<Addr>(limit_ - 1);
+        return true;
+    }
+    awp_ = value;
+    return false;
+}
+
+void
+StackWindow::reset()
+{
+    awp_ = minAwp();
+}
+
+void
+StackWindow::save(Serializer &out) const
+{
+    out.put<Addr>(awp_);
+}
+
+void
+StackWindow::restore(Deserializer &in)
+{
+    Addr awp = in.get<Addr>();
+    if (awp < minAwp() || awp >= limit_)
+        fatal("checkpoint AWP %u outside the stack region", awp);
+    awp_ = awp;
+}
+
+} // namespace disc

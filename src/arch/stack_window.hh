@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The stack-window register set (paper section 3.5).
+ *
+ * Each instruction stream owns a region of internal memory used as a
+ * register stack. The Active Window Pointer (AWP) addresses register
+ * R0; Rn lives at AWP-n for n in 0..7. Incrementing AWP slides the
+ * window up (the old R7 leaves the window, a fresh R0 appears);
+ * decrementing slides it down (the old R0 is lost, as in Figure 3.5).
+ *
+ * Unlike RISC-I's fixed windows, the number of registers allocated per
+ * procedure call is variable: CALL implicitly increments AWP and
+ * deposits the return address in the new R0; the callee claims locals
+ * with auto-increment instructions; RET n moves the window back down
+ * by n (its local count) to expose the return address, jumps, and pops
+ * once more.
+ *
+ * Moving AWP outside the stream's stack region is the auto-generated
+ * stack-overflow condition (paper section 3.6.3); the machine maps it
+ * to interrupt bit kStackOverflowBit of the offending stream.
+ */
+
+#ifndef DISC_ARCH_STACK_WINDOW_HH
+#define DISC_ARCH_STACK_WINDOW_HH
+
+#include "arch/memory.hh"
+#include "common/serialize.hh"
+#include "common/types.hh"
+
+namespace disc
+{
+
+/** Interrupt bit raised on stack window overflow/underflow. */
+constexpr unsigned kStackOverflowBit = 6;
+
+/** Default per-stream stack region geometry within internal memory. */
+constexpr Addr kStackRegionBase = 512;  ///< first word of stream 0's stack
+constexpr Addr kStackRegionWords = 128; ///< words per stream
+
+/** Default stack region for a stream: [base, base+size). */
+constexpr Addr
+stackBaseFor(StreamId s)
+{
+    return static_cast<Addr>(kStackRegionBase + s * kStackRegionWords);
+}
+
+/**
+ * One stream's sliding register window over its stack region in
+ * internal memory.
+ */
+class StackWindow
+{
+  public:
+    /**
+     * @param mem   backing internal memory.
+     * @param base  first word of this stream's stack region.
+     * @param size  region size in words (must hold at least one window).
+     */
+    StackWindow(InternalMemory &mem, Addr base, Addr size);
+
+    /** Read window register Rn (n in 0..7). */
+    Word read(unsigned n) const;
+
+    /** Write window register Rn. */
+    void write(unsigned n, Word value);
+
+    /**
+     * Move the window: delta of +1 is a WINC / call push, -1 a WDEC,
+     * -n the RET unwind.
+     * @return true if the move violated the region bounds (the AWP is
+     *         clamped to the nearest legal value and the caller should
+     *         raise the stack-overflow interrupt).
+     */
+    bool move(int delta);
+
+    /** AWP += 1. @return true on bounds violation. */
+    bool inc() { return move(1); }
+
+    /** AWP -= 1. @return true on bounds violation. */
+    bool dec() { return move(-1); }
+
+    /** Current AWP (absolute internal-memory word address). */
+    Addr awp() const { return awp_; }
+
+    /** Words of headroom before the window overflows the region. */
+    unsigned headroom() const { return limit_ - 1 - awp_; }
+
+    /** Current stack depth in words (entries above the empty state). */
+    unsigned depth() const { return awp_ - minAwp(); }
+
+    /**
+     * Write the AWP directly (MOV to the AWP special register).
+     * @return true if the value was illegal (clamped).
+     */
+    bool setAwp(Addr value);
+
+    /** Lowest legal AWP: a full window must fit above the region base. */
+    Addr minAwp() const
+    {
+        return static_cast<Addr>(base_ + kNumWindowRegs - 1);
+    }
+
+    /** Region base (the paper's Bottom Of Stack register). */
+    Addr bos() const { return base_; }
+
+    /** Reset AWP to the empty-stack position. */
+    void reset();
+
+    /** Serialize the window position (contents live in memory). */
+    void save(Serializer &out) const;
+
+    /** Restore a position saved by save(). */
+    void restore(Deserializer &in);
+
+  private:
+    InternalMemory &mem_;
+    Addr base_;
+    Addr limit_;  ///< one past the last word of the region
+    Addr awp_;
+};
+
+} // namespace disc
+
+#endif // DISC_ARCH_STACK_WINDOW_HH

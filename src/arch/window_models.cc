@@ -1,0 +1,77 @@
+#include "arch/window_models.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+FixedWindowModel::FixedWindowModel(unsigned windows,
+                                   unsigned regs_per_window)
+    : windows_(windows), regsPerWindow_(regs_per_window)
+{
+    if (windows == 0 || regs_per_window == 0)
+        fatal("fixed-window model needs positive W and K");
+}
+
+void
+FixedWindowModel::call()
+{
+    ++traffic_.calls;
+    ++depth_;
+    if (depth_ - resident_ > windows_) {
+        // The oldest resident window must be spilled to make room.
+        ++resident_;
+        traffic_.spillWords += regsPerWindow_;
+        ++traffic_.overflowTraps;
+    }
+}
+
+void
+FixedWindowModel::ret()
+{
+    if (depth_ == 0)
+        panic("fixed-window model: return below depth 0");
+    ++traffic_.returns;
+    --depth_;
+    if (depth_ > 0 && depth_ <= resident_) {
+        // The caller's window was spilled earlier; fill it back.
+        --resident_;
+        traffic_.fillWords += regsPerWindow_;
+    }
+}
+
+StackWindowModel::StackWindowModel(unsigned region_words,
+                                   unsigned trap_cost_words)
+    : regionWords_(region_words), trapCostWords_(trap_cost_words)
+{
+    if (region_words == 0)
+        fatal("stack-window model needs a positive region");
+}
+
+void
+StackWindowModel::call(unsigned frame_words)
+{
+    ++traffic_.calls;
+    if (depthWords_ + frame_words > regionWords_) {
+        // Overflow trap: the recovery handler drains the region.
+        ++traffic_.overflowTraps;
+        traffic_.spillWords += trapCostWords_;
+        traffic_.fillWords += trapCostWords_;
+        depthWords_ = 0;
+        frameSizes_.clear();
+    }
+    depthWords_ += frame_words;
+    frameSizes_.push_back(frame_words);
+}
+
+void
+StackWindowModel::ret()
+{
+    ++traffic_.returns;
+    if (frameSizes_.empty())
+        return; // unwound past a trap recovery; nothing to release
+    depthWords_ -= frameSizes_.back();
+    frameSizes_.pop_back();
+}
+
+} // namespace disc

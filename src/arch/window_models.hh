@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Register-traffic models for procedure-call register organisations
+ * (paper section 2.0 vs 3.5).
+ *
+ * The paper argues that fixed register windows (RISC-I style) have
+ * "disadvantageous worst case replacement behavior": when the call
+ * depth oscillates across a window boundary, every call spills a full
+ * window and every return fills one. The DISC stack window slides by
+ * exactly the words a frame needs and touches memory only through the
+ * registers themselves (which *live* in internal memory), so register
+ * save traffic is zero until the region is exhausted.
+ *
+ * These models charge memory-traffic cycles to call/return/interrupt
+ * traces so the two organisations can be compared quantitatively
+ * (bench/ablation_fixed_windows).
+ */
+
+#ifndef DISC_ARCH_WINDOW_MODELS_HH
+#define DISC_ARCH_WINDOW_MODELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace disc
+{
+
+/** Traffic accumulated by a window model. */
+struct WindowTraffic
+{
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t spillWords = 0; ///< words written to memory
+    std::uint64_t fillWords = 0;  ///< words read back
+    std::uint64_t overflowTraps = 0;
+
+    /** Total traffic cycles at @p cycles_per_word. */
+    Cycle
+    trafficCycles(unsigned cycles_per_word) const
+    {
+        return (spillWords + fillWords) * cycles_per_word;
+    }
+};
+
+/**
+ * Classic fixed overlapping windows: W resident windows of K
+ * registers. A call past the resident set spills the oldest window
+ * (K words); a return below it fills one back.
+ */
+class FixedWindowModel
+{
+  public:
+    /**
+     * @param windows          resident windows (W).
+     * @param regs_per_window  registers per window (K).
+     */
+    FixedWindowModel(unsigned windows, unsigned regs_per_window);
+
+    /** Procedure call (frame size is fixed at K by construction). */
+    void call();
+
+    /** Procedure return. */
+    void ret();
+
+    /** Current call depth. */
+    unsigned depth() const { return depth_; }
+
+    /** Accumulated traffic. */
+    const WindowTraffic &traffic() const { return traffic_; }
+
+  private:
+    unsigned windows_;
+    unsigned regsPerWindow_;
+    unsigned depth_ = 0;     ///< current call depth
+    unsigned resident_ = 0;  ///< shallowest resident window's depth
+    WindowTraffic traffic_;
+};
+
+/**
+ * The DISC stack window over a fixed region: calls claim exactly the
+ * requested words, returns release them, and no spill traffic exists.
+ * Exceeding the region raises the overflow trap, charged as a
+ * fixed-cost recovery (handler spilling the whole region).
+ */
+class StackWindowModel
+{
+  public:
+    /**
+     * @param region_words   stack region capacity.
+     * @param trap_cost_words words of traffic charged per overflow
+     *                        recovery (the handler must move the
+     *                        region to backing store).
+     */
+    StackWindowModel(unsigned region_words, unsigned trap_cost_words);
+
+    /** Procedure call claiming @p frame_words (RA + locals). */
+    void call(unsigned frame_words);
+
+    /** Procedure return releasing the top frame. */
+    void ret();
+
+    /** Current depth in words. */
+    unsigned depthWords() const { return depthWords_; }
+
+    /** Accumulated traffic. */
+    const WindowTraffic &traffic() const { return traffic_; }
+
+  private:
+    unsigned regionWords_;
+    unsigned trapCostWords_;
+    unsigned depthWords_ = 0;
+    std::uint64_t frames_ = 0;
+    std::vector<unsigned> frameSizes_;
+    WindowTraffic traffic_;
+};
+
+} // namespace disc
+
+#endif // DISC_ARCH_WINDOW_MODELS_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers (gem5-style).
+ *
+ * panic()  — an internal invariant was violated: a simulator bug. Aborts.
+ * fatal()  — the user asked for something impossible (bad program, bad
+ *            configuration). Exits with an error code.
+ * warn()   — something questionable happened but simulation continues.
+ * inform() — neutral status output.
+ */
+
+#ifndef DISC_COMMON_LOGGING_HH
+#define DISC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace disc
+{
+
+/** Thrown by fatal(): a user-level error (bad program or configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic(): a simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug and throw PanicError.
+ * @param fmt printf-style message.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and throw FatalError.
+ * @param fmt printf-style message.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+} // namespace disc
+
+#endif // DISC_COMMON_LOGGING_HH

@@ -1,0 +1,153 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0,1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::below called with bound 0");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    if (mean < 0.0)
+        panic("Rng::poisson called with negative mean %f", mean);
+    if (mean == 0.0)
+        return 0;
+
+    if (mean < 30.0) {
+        // Knuth: multiply uniforms until the product drops below e^-mean.
+        const double limit = std::exp(-mean);
+        double prod = 1.0;
+        std::uint64_t n = 0;
+        for (;;) {
+            prod *= uniform();
+            if (prod <= limit)
+                return n;
+            ++n;
+        }
+    }
+
+    // PTRS (Hormann 1993) transformed rejection for large means.
+    const double b = 0.931 + 2.53 * std::sqrt(mean);
+    const double a = -0.059 + 0.02483 * b;
+    const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+    for (;;) {
+        double u = uniform() - 0.5;
+        double v = uniform();
+        double us = 0.5 - std::fabs(u);
+        double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+        if (us >= 0.07 && v <= v_r)
+            return static_cast<std::uint64_t>(k);
+        if (k < 0.0 || (us < 0.013 && v > us))
+            continue;
+        double log_accept = std::log(v * inv_alpha / (a / (us * us) + b));
+        double log_target =
+            k * std::log(mean) - mean - std::lgamma(k + 1.0);
+        if (log_accept <= log_target)
+            return static_cast<std::uint64_t>(k);
+    }
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        return 0.0;
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p <= 0.0)
+        panic("Rng::geometric called with p <= 0");
+    if (p >= 1.0)
+        return 0;
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(u) / std::log1p(-p)));
+}
+
+} // namespace disc

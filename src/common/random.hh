@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the stochastic model.
+ *
+ * The paper's evaluation draws run lengths from Poisson distributions
+ * (meanon, meanoff, mean_req, mean_io). We provide a small, seedable,
+ * reproducible generator (xoshiro256**) plus the samplers the model needs.
+ * Reproducibility across platforms matters more here than statistical
+ * exotica, so we avoid std::poisson_distribution whose output is
+ * implementation-defined.
+ */
+
+#ifndef DISC_COMMON_RANDOM_HH
+#define DISC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace disc
+{
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding. Deterministic across
+ * platforms and fast enough for billions of draws.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Bernoulli draw: true with probability p. */
+    bool chance(double p);
+
+    /**
+     * Poisson-distributed sample with the given mean.
+     *
+     * Uses Knuth multiplication for small means and the PTRS
+     * transformed-rejection method for large means, both driven by the
+     * portable uniform source above.
+     */
+    std::uint64_t poisson(double mean);
+
+    /** Exponentially distributed sample with the given mean. */
+    double exponential(double mean);
+
+    /** Geometric sample: number of failures before first success. */
+    std::uint64_t geometric(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace disc
+
+#endif // DISC_COMMON_RANDOM_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Minimal byte-stream serialization for machine checkpoints.
+ *
+ * Fixed little-endian layout, explicit sizes, and a checked cursor:
+ * checkpoints are portable between builds of the same version and a
+ * truncated or mismatched stream produces fatal(), never UB.
+ */
+
+#ifndef DISC_COMMON_SERIALIZE_HH
+#define DISC_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+namespace detail
+{
+/** Lazily resolve an enum's underlying type (identity otherwise). */
+template <typename T, bool = std::is_enum_v<T>>
+struct UnderlyingOf
+{
+    using type = std::underlying_type_t<T>;
+};
+
+template <typename T>
+struct UnderlyingOf<T, false>
+{
+    using type = T;
+};
+} // namespace detail
+
+/** Append-only byte sink. */
+class Serializer
+{
+  public:
+    /** Write one unsigned integer little-endian. */
+    template <typename T>
+    void
+    put(T value)
+    {
+        static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+        using U =
+            std::make_unsigned_t<typename detail::UnderlyingOf<T>::type>;
+        U u = static_cast<U>(value);
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            bytes_.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+    }
+
+    /** Write a vector of integers with a length prefix. */
+    template <typename T>
+    void
+    putVector(const std::vector<T> &values)
+    {
+        put<std::uint32_t>(static_cast<std::uint32_t>(values.size()));
+        for (const T &v : values)
+            put(v);
+    }
+
+    /** Write a boolean. */
+    void putBool(bool b) { put<std::uint8_t>(b ? 1 : 0); }
+
+    /** The accumulated bytes. */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+    /** Move the accumulated bytes out. */
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Checked byte-stream reader. */
+class Deserializer
+{
+  public:
+    explicit Deserializer(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {}
+
+    /** Read one unsigned integer little-endian. */
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_integral_v<T> || std::is_enum_v<T>);
+        using U =
+            std::make_unsigned_t<typename detail::UnderlyingOf<T>::type>;
+        if (pos_ + sizeof(U) > bytes_.size())
+            fatal("checkpoint truncated at byte %zu", pos_);
+        U u = 0;
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            u |= static_cast<U>(bytes_[pos_ + i]) << (8 * i);
+        pos_ += sizeof(U);
+        return static_cast<T>(u);
+    }
+
+    /** Read a length-prefixed vector. */
+    template <typename T>
+    std::vector<T>
+    getVector()
+    {
+        auto n = get<std::uint32_t>();
+        std::vector<T> out;
+        out.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            out.push_back(get<T>());
+        return out;
+    }
+
+    /** Read a boolean. */
+    bool getBool() { return get<std::uint8_t>() != 0; }
+
+    /** True when every byte was consumed. */
+    bool exhausted() const { return pos_ == bytes_.size(); }
+
+    /** Bytes consumed so far. */
+    std::size_t position() const { return pos_; }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace disc
+
+#endif // DISC_COMMON_SERIALIZE_HH

@@ -1,0 +1,154 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::stderror() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(other.n_);
+    double delta = other.mean_ - mean_;
+    double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+Histogram::Histogram(std::size_t num_bins)
+    : bins_(num_bins, 0)
+{
+    if (num_bins == 0)
+        panic("Histogram requires at least one bin");
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    if (value < bins_.size())
+        ++bins_[value];
+    else
+        ++overflow_;
+    ++count_;
+    sum_ += value;
+    max_ = std::max(max_, value);
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t bin) const
+{
+    if (bin < bins_.size())
+        return bins_[bin];
+    if (bin == bins_.size())
+        return overflow_;
+    panic("Histogram::binCount bin %zu out of range", bin);
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    target = std::max<std::uint64_t>(target, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        seen += bins_[i];
+        if (seen >= target)
+            return i;
+    }
+    return bins_.size();
+}
+
+std::string
+Histogram::render(std::size_t max_width) const
+{
+    std::uint64_t peak = overflow_;
+    for (auto b : bins_)
+        peak = std::max(peak, b);
+    if (peak == 0)
+        return "(empty histogram)\n";
+
+    std::string out;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue;
+        std::size_t width = static_cast<std::size_t>(
+            static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+            static_cast<double>(max_width));
+        out += strprintf("%5zu | %-*s %llu\n", i,
+                         static_cast<int>(max_width),
+                         std::string(std::max<std::size_t>(width, 1),
+                                     '#').c_str(),
+                         static_cast<unsigned long long>(bins_[i]));
+    }
+    if (overflow_ > 0) {
+        out += strprintf(" >%3zu | %llu\n", bins_.size() - 1,
+                         static_cast<unsigned long long>(overflow_));
+    }
+    return out;
+}
+
+} // namespace disc

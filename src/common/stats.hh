@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by probes, the stochastic
+ * model and the experiment driver.
+ */
+
+#ifndef DISC_COMMON_STATS_HH
+#define DISC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace disc
+{
+
+/**
+ * Running mean / variance / min / max over double-valued samples
+ * (Welford's online algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 if fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Standard error of the mean. */
+    double stderror() const;
+
+    /** Minimum sample (+inf if empty). */
+    double min() const { return min_; }
+
+    /** Maximum sample (-inf if empty). */
+    double max() const { return max_; }
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over non-negative integer samples with an
+ * overflow bucket; used for latency distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param num_bins number of unit-width bins starting at 0.
+     */
+    explicit Histogram(std::size_t num_bins = 64);
+
+    /** Record one sample. */
+    void add(std::uint64_t value);
+
+    /** Total number of samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Count in a given bin (bin == num_bins means overflow). */
+    std::uint64_t binCount(std::size_t bin) const;
+
+    /** Number of unit bins (excluding overflow). */
+    std::size_t numBins() const { return bins_.size(); }
+
+    /** Sample mean. */
+    double mean() const;
+
+    /** Maximum recorded value. */
+    std::uint64_t maxValue() const { return max_; }
+
+    /**
+     * Smallest value v such that at least fraction q of samples are <= v.
+     * Overflowed samples are treated as numBins().
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Render a compact ASCII bar chart. */
+    std::string render(std::size_t max_width = 50) const;
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace disc
+
+#endif // DISC_COMMON_STATS_HH

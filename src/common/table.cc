@@ -1,0 +1,97 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size()) {
+        panic("Table row width %zu does not match header width %zu",
+              row.size(), header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::cell(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+Table::cell(long long v)
+{
+    return strprintf("%lld", v);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= width.size())
+                width.resize(c + 1, 0);
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+
+    auto format_row = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            // First column left-aligned (row label), rest right-aligned.
+            if (c == 0)
+                line += strprintf(" %-*s |", static_cast<int>(width[c]),
+                                  v.c_str());
+            else
+                line += strprintf(" %*s |", static_cast<int>(width[c]),
+                                  v.c_str());
+        }
+        return line + "\n";
+    };
+
+    std::string rule = "+";
+    for (auto w : width)
+        rule += std::string(w + 2, '-') + "+";
+    rule += "\n";
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += rule;
+    if (!header_.empty()) {
+        out += format_row(header_);
+        out += rule;
+    }
+    for (const auto &row : rows_)
+        out += format_row(row);
+    out += rule;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace disc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print
+ * paper-style tables (Tables 4.1, 4.2, 4.3 and the sweeps).
+ */
+
+#ifndef DISC_COMMON_TABLE_HH
+#define DISC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace disc
+{
+
+/**
+ * A simple left/right-aligned column table with a title row. Cells are
+ * strings; numeric helpers format with fixed precision.
+ */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string cell(double v, int precision = 3);
+
+    /** Format an integer cell. */
+    static std::string cell(long long v);
+
+    /** Render the full table. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace disc
+
+#endif // DISC_COMMON_TABLE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every DISC module.
+ *
+ * DISC1 is a 16-bit Harvard machine: the data path is 16 bits wide, the
+ * program bus is 24 bits wide (one instruction word per fetch), and up to
+ * four instruction streams are resident at once.
+ */
+
+#ifndef DISC_COMMON_TYPES_HH
+#define DISC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace disc
+{
+
+/** 16-bit architectural data word. */
+using Word = std::uint16_t;
+
+/** Signed view of a data word (two's complement). */
+using SWord = std::int16_t;
+
+/** 32-bit double word (multiplier result, intermediate arithmetic). */
+using DWord = std::uint32_t;
+
+/** Data address (16-bit external space; internal memory is a subrange). */
+using Addr = std::uint16_t;
+
+/** Program-memory address (instruction index; PC is 16 bits). */
+using PAddr = std::uint16_t;
+
+/** Raw 24-bit instruction word, stored right-aligned in 32 bits. */
+using InstWord = std::uint32_t;
+
+/** Simulated cycle count. */
+using Cycle = std::uint64_t;
+
+/** Instruction-stream identifier (0 .. numStreams-1). */
+using StreamId = std::uint8_t;
+
+/** Sentinel meaning "no stream" (pipeline bubble, unassigned slot). */
+constexpr StreamId kNoStream = std::numeric_limits<StreamId>::max();
+
+/** Number of hardware instruction streams in DISC1. */
+constexpr unsigned kNumStreams = 4;
+
+/** Number of scheduler slots: throughput granularity is 1/16. */
+constexpr unsigned kScheduleSlots = 16;
+
+/** Architected register-file shape (per stream view). */
+constexpr unsigned kNumWindowRegs = 8;   ///< R0..R7 stack-window locals
+constexpr unsigned kNumGlobalRegs = 4;   ///< G0..G3 shared between streams
+constexpr unsigned kNumSpecialRegs = 4;  ///< S0..S3 per-stream special
+constexpr unsigned kNumRegs = 16;        ///< total architected names
+
+/** Internal (on-chip) data memory size in 16-bit words (2 KB). */
+constexpr unsigned kInternalMemWords = 1024;
+
+/** Default pipeline depth of the DISC1 implementation. */
+constexpr unsigned kDisc1PipeDepth = 4;
+
+/** Interrupt priority levels per stream (bit 7 highest, bit 0 background). */
+constexpr unsigned kNumIntLevels = 8;
+
+} // namespace disc
+
+#endif // DISC_COMMON_TYPES_HH

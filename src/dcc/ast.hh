@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tokens and abstract syntax tree for DCC (internal header).
+ */
+
+#ifndef DISC_DCC_AST_HH
+#define DISC_DCC_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace disc::dcc
+{
+
+/** Token kinds produced by the lexer. */
+enum class Tok
+{
+    End,
+    Ident,
+    Number,
+    // keywords
+    KwFn, KwVar, KwIf, KwElse, KwWhile, KwReturn,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, Comma, Semi,
+    // operators
+    Assign, Plus, Minus, Star, Amp, Pipe, Caret, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    AndAnd, OrOr, Bang,
+};
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;   ///< identifier spelling
+    long value = 0;     ///< number value
+    unsigned line = 0;
+};
+
+/** Lex the whole source. @throws FatalError on bad characters. */
+std::vector<Token> lex(const std::string &source);
+
+// ---- AST ----
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        Number,   ///< literal (value)
+        Var,      ///< variable reference (name)
+        Unary,    ///< -a (lhs)
+        Binary,   ///< lhs op rhs (op is a Tok)
+        Call,     ///< name(args) — user function or builtin
+    };
+
+    Kind kind;
+    unsigned line = 0;
+    long value = 0;
+    std::string name;
+    Tok op = Tok::Plus;
+    ExprPtr lhs;
+    ExprPtr rhs;
+    std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind
+    {
+        Var,      ///< var name = init;
+        Assign,   ///< name = value;
+        If,       ///< if (cond) then else els
+        While,    ///< while (cond) body
+        Return,   ///< return value;
+        ExprStmt, ///< expression for effect (calls)
+        Block,    ///< { body... }
+    };
+
+    Kind kind;
+    unsigned line = 0;
+    std::string name;
+    ExprPtr value;
+    ExprPtr cond;
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> els;
+};
+
+/** One function definition. */
+struct Function
+{
+    std::string name;
+    unsigned line = 0;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+};
+
+/** A whole translation unit. */
+struct Unit
+{
+    std::vector<Function> functions;
+};
+
+/** Parse tokens into a unit. @throws FatalError on syntax errors. */
+Unit parse(std::vector<Token> tokens);
+
+/** Generate DISC1 assembly for a unit. @throws FatalError. */
+std::string generate(const Unit &unit);
+
+} // namespace disc::dcc
+
+#endif // DISC_DCC_AST_HH

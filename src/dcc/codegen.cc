@@ -1,0 +1,603 @@
+#include "dcc/ast.hh"
+
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace disc::dcc
+{
+
+namespace
+{
+
+/**
+ * Code generator.
+ *
+ * Frame model (the stack-window calling convention):
+ *
+ *   - the caller moves arguments into g0..g3 and executes CALL, which
+ *     pushes the return address into the callee's new r0;
+ *   - each parameter and each `var` gets one window slot, claimed by
+ *     WINC at its definition point (a variable-size frame);
+ *   - expression evaluation maintains the invariant "net push of one
+ *     slot, value in r0": temporaries never sit deeper than r1, so
+ *     only *variable* accesses can exceed the eight window names, and
+ *     those fall back to AWP arithmetic through the g3 scratch;
+ *   - `return` moves the value to g0 and executes RET n with n equal
+ *     to the live local count, unwinding the whole frame at once.
+ */
+class CodeGen
+{
+  public:
+    explicit CodeGen(const Unit &unit)
+        : unit_(unit)
+    {}
+
+    std::string
+    run()
+    {
+        collectSignatures();
+        emit(".org 0x20");
+        emit("__start:");
+        emit("    call main");
+        emit("    halt");
+        for (const Function &f : unit_.functions)
+            function(f);
+        // Spawn wrappers: a stream entry that runs the function to
+        // completion and deactivates.
+        for (const std::string &name : spawned_) {
+            emitf("__spawn_%s:", name.c_str());
+            emitf("    call %s", name.c_str());
+            emit("    halt");
+        }
+        return out_;
+    }
+
+  private:
+    const Unit &unit_;
+    std::string out_;
+    std::map<std::string, std::size_t> arity_;
+    unsigned labelCounter_ = 0;
+
+    /** Functions needing a spawn wrapper (entry + halt). */
+    std::set<std::string> spawned_;
+
+    // Per-function state.
+    const Function *fn_ = nullptr;
+    /** Live locals, innermost last: (name, slot index). */
+    std::vector<std::pair<std::string, unsigned>> scope_;
+    /** Open-scope marks: scope_ size at each block entry. */
+    std::vector<std::size_t> blockMarks_;
+    unsigned tempDepth_ = 0;
+
+    [[noreturn]] void
+    err(unsigned line, const std::string &what) const
+    {
+        fatal("dcc line %u: %s", line, what.c_str());
+    }
+
+    void
+    emit(const std::string &line)
+    {
+        out_ += line;
+        out_ += '\n';
+    }
+
+    void
+    emitf(const char *fmt, auto... args)
+    {
+        emit(strprintf(fmt, args...));
+    }
+
+    std::string
+    newLabel(const char *stem)
+    {
+        return strprintf(".L%s_%s_%u", fn_->name.c_str(), stem,
+                         ++labelCounter_);
+    }
+
+    static bool
+    isBuiltin(const std::string &name)
+    {
+        return name == "load" || name == "store" || name == "xload" ||
+               name == "xstore" || name == "halt" || name == "spawn" ||
+               name == "schedule" || name == "signal";
+    }
+
+    void
+    collectSignatures()
+    {
+        bool has_main = false;
+        for (const Function &f : unit_.functions) {
+            if (isBuiltin(f.name))
+                err(f.line, "'" + f.name + "' is a builtin name");
+            if (arity_.count(f.name))
+                err(f.line, "duplicate function '" + f.name + "'");
+            if (f.params.size() > kNumGlobalRegs) {
+                err(f.line,
+                    "functions take at most 4 parameters");
+            }
+            arity_[f.name] = f.params.size();
+            has_main |= f.name == "main";
+        }
+        if (!has_main)
+            fatal("dcc: no 'main' function defined");
+    }
+
+    unsigned
+    liveLocals() const
+    {
+        return static_cast<unsigned>(scope_.size());
+    }
+
+    /** Window offset of a local at the current temp depth. */
+    unsigned
+    slotOffset(unsigned slot) const
+    {
+        return (liveLocals() - 1 - slot) + tempDepth_;
+    }
+
+    const std::pair<std::string, unsigned> *
+    findVar(const std::string &name) const
+    {
+        for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+            if (it->first == name)
+                return &*it;
+        }
+        return nullptr;
+    }
+
+    void
+    defineVar(const std::string &name, unsigned line)
+    {
+        std::size_t mark =
+            blockMarks_.empty() ? 0 : blockMarks_.back();
+        for (std::size_t i = mark; i < scope_.size(); ++i) {
+            if (scope_[i].first == name)
+                err(line, "duplicate variable '" + name + "'");
+        }
+        unsigned slot = liveLocals();
+        if (slot >= 15)
+            err(line, "too many locals (at most 15 per frame)");
+        scope_.emplace_back(name, slot);
+    }
+
+    /** Read the window slot at @p offset into r0 (just pushed). */
+    void
+    readSlot(unsigned offset)
+    {
+        if (offset < kNumWindowRegs) {
+            emitf("    mov r0, r%u", offset);
+        } else {
+            emit("    mov g3, awp");
+            emitf("    subi g3, g3, %u", offset);
+            emit("    ldm r0, [g3]");
+        }
+    }
+
+    /** Write r0 into the window slot at @p offset. */
+    void
+    writeSlot(unsigned offset)
+    {
+        if (offset < kNumWindowRegs) {
+            emitf("    mov r%u, r0", offset);
+        } else {
+            emit("    mov g3, awp");
+            emitf("    subi g3, g3, %u", offset);
+            emit("    stm r0, [g3]");
+        }
+    }
+
+    /** Push a 16-bit constant. */
+    void
+    pushConstant(long value, unsigned line)
+    {
+        if (value < -32768 || value > 65535)
+            err(line, "constant does not fit in 16 bits");
+        Word w = static_cast<Word>(value);
+        emit("    winc");
+        ++tempDepth_;
+        if (value >= -2048 && value <= 2047) {
+            emitf("    ldi r0, %ld", value);
+        } else {
+            emitf("    ldi r0, %u", w & 0xff);
+            emitf("    ldih r0, %u", (w >> 8) & 0xff);
+        }
+    }
+
+    /** Branch mnemonic that tests "lhs OP rhs" after cmp lhs, rhs. */
+    static const char *
+    branchFor(Tok op)
+    {
+        switch (op) {
+          case Tok::Eq: return "beq";
+          case Tok::Ne: return "bne";
+          case Tok::Lt: return "blt";
+          case Tok::Le: return "ble"; // handled via swap below
+          case Tok::Gt: return "bgt"; // handled via swap below
+          case Tok::Ge: return "bge";
+          default: return nullptr;
+        }
+    }
+
+    void
+    expression(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            pushConstant(e.value, e.line);
+            return;
+          case Expr::Kind::Var: {
+            const auto *var = findVar(e.name);
+            if (!var)
+                err(e.line, "undefined variable '" + e.name + "'");
+            emit("    winc");
+            ++tempDepth_;
+            readSlot(slotOffset(var->second));
+            return;
+          }
+          case Expr::Kind::Unary:
+            expression(*e.lhs);
+            if (e.op == Tok::Bang) {
+                // Logical not: 0 -> 1, nonzero -> 0. LDI leaves the
+                // flags of the cmpi intact.
+                std::string done = newLabel("not");
+                emit("    cmpi r0, 0");
+                emit("    ldi r0, 1");
+                emitf("    beq %s", done.c_str());
+                emit("    ldi r0, 0");
+                emit(done + ":");
+            } else {
+                emit("    neg r0, r0");
+            }
+            return;
+          case Expr::Kind::Binary:
+            binary(e);
+            return;
+          case Expr::Kind::Call:
+            call(e);
+            return;
+        }
+        panic("dcc: unhandled expression kind");
+    }
+
+    void
+    binary(const Expr &e)
+    {
+        if (e.op == Tok::AndAnd || e.op == Tok::OrOr) {
+            // Short-circuit evaluation with a 0/1 result. Both paths
+            // end with exactly one pushed slot.
+            bool is_and = e.op == Tok::AndAnd;
+            std::string skip = newLabel(is_and ? "and" : "or");
+            std::string done = newLabel("bool");
+            expression(*e.lhs);
+            emit("    cmpi r0, 0");
+            emit("    wdec");
+            --tempDepth_;
+            emitf("    %s %s", is_and ? "beq" : "bne", skip.c_str());
+            expression(*e.rhs);
+            emit("    cmpi r0, 0");
+            emit("    wdec");
+            --tempDepth_;
+            emitf("    %s %s", is_and ? "beq" : "bne", skip.c_str());
+            emit("    winc");
+            emitf("    ldi r0, %d", is_and ? 1 : 0);
+            emitf("    jmp %s", done.c_str());
+            emit(skip + ":");
+            emit("    winc");
+            emitf("    ldi r0, %d", is_and ? 0 : 1);
+            emit(done + ":");
+            ++tempDepth_;
+            return;
+        }
+
+        const char *alu = nullptr;
+        switch (e.op) {
+          case Tok::Plus: alu = "add"; break;
+          case Tok::Minus: alu = "sub"; break;
+          case Tok::Star: alu = "mul"; break;
+          case Tok::Amp: alu = "and"; break;
+          case Tok::Pipe: alu = "or"; break;
+          case Tok::Caret: alu = "xor"; break;
+          case Tok::Shl: alu = "shl"; break;
+          case Tok::Shr: alu = "shr"; break;
+          default: break;
+        }
+
+        expression(*e.lhs);
+        expression(*e.rhs);
+        // Left at r1, right at r0.
+        if (alu) {
+            emitf("    %s r1, r1, r0", alu);
+            emit("    wdec");
+            --tempDepth_;
+            return;
+        }
+
+        // Comparison producing 0/1. "<=" and ">" have no direct
+        // condition code; swap the compare instead.
+        Tok op = e.op;
+        bool swap = op == Tok::Le || op == Tok::Gt;
+        if (op == Tok::Le)
+            op = Tok::Ge;
+        else if (op == Tok::Gt)
+            op = Tok::Lt;
+        const char *branch = branchFor(op);
+        if (!branch)
+            panic("dcc: unhandled binary operator");
+        std::string done = newLabel("cmp");
+        if (swap)
+            emit("    cmp r0, r1");
+        else
+            emit("    cmp r1, r0");
+        emit("    ldi r1, 1");
+        emitf("    %s %s", branch, done.c_str());
+        emit("    ldi r1, 0");
+        emit(done + ":");
+        emit("    wdec");
+        --tempDepth_;
+    }
+
+    void
+    call(const Expr &e)
+    {
+        if (e.name == "halt") {
+            if (!e.args.empty())
+                err(e.line, "halt() takes no arguments");
+            emit("    halt");
+            // Unreachable, but keep the push invariant.
+            emit("    winc");
+            ++tempDepth_;
+            emit("    ldi r0, 0");
+            return;
+        }
+        if (e.name == "load" || e.name == "xload") {
+            if (e.args.size() != 1)
+                err(e.line, e.name + "() takes one argument");
+            expression(*e.args[0]);
+            emitf("    %s r0, [r0]",
+                  e.name == "load" ? "ldm" : "ld");
+            return;
+        }
+        if (e.name == "store" || e.name == "xstore") {
+            if (e.args.size() != 2)
+                err(e.line, e.name + "() takes (address, value)");
+            expression(*e.args[0]); // address -> r1 after next push
+            expression(*e.args[1]); // value -> r0
+            emitf("    %s r0, [r1]",
+                  e.name == "store" ? "stm" : "st");
+            emit("    mov r1, r0");
+            emit("    wdec");
+            --tempDepth_;
+            return;
+        }
+
+        if (e.name == "spawn") {
+            // spawn(STREAM, fname): start a zero-argument function on
+            // another instruction stream (FORK to a wrapper).
+            if (e.args.size() != 2 ||
+                e.args[0]->kind != Expr::Kind::Number ||
+                e.args[1]->kind != Expr::Kind::Var) {
+                err(e.line,
+                    "spawn() takes (stream literal, function name)");
+            }
+            long stream = e.args[0]->value;
+            if (stream < 0 || stream >= kNumStreams)
+                err(e.line, "spawn(): stream must be 0..3");
+            const std::string &callee = e.args[1]->name;
+            auto target = arity_.find(callee);
+            if (target == arity_.end())
+                err(e.line, "undefined function '" + callee + "'");
+            if (target->second != 0)
+                err(e.line, "spawned functions take no parameters");
+            spawned_.insert(callee);
+            emitf("    fork %ld, __spawn_%s", stream, callee.c_str());
+            emit("    winc");
+            ++tempDepth_;
+            emit("    ldi r0, 0");
+            return;
+        }
+        if (e.name == "schedule") {
+            // schedule(SLOT, STREAM): program the partition table.
+            if (e.args.size() != 2 ||
+                e.args[0]->kind != Expr::Kind::Number ||
+                e.args[1]->kind != Expr::Kind::Number) {
+                err(e.line,
+                    "schedule() takes (slot literal, stream literal)");
+            }
+            long slot = e.args[0]->value;
+            long stream = e.args[1]->value;
+            if (slot < 0 || slot >= kScheduleSlots)
+                err(e.line, "schedule(): slot must be 0..15");
+            if (stream < 0 || stream >= kNumStreams)
+                err(e.line, "schedule(): stream must be 0..3");
+            emitf("    sched %ld, %ld", slot, stream);
+            emit("    winc");
+            ++tempDepth_;
+            emit("    ldi r0, 0");
+            return;
+        }
+        if (e.name == "signal") {
+            // signal(STREAM, BIT): software interrupt.
+            if (e.args.size() != 2 ||
+                e.args[0]->kind != Expr::Kind::Number ||
+                e.args[1]->kind != Expr::Kind::Number) {
+                err(e.line,
+                    "signal() takes (stream literal, bit literal)");
+            }
+            long stream = e.args[0]->value;
+            long bit = e.args[1]->value;
+            if (stream < 0 || stream >= kNumStreams)
+                err(e.line, "signal(): stream must be 0..3");
+            if (bit < 0 || bit > 7)
+                err(e.line, "signal(): bit must be 0..7");
+            emitf("    swi %ld, %ld", stream, bit);
+            emit("    winc");
+            ++tempDepth_;
+            emit("    ldi r0, 0");
+            return;
+        }
+
+        auto it = arity_.find(e.name);
+        if (it == arity_.end())
+            err(e.line, "undefined function '" + e.name + "'");
+        if (e.args.size() != it->second) {
+            err(e.line,
+                strprintf("'%s' expects %zu argument(s), got %zu",
+                          e.name.c_str(), it->second, e.args.size()));
+        }
+
+        for (const ExprPtr &arg : e.args)
+            expression(*arg);
+        // Args sit at r(n-1)..r0, first argument deepest.
+        unsigned n = static_cast<unsigned>(e.args.size());
+        for (unsigned i = 0; i < n; ++i)
+            emitf("    mov g%u, r%u", i, n - 1 - i);
+        for (unsigned i = 0; i < n; ++i) {
+            emit("    wdec");
+            --tempDepth_;
+        }
+        emitf("    call %s", e.name.c_str());
+        emit("    winc");
+        ++tempDepth_;
+        emit("    mov r0, g0");
+    }
+
+    /** A bare `var` as an if/while body would leak a slot per hit. */
+    void
+    requireNonVarBody(const Stmt &s) const
+    {
+        for (const auto *branch : {&s.body, &s.els}) {
+            if (!branch->empty() &&
+                branch->front()->kind == Stmt::Kind::Var) {
+                err(branch->front()->line,
+                    "'var' here needs an enclosing block");
+            }
+        }
+    }
+
+    void
+    statement(const Stmt &s)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Var: {
+            expression(*s.value);
+            // The pushed temp *becomes* the local: transfer ownership
+            // from the temp stack to the scope.
+            --tempDepth_;
+            defineVar(s.name, s.line);
+            return;
+          }
+          case Stmt::Kind::Assign: {
+            const auto *var = findVar(s.name);
+            if (!var)
+                err(s.line, "undefined variable '" + s.name + "'");
+            expression(*s.value);
+            writeSlot(slotOffset(var->second));
+            emit("    wdec");
+            --tempDepth_;
+            return;
+          }
+          case Stmt::Kind::If: {
+            requireNonVarBody(s);
+            std::string else_label = newLabel("else");
+            std::string end_label = newLabel("endif");
+            expression(*s.cond);
+            emit("    cmpi r0, 0");
+            emit("    wdec");
+            --tempDepth_;
+            emitf("    beq %s", else_label.c_str());
+            statement(*s.body.front());
+            if (!s.els.empty())
+                emitf("    jmp %s", end_label.c_str());
+            emit(else_label + ":");
+            if (!s.els.empty()) {
+                statement(*s.els.front());
+                emit(end_label + ":");
+            }
+            return;
+          }
+          case Stmt::Kind::While: {
+            requireNonVarBody(s);
+            std::string top = newLabel("while");
+            std::string end = newLabel("endwhile");
+            emit(top + ":");
+            expression(*s.cond);
+            emit("    cmpi r0, 0");
+            emit("    wdec");
+            --tempDepth_;
+            emitf("    beq %s", end.c_str());
+            statement(*s.body.front());
+            emitf("    jmp %s", top.c_str());
+            emit(end + ":");
+            return;
+          }
+          case Stmt::Kind::Return: {
+            if (s.value) {
+                expression(*s.value);
+                emit("    mov g0, r0");
+                emit("    wdec");
+                --tempDepth_;
+            } else {
+                emit("    ldi g0, 0");
+            }
+            emitf("    ret %u", liveLocals());
+            return;
+          }
+          case Stmt::Kind::ExprStmt:
+            expression(*s.value);
+            emit("    wdec");
+            --tempDepth_;
+            return;
+          case Stmt::Kind::Block: {
+            blockMarks_.push_back(scope_.size());
+            for (const StmtPtr &inner : s.body)
+                statement(*inner);
+            std::size_t mark = blockMarks_.back();
+            blockMarks_.pop_back();
+            while (scope_.size() > mark) {
+                emit("    wdec");
+                scope_.pop_back();
+            }
+            return;
+          }
+        }
+        panic("dcc: unhandled statement kind");
+    }
+
+    void
+    function(const Function &f)
+    {
+        fn_ = &f;
+        scope_.clear();
+        blockMarks_.clear();
+        tempDepth_ = 0;
+
+        emitf("%s:", f.name.c_str());
+        // Prologue: claim one slot per parameter and copy it in.
+        for (std::size_t i = 0; i < f.params.size(); ++i) {
+            emit("    winc");
+            emitf("    mov r0, g%zu", i);
+            defineVar(f.params[i],
+                      f.line); // duplicates rejected here too
+        }
+        for (const StmtPtr &s : f.body)
+            statement(*s);
+        // Implicit `return 0` for functions that fall off the end.
+        emit("    ldi g0, 0");
+        emitf("    ret %u", liveLocals());
+        fn_ = nullptr;
+    }
+};
+
+} // namespace
+
+std::string
+generate(const Unit &unit)
+{
+    return CodeGen(unit).run();
+}
+
+} // namespace disc::dcc

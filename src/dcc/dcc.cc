@@ -1,0 +1,14 @@
+#include "dcc/dcc.hh"
+
+#include "dcc/ast.hh"
+
+namespace disc::dcc
+{
+
+std::string
+compile(const std::string &source)
+{
+    return generate(parse(lex(source)));
+}
+
+} // namespace disc::dcc

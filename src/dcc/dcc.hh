@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DCC — the DISC C-like compiler.
+ *
+ * The paper's conclusion lists "compiler ... questions" as future
+ * work; DCC answers the central one: how does compiled code use the
+ * stack window? Every function gets a variable-size window frame
+ * (CALL pushes the return address, the prologue claims one slot per
+ * local, RET n unwinds), expression temporaries are pushed and popped
+ * with window motion, and arguments/results travel in the shared
+ * globals g0..g3.
+ *
+ * Language summary:
+ *
+ *   fn name(a, b) { ... }        up to 4 parameters, 16-bit ints
+ *   var x = expr;                function-local variable
+ *   x = expr;                    assignment
+ *   if (cond) {...} else {...}   while (cond) {...}
+ *   return expr;                 return
+ *   f(x, y)                      calls (recursion works)
+ *
+ * Expressions: + - * & | ^ << >> with unary -, parentheses, decimal
+ * and 0x literals. Conditions: == != < <= > >= between expressions,
+ * or any expression (tested against zero).
+ *
+ * Builtins: load(a) / store(a, v) for internal memory,
+ * xload(a) / xstore(a, v) for the external bus, halt().
+ *
+ * Compilation model invariants (see codegen.cc):
+ *  - evaluating any expression performs a net window push of one
+ *    slot and leaves the value in r0;
+ *  - at statement boundaries the window holds exactly the function's
+ *    locals plus the return address;
+ *  - frame slots beyond the 8 addressable window names are reached
+ *    through AWP arithmetic via the g3 scratch register.
+ */
+
+#ifndef DISC_DCC_DCC_HH
+#define DISC_DCC_DCC_HH
+
+#include <string>
+
+namespace disc::dcc
+{
+
+/**
+ * Compile DCC source to DISC1 assembly text (assemble() ready).
+ * The generated program defines a `__start` entry that calls `main`
+ * and halts; `main` must exist.
+ * @throws FatalError on lexical, syntax or semantic errors (messages
+ *         carry line numbers).
+ */
+std::string compile(const std::string &source);
+
+} // namespace disc::dcc
+
+#endif // DISC_DCC_DCC_HH

@@ -1,0 +1,154 @@
+#include "dcc/ast.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace disc::dcc
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Tok
+keyword(const std::string &word)
+{
+    if (word == "fn")
+        return Tok::KwFn;
+    if (word == "var")
+        return Tok::KwVar;
+    if (word == "if")
+        return Tok::KwIf;
+    if (word == "else")
+        return Tok::KwElse;
+    if (word == "while")
+        return Tok::KwWhile;
+    if (word == "return")
+        return Tok::KwReturn;
+    return Tok::Ident;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    unsigned line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto push = [&](Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments: // to end of line.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (identStart(c)) {
+            std::size_t j = i;
+            while (j < n && identChar(src[j]))
+                ++j;
+            std::string word = src.substr(i, j - i);
+            Token t;
+            t.kind = keyword(word);
+            t.text = word;
+            t.line = line;
+            out.push_back(std::move(t));
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t used = 0;
+            long value = 0;
+            try {
+                if (c == '0' && i + 1 < n &&
+                    (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+                    value = std::stol(src.substr(i + 2), &used, 16);
+                    used += 2;
+                } else {
+                    value = std::stol(src.substr(i), &used, 10);
+                }
+            } catch (...) {
+                fatal("dcc line %u: bad number", line);
+            }
+            Token t;
+            t.kind = Tok::Number;
+            t.value = value;
+            t.line = line;
+            out.push_back(std::move(t));
+            i += used;
+            continue;
+        }
+
+        auto two = [&](char a, char b) {
+            return c == a && i + 1 < n && src[i + 1] == b;
+        };
+        if (two('<', '<')) { push(Tok::Shl); i += 2; continue; }
+        if (two('>', '>')) { push(Tok::Shr); i += 2; continue; }
+        if (two('=', '=')) { push(Tok::Eq); i += 2; continue; }
+        if (two('!', '=')) { push(Tok::Ne); i += 2; continue; }
+        if (two('<', '=')) { push(Tok::Le); i += 2; continue; }
+        if (two('&', '&')) { push(Tok::AndAnd); i += 2; continue; }
+        if (two('|', '|')) { push(Tok::OrOr); i += 2; continue; }
+        if (two('>', '=')) { push(Tok::Ge); i += 2; continue; }
+
+        switch (c) {
+          case '(': push(Tok::LParen); break;
+          case ')': push(Tok::RParen); break;
+          case '{': push(Tok::LBrace); break;
+          case '}': push(Tok::RBrace); break;
+          case ',': push(Tok::Comma); break;
+          case ';': push(Tok::Semi); break;
+          case '=': push(Tok::Assign); break;
+          case '+': push(Tok::Plus); break;
+          case '-': push(Tok::Minus); break;
+          case '*': push(Tok::Star); break;
+          case '&': push(Tok::Amp); break;
+          case '|': push(Tok::Pipe); break;
+          case '^': push(Tok::Caret); break;
+          case '<': push(Tok::Lt); break;
+          case '>': push(Tok::Gt); break;
+          case '!': push(Tok::Bang); break;
+          default:
+            fatal("dcc line %u: unexpected character '%c'", line, c);
+        }
+        ++i;
+    }
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace disc::dcc

@@ -1,0 +1,286 @@
+#include "dcc/ast.hh"
+
+#include "common/logging.hh"
+
+namespace disc::dcc
+{
+
+namespace
+{
+
+/** Recursive-descent parser with precedence climbing. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : toks_(std::move(tokens))
+    {}
+
+    Unit
+    run()
+    {
+        Unit unit;
+        while (peek().kind != Tok::End)
+            unit.functions.push_back(function());
+        return unit;
+    }
+
+  private:
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+
+    const Token &peek(std::size_t ahead = 0) const
+    {
+        std::size_t i = pos_ + ahead;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+
+    Token
+    next()
+    {
+        Token t = peek();
+        if (pos_ < toks_.size() - 1)
+            ++pos_;
+        return t;
+    }
+
+    [[noreturn]] void
+    err(const Token &at, const std::string &what) const
+    {
+        fatal("dcc line %u: %s", at.line, what.c_str());
+    }
+
+    Token
+    expect(Tok kind, const char *what)
+    {
+        if (peek().kind != kind)
+            err(peek(), strprintf("expected %s", what));
+        return next();
+    }
+
+    Function
+    function()
+    {
+        Token fn = expect(Tok::KwFn, "'fn'");
+        Function f;
+        f.line = fn.line;
+        f.name = expect(Tok::Ident, "function name").text;
+        expect(Tok::LParen, "'('");
+        if (peek().kind != Tok::RParen) {
+            for (;;) {
+                f.params.push_back(
+                    expect(Tok::Ident, "parameter name").text);
+                if (peek().kind != Tok::Comma)
+                    break;
+                next();
+            }
+        }
+        expect(Tok::RParen, "')'");
+        expect(Tok::LBrace, "'{'");
+        while (peek().kind != Tok::RBrace)
+            f.body.push_back(statement());
+        expect(Tok::RBrace, "'}'");
+        return f;
+    }
+
+    StmtPtr
+    makeStmt(Stmt::Kind kind, unsigned line)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = line;
+        return s;
+    }
+
+    StmtPtr
+    statement()
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::KwVar: {
+            next();
+            auto s = makeStmt(Stmt::Kind::Var, t.line);
+            s->name = expect(Tok::Ident, "variable name").text;
+            expect(Tok::Assign, "'='");
+            s->value = expression();
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::KwIf: {
+            next();
+            auto s = makeStmt(Stmt::Kind::If, t.line);
+            expect(Tok::LParen, "'('");
+            s->cond = expression();
+            expect(Tok::RParen, "')'");
+            s->body.push_back(statement());
+            if (peek().kind == Tok::KwElse) {
+                next();
+                s->els.push_back(statement());
+            }
+            return s;
+          }
+          case Tok::KwWhile: {
+            next();
+            auto s = makeStmt(Stmt::Kind::While, t.line);
+            expect(Tok::LParen, "'('");
+            s->cond = expression();
+            expect(Tok::RParen, "')'");
+            s->body.push_back(statement());
+            return s;
+          }
+          case Tok::KwReturn: {
+            next();
+            auto s = makeStmt(Stmt::Kind::Return, t.line);
+            if (peek().kind != Tok::Semi)
+                s->value = expression();
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          case Tok::LBrace: {
+            next();
+            auto s = makeStmt(Stmt::Kind::Block, t.line);
+            while (peek().kind != Tok::RBrace)
+                s->body.push_back(statement());
+            expect(Tok::RBrace, "'}'");
+            return s;
+          }
+          case Tok::Ident: {
+            // assignment or call-statement
+            if (peek(1).kind == Tok::Assign) {
+                auto s = makeStmt(Stmt::Kind::Assign, t.line);
+                s->name = next().text;
+                next(); // '='
+                s->value = expression();
+                expect(Tok::Semi, "';'");
+                return s;
+            }
+            auto s = makeStmt(Stmt::Kind::ExprStmt, t.line);
+            s->value = expression();
+            expect(Tok::Semi, "';'");
+            return s;
+          }
+          default:
+            err(t, "expected a statement");
+        }
+    }
+
+    static int
+    precedence(Tok op)
+    {
+        switch (op) {
+          case Tok::OrOr:
+            return 1;
+          case Tok::AndAnd:
+            return 2;
+          case Tok::Eq: case Tok::Ne: case Tok::Lt: case Tok::Le:
+          case Tok::Gt: case Tok::Ge:
+            return 3;
+          case Tok::Pipe:
+            return 4;
+          case Tok::Caret:
+            return 5;
+          case Tok::Amp:
+            return 6;
+          case Tok::Shl: case Tok::Shr:
+            return 7;
+          case Tok::Plus: case Tok::Minus:
+            return 8;
+          case Tok::Star:
+            return 9;
+          default:
+            return 0;
+        }
+    }
+
+    ExprPtr
+    makeExpr(Expr::Kind kind, unsigned line)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = line;
+        return e;
+    }
+
+    ExprPtr
+    expression(int min_prec = 1)
+    {
+        ExprPtr lhs = unary();
+        for (;;) {
+            Tok op = peek().kind;
+            int prec = precedence(op);
+            if (prec < min_prec)
+                return lhs;
+            unsigned line = next().line;
+            ExprPtr rhs = expression(prec + 1);
+            auto e = makeExpr(Expr::Kind::Binary, line);
+            e->op = op;
+            e->lhs = std::move(lhs);
+            e->rhs = std::move(rhs);
+            lhs = std::move(e);
+        }
+    }
+
+    ExprPtr
+    unary()
+    {
+        const Token &t = peek();
+        if (t.kind == Tok::Minus || t.kind == Tok::Bang) {
+            next();
+            auto e = makeExpr(Expr::Kind::Unary, t.line);
+            e->op = t.kind;
+            e->lhs = unary();
+            return e;
+        }
+        return primary();
+    }
+
+    ExprPtr
+    primary()
+    {
+        Token t = next();
+        switch (t.kind) {
+          case Tok::Number: {
+            auto e = makeExpr(Expr::Kind::Number, t.line);
+            e->value = t.value;
+            return e;
+          }
+          case Tok::Ident: {
+            if (peek().kind == Tok::LParen) {
+                next();
+                auto e = makeExpr(Expr::Kind::Call, t.line);
+                e->name = t.text;
+                if (peek().kind != Tok::RParen) {
+                    for (;;) {
+                        e->args.push_back(expression());
+                        if (peek().kind != Tok::Comma)
+                            break;
+                        next();
+                    }
+                }
+                expect(Tok::RParen, "')'");
+                return e;
+            }
+            auto e = makeExpr(Expr::Kind::Var, t.line);
+            e->name = t.text;
+            return e;
+          }
+          case Tok::LParen: {
+            ExprPtr e = expression();
+            expect(Tok::RParen, "')'");
+            return e;
+          }
+          default:
+            err(t, "expected an expression");
+        }
+    }
+};
+
+} // namespace
+
+Unit
+parse(std::vector<Token> tokens)
+{
+    return Parser(std::move(tokens)).run();
+}
+
+} // namespace disc::dcc

@@ -1,0 +1,795 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace disc
+{
+
+PAddr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return static_cast<PAddr>(it->second);
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols.count(name) != 0;
+}
+
+namespace
+{
+
+/** One tokenised source line. */
+struct Line
+{
+    unsigned number = 0;
+    std::string label;
+    std::string mnemonic;              // lower-cased, suffix stripped
+    WCtl wctl = WCtl::None;
+    std::vector<std::string> operands; // comma-separated, trimmed
+    bool isDirective = false;
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+toLower(std::string s)
+{
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+/** Split the operand field on top-level commas. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    std::string last = trim(cur);
+    if (!last.empty() || !out.empty())
+        out.push_back(last);
+    return out;
+}
+
+std::optional<Line>
+tokenize(const std::string &raw, unsigned number)
+{
+    std::string text = raw;
+    // Strip comments.
+    for (char marker : {';', '#'}) {
+        std::size_t pos = text.find(marker);
+        if (pos != std::string::npos)
+            text = text.substr(0, pos);
+    }
+    text = trim(text);
+    if (text.empty())
+        return std::nullopt;
+
+    Line line;
+    line.number = number;
+
+    // Leading label?
+    std::size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+        std::string maybe_label = trim(text.substr(0, colon));
+        bool ok = !maybe_label.empty() && isIdentStart(maybe_label[0]);
+        for (char c : maybe_label)
+            ok = ok && isIdentChar(c);
+        if (ok) {
+            line.label = maybe_label;
+            text = trim(text.substr(colon + 1));
+        }
+    }
+    if (text.empty())
+        return line;
+
+    std::size_t sp = text.find_first_of(" \t");
+    std::string mnem = sp == std::string::npos ? text : text.substr(0, sp);
+    std::string rest = sp == std::string::npos ? "" : trim(text.substr(sp));
+
+    mnem = toLower(mnem);
+    if (!mnem.empty() && mnem[0] == '.') {
+        line.isDirective = true;
+    } else if (!mnem.empty() && (mnem.back() == '+' || mnem.back() == '-')) {
+        line.wctl = mnem.back() == '+' ? WCtl::Inc : WCtl::Dec;
+        mnem.pop_back();
+    }
+    line.mnemonic = mnem;
+    line.operands = splitOperands(rest);
+    return line;
+}
+
+/** Register-name lookup; returns std::nullopt for non-registers. */
+std::optional<unsigned>
+parseReg(const std::string &tok)
+{
+    std::string t = toLower(tok);
+    if (t.size() == 2 && t[0] == 'r' && t[1] >= '0' && t[1] <= '7')
+        return static_cast<unsigned>(t[1] - '0');
+    if (t.size() == 2 && t[0] == 'g' && t[1] >= '0' && t[1] <= '3')
+        return reg::G0 + static_cast<unsigned>(t[1] - '0');
+    if (t == "sr")
+        return reg::SR;
+    if (t == "irr")
+        return reg::IRR;
+    if (t == "imr")
+        return reg::IMR;
+    if (t == "awp")
+        return reg::AWP;
+    return std::nullopt;
+}
+
+/** One raw source line with the line number errors should cite. */
+struct RawLine
+{
+    std::string text;
+    unsigned number;
+};
+
+/**
+ * Macro/repeat preprocessor. Handles, at text level:
+ *
+ *   .macro NAME [p1, p2, ...]   ...body...   .endm
+ *   .rept N                     ...body...   .endr
+ *
+ * Inside a macro body, "\p" substitutes a parameter and "\@" a
+ * counter unique to each expansion (for local labels). Expanded lines
+ * keep the invocation site's line number for error reporting.
+ */
+class Preprocessor
+{
+  public:
+    std::vector<RawLine>
+    run(const std::string &source)
+    {
+        std::vector<RawLine> raw;
+        unsigned number = 0;
+        std::size_t pos = 0;
+        while (pos <= source.size()) {
+            std::size_t nl = source.find('\n', pos);
+            std::string text = nl == std::string::npos
+                                   ? source.substr(pos)
+                                   : source.substr(pos, nl - pos);
+            raw.push_back({std::move(text), ++number});
+            if (nl == std::string::npos)
+                break;
+            pos = nl + 1;
+        }
+        std::vector<RawLine> out;
+        expand(raw, out, 0);
+        return out;
+    }
+
+  private:
+    struct Macro
+    {
+        std::vector<std::string> params;
+        std::vector<RawLine> body;
+    };
+
+    std::map<std::string, Macro> macros_;
+    unsigned expansions_ = 0;
+
+    /** Strip comments/space and return the first token, lowered. */
+    static std::string
+    firstToken(const std::string &raw, std::string &rest)
+    {
+        std::string text = raw;
+        for (char marker : {';', '#'}) {
+            std::size_t p = text.find(marker);
+            if (p != std::string::npos)
+                text = text.substr(0, p);
+        }
+        text = trim(text);
+        std::size_t sp = text.find_first_of(" \t");
+        std::string head =
+            sp == std::string::npos ? text : text.substr(0, sp);
+        rest = sp == std::string::npos ? "" : trim(text.substr(sp));
+        return toLower(head);
+    }
+
+    void
+    expand(const std::vector<RawLine> &in, std::vector<RawLine> &out,
+           unsigned depth)
+    {
+        if (depth > 16)
+            fatal("asm: macro expansion nested deeper than 16 levels");
+        for (std::size_t i = 0; i < in.size(); ++i) {
+            std::string rest;
+            std::string head = firstToken(in[i].text, rest);
+
+            if (head == ".macro") {
+                // ".macro NAME [p1, p2, ...]": the name is the first
+                // whitespace token, parameters follow comma-separated.
+                std::size_t sp = rest.find_first_of(" \t");
+                std::string name = toLower(
+                    trim(sp == std::string::npos ? rest
+                                                 : rest.substr(0, sp)));
+                std::string params_text =
+                    sp == std::string::npos ? "" : trim(rest.substr(sp));
+                if (name.empty())
+                    fatal("asm line %u: .macro needs a name",
+                          in[i].number);
+                Macro m;
+                for (const std::string &param :
+                     splitOperands(params_text)) {
+                    if (!param.empty())
+                        m.params.push_back(toLower(param));
+                }
+                std::size_t j = i + 1;
+                for (; j < in.size(); ++j) {
+                    std::string r2;
+                    if (firstToken(in[j].text, r2) == ".endm")
+                        break;
+                    m.body.push_back(in[j]);
+                }
+                if (j == in.size())
+                    fatal("asm line %u: .macro without .endm",
+                          in[i].number);
+                macros_[name] = std::move(m);
+                i = j;
+                continue;
+            }
+            if (head == ".rept") {
+                long count = 0;
+                try {
+                    count = std::stol(rest, nullptr, 0);
+                } catch (...) {
+                    fatal("asm line %u: bad .rept count '%s'",
+                          in[i].number, rest.c_str());
+                }
+                if (count < 0 || count > 65536)
+                    fatal("asm line %u: .rept count out of range",
+                          in[i].number);
+                std::vector<RawLine> body;
+                std::size_t j = i + 1;
+                unsigned nest = 1;
+                for (; j < in.size(); ++j) {
+                    std::string r2;
+                    std::string h2 = firstToken(in[j].text, r2);
+                    if (h2 == ".rept")
+                        ++nest;
+                    if (h2 == ".endr" && --nest == 0)
+                        break;
+                    body.push_back(in[j]);
+                }
+                if (j == in.size())
+                    fatal("asm line %u: .rept without .endr",
+                          in[i].number);
+                for (long k = 0; k < count; ++k)
+                    expand(body, out, depth + 1);
+                i = j;
+                continue;
+            }
+
+            auto it = macros_.find(head);
+            if (it != macros_.end()) {
+                auto args = splitOperands(rest);
+                if (args.size() == 1 && args[0].empty())
+                    args.clear();
+                const Macro &m = it->second;
+                if (args.size() != m.params.size()) {
+                    fatal("asm line %u: macro '%s' expects %zu "
+                          "argument(s), got %zu",
+                          in[i].number, head.c_str(), m.params.size(),
+                          args.size());
+                }
+                unsigned uniq = ++expansions_;
+                std::vector<RawLine> body;
+                for (const RawLine &b : m.body) {
+                    std::string text = b.text;
+                    for (std::size_t p = 0; p < m.params.size(); ++p) {
+                        substitute(text, "\\" + m.params[p], args[p]);
+                    }
+                    substitute(text, "\\@", strprintf("%u", uniq));
+                    body.push_back({std::move(text), in[i].number});
+                }
+                expand(body, out, depth + 1);
+                continue;
+            }
+
+            out.push_back(in[i]);
+        }
+    }
+
+    /** Replace every occurrence of @p from in @p text. */
+    static void
+    substitute(std::string &text, const std::string &from,
+               const std::string &to)
+    {
+        std::size_t pos = 0;
+        while ((pos = text.find(from, pos)) != std::string::npos) {
+            // Do not chop a longer parameter name: the next character
+            // must not continue the identifier.
+            std::size_t end = pos + from.size();
+            if (from != "\\@" && end < text.size() &&
+                isIdentChar(text[end])) {
+                pos = end;
+                continue;
+            }
+            text.replace(pos, from.size(), to);
+            pos += to.size();
+        }
+    }
+};
+
+/** Assembler working state shared by both passes. */
+class Assembler
+{
+  public:
+    explicit Assembler(const std::string &source)
+    {
+        for (const RawLine &raw : Preprocessor().run(source)) {
+            if (auto line = tokenize(raw.text, raw.number))
+                lines_.push_back(std::move(*line));
+        }
+    }
+
+    Program
+    run()
+    {
+        pass(/*emit=*/false);
+        pass(/*emit=*/true);
+        return std::move(prog_);
+    }
+
+  private:
+    std::vector<Line> lines_;
+    Program prog_;
+    PAddr pc_ = 0;
+    bool emitting_ = false;
+    unsigned curLine_ = 0;
+
+    [[noreturn]] void
+    err(const std::string &what) const
+    {
+        fatal("asm line %u: %s", curLine_, what.c_str());
+    }
+
+    long
+    parseNumber(const std::string &tok) const
+    {
+        std::string t = trim(tok);
+        if (t.empty())
+            err("empty expression");
+        bool neg = false;
+        if (t[0] == '-' || t[0] == '+') {
+            neg = t[0] == '-';
+            t = t.substr(1);
+        }
+        long value = 0;
+        try {
+            std::size_t used = 0;
+            if (t.size() > 2 && t[0] == '0' &&
+                (t[1] == 'x' || t[1] == 'X')) {
+                value = std::stol(t.substr(2), &used, 16);
+                used += 2;
+            } else if (t.size() > 2 && t[0] == '0' &&
+                       (t[1] == 'b' || t[1] == 'B')) {
+                value = std::stol(t.substr(2), &used, 2);
+                used += 2;
+            } else if (std::isdigit(static_cast<unsigned char>(t[0]))) {
+                value = std::stol(t, &used, 10);
+            } else {
+                err(strprintf("expected number, got '%s'", t.c_str()));
+            }
+            if (used != t.size())
+                err(strprintf("trailing junk in number '%s'", t.c_str()));
+        } catch (const FatalError &) {
+            throw;
+        } catch (...) {
+            err(strprintf("bad number '%s'", t.c_str()));
+        }
+        return neg ? -value : value;
+    }
+
+    /** Evaluate NUMBER | SYMBOL | SYMBOL+NUM | SYMBOL-NUM. */
+    long
+    evalExpr(const std::string &tok) const
+    {
+        std::string t = trim(tok);
+        if (t.empty())
+            err("empty expression");
+        if (!isIdentStart(t[0]) || parseReg(t))
+            return parseNumber(t);
+
+        std::size_t split = t.find_first_of("+-", 1);
+        std::string sym = trim(split == std::string::npos
+                                   ? t
+                                   : t.substr(0, split));
+        auto it = prog_.symbols.find(sym);
+        long base;
+        if (it == prog_.symbols.end()) {
+            if (emitting_)
+                err(strprintf("undefined symbol '%s'", sym.c_str()));
+            base = 0; // pass 1: forward reference, placeholder
+        } else {
+            base = static_cast<long>(it->second);
+        }
+        if (split == std::string::npos)
+            return base;
+        long offset = parseNumber(t.substr(split + 1));
+        return t[split] == '+' ? base + offset : base - offset;
+    }
+
+    unsigned
+    needReg(const std::string &tok) const
+    {
+        auto r = parseReg(tok);
+        if (!r)
+            err(strprintf("expected register, got '%s'", tok.c_str()));
+        return *r;
+    }
+
+    long
+    needRange(long v, long lo, long hi, const char *what) const
+    {
+        if (v < lo || v > hi) {
+            err(strprintf("%s %ld out of range [%ld, %ld]", what, v, lo,
+                          hi));
+        }
+        return v;
+    }
+
+    /** Parse "[ra]", "[ra+imm]", "[ra-imm]" or (direct) "[imm]". */
+    void
+    parseMemOperand(const std::string &tok, std::optional<unsigned> &base,
+                    long &offset) const
+    {
+        std::string t = trim(tok);
+        if (t.size() < 2 || t.front() != '[' || t.back() != ']')
+            err(strprintf("expected memory operand, got '%s'", t.c_str()));
+        std::string inner = trim(t.substr(1, t.size() - 2));
+        if (inner.empty())
+            err("empty memory operand");
+        // Try "reg", "reg+expr", "reg-expr".
+        std::size_t split = inner.find_first_of("+-");
+        std::string first =
+            trim(split == std::string::npos ? inner : inner.substr(0, split));
+        if (auto r = parseReg(first)) {
+            base = *r;
+            offset = 0;
+            if (split != std::string::npos) {
+                long v = evalExpr(inner.substr(split + 1));
+                offset = inner[split] == '+' ? v : -v;
+            }
+            return;
+        }
+        base = std::nullopt;
+        offset = evalExpr(inner);
+    }
+
+    void
+    emit(const Instruction &inst)
+    {
+        if (emitting_) {
+            if (prog_.code.size() <= pc_)
+                prog_.code.resize(pc_ + 1, encode(makeOp(Opcode::NOP)));
+            prog_.code[pc_] = encode(inst);
+        }
+        ++pc_;
+    }
+
+    void
+    directive(const Line &line)
+    {
+        const auto &ops = line.operands;
+        if (line.mnemonic == ".org") {
+            if (ops.size() != 1)
+                err(".org takes one operand");
+            long a = evalExpr(ops[0]);
+            needRange(a, 0, 0xffff, ".org address");
+            pc_ = static_cast<PAddr>(a);
+        } else if (line.mnemonic == ".equ") {
+            if (ops.size() != 2)
+                err(".equ takes NAME, VALUE");
+            long v = evalExpr(ops[1]);
+            if (!emitting_)
+                prog_.symbols[ops[0]] = static_cast<std::uint32_t>(v);
+        } else if (line.mnemonic == ".dmem") {
+            if (ops.size() != 2)
+                err(".dmem takes ADDR, VALUE");
+            long a = evalExpr(ops[0]);
+            long v = evalExpr(ops[1]);
+            needRange(a, 0, kInternalMemWords - 1, ".dmem address");
+            needRange(v, -32768, 65535, ".dmem value");
+            if (emitting_) {
+                prog_.dataInit.emplace_back(static_cast<Addr>(a),
+                                            static_cast<Word>(v));
+            }
+        } else {
+            err(strprintf("unknown directive '%s'", line.mnemonic.c_str()));
+        }
+    }
+
+    std::optional<Cond>
+    branchCond(const std::string &mnem) const
+    {
+        for (unsigned c = 0; c < 8; ++c) {
+            if (mnem == condMnemonic(static_cast<Cond>(c)))
+                return static_cast<Cond>(c);
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Opcode>
+    findOpcode(const std::string &mnem) const
+    {
+        for (unsigned i = 0; i < kNumOpcodes; ++i) {
+            auto op = static_cast<Opcode>(i);
+            if (mnem == opInfo(op).mnemonic)
+                return op;
+        }
+        return std::nullopt;
+    }
+
+    void
+    instruction(const Line &line)
+    {
+        const auto &ops = line.operands;
+        auto nops = ops.size() == 1 && ops[0].empty() ? 0 : ops.size();
+
+        auto needOps = [&](std::size_t n) {
+            if (nops != n) {
+                err(strprintf("'%s' expects %zu operand(s), got %zu",
+                              line.mnemonic.c_str(), n, nops));
+            }
+        };
+
+        // Branch mnemonics map onto BR with a condition field.
+        if (auto cond = branchCond(line.mnemonic)) {
+            needOps(1);
+            long target = evalExpr(ops[0]);
+            long offset = target - static_cast<long>(pc_);
+            if (emitting_)
+                needRange(offset, -2048, 2047, "branch offset");
+            Instruction inst = makeBranch(*cond, static_cast<int>(offset));
+            inst.wctl = line.wctl;
+            emit(inst);
+            return;
+        }
+
+        auto op = findOpcode(line.mnemonic);
+        if (!op)
+            err(strprintf("unknown mnemonic '%s'", line.mnemonic.c_str()));
+        Instruction inst;
+        inst.op = *op;
+        inst.wctl = line.wctl;
+
+        switch (inst.info().format) {
+          case Format::None:
+            needOps(0);
+            break;
+          case Format::R3:
+            needOps(3);
+            inst.rd = needReg(ops[0]);
+            inst.ra = needReg(ops[1]);
+            inst.rb = needReg(ops[2]);
+            break;
+          case Format::R2:
+            needOps(2);
+            inst.rd = needReg(ops[0]);
+            if (inst.op == Opcode::TAS) {
+                std::optional<unsigned> base;
+                long off = 0;
+                parseMemOperand(ops[1], base, off);
+                if (!base || off != 0)
+                    err("tas needs a register-indirect operand [ra]");
+                inst.ra = *base;
+            } else {
+                inst.ra = needReg(ops[1]);
+            }
+            break;
+          case Format::R1D:
+            needOps(1);
+            inst.rd = needReg(ops[0]);
+            break;
+          case Format::R1A:
+            needOps(1);
+            inst.ra = needReg(ops[0]);
+            break;
+          case Format::RR:
+            needOps(2);
+            inst.ra = needReg(ops[0]);
+            inst.rb = needReg(ops[1]);
+            break;
+          case Format::RI: {
+            const OpInfo &oi = inst.info();
+            if (oi.isExternal || oi.isInternalMem) {
+                needOps(2);
+                inst.rd = needReg(ops[0]);
+                std::optional<unsigned> base;
+                long off = 0;
+                parseMemOperand(ops[1], base, off);
+                if (!base)
+                    err("this addressing mode needs a base register");
+                inst.ra = *base;
+                inst.imm = static_cast<int>(
+                    needRange(off, -128, 127, "offset"));
+            } else {
+                needOps(3);
+                inst.rd = needReg(ops[0]);
+                inst.ra = needReg(ops[1]);
+                inst.imm = static_cast<int>(needRange(
+                    evalExpr(ops[2]), -128, 127, "immediate"));
+            }
+            break;
+          }
+          case Format::RIA:
+            needOps(2);
+            inst.ra = needReg(ops[0]);
+            inst.imm = static_cast<int>(
+                needRange(evalExpr(ops[1]), -128, 127, "immediate"));
+            break;
+          case Format::DI:
+            needOps(2);
+            inst.rd = needReg(ops[0]);
+            inst.imm = static_cast<int>(needRange(
+                evalExpr(ops[1]), -2048, 2047, "ldi immediate"));
+            break;
+          case Format::IH:
+            needOps(2);
+            inst.rd = needReg(ops[0]);
+            inst.imm = static_cast<int>(
+                needRange(evalExpr(ops[1]), 0, 255, "ldih immediate"));
+            break;
+          case Format::MD: {
+            needOps(2);
+            inst.rd = needReg(ops[0]);
+            std::optional<unsigned> base;
+            long off = 0;
+            parseMemOperand(ops[1], base, off);
+            if (base)
+                err("direct form takes '[addr]' with no register");
+            inst.imm = static_cast<int>(
+                needRange(off, 0, 511, "direct address"));
+            break;
+          }
+          case Format::J:
+            needOps(1);
+            inst.imm = static_cast<int>(needRange(
+                evalExpr(ops[0]), 0, 0xffff, "jump target"));
+            break;
+          case Format::B:
+            // Raw "br" is not exposed; branches use beq/bne/... forms.
+            err("use a condition mnemonic (beq/bne/...), not 'br'");
+          case Format::Ret:
+            if (nops == 0) {
+                inst.imm = 0;
+            } else {
+                needOps(1);
+                inst.imm = static_cast<int>(needRange(
+                    evalExpr(ops[0]), 0, 15, "ret pop count"));
+            }
+            break;
+          case Format::Swi:
+            needOps(2);
+            inst.stream = static_cast<std::uint8_t>(needRange(
+                evalExpr(ops[0]), 0, kNumStreams - 1, "stream"));
+            inst.bit = static_cast<std::uint8_t>(
+                needRange(evalExpr(ops[1]), 0, 7, "interrupt bit"));
+            break;
+          case Format::Clr:
+            needOps(1);
+            inst.bit = static_cast<std::uint8_t>(
+                needRange(evalExpr(ops[0]), 0, 7, "interrupt bit"));
+            break;
+          case Format::Fork:
+            needOps(2);
+            inst.stream = static_cast<std::uint8_t>(needRange(
+                evalExpr(ops[0]), 0, kNumStreams - 1, "stream"));
+            inst.imm = static_cast<int>(needRange(
+                evalExpr(ops[1]), 0, 0xfff, "fork target"));
+            break;
+          case Format::ForkR:
+            needOps(2);
+            inst.stream = static_cast<std::uint8_t>(needRange(
+                evalExpr(ops[0]), 0, kNumStreams - 1, "stream"));
+            inst.ra = needReg(ops[1]);
+            break;
+          case Format::Sched:
+            needOps(2);
+            inst.slot = static_cast<std::uint8_t>(needRange(
+                evalExpr(ops[0]), 0, kScheduleSlots - 1, "slot"));
+            inst.stream = static_cast<std::uint8_t>(needRange(
+                evalExpr(ops[1]), 0, kNumStreams - 1, "stream"));
+            break;
+        }
+        emit(inst);
+    }
+
+    void
+    pass(bool emit_pass)
+    {
+        emitting_ = emit_pass;
+        pc_ = 0;
+        if (emit_pass)
+            prog_.dataInit.clear();
+        for (const auto &line : lines_) {
+            curLine_ = line.number;
+            if (!line.label.empty()) {
+                if (!emitting_) {
+                    if (prog_.symbols.count(line.label)) {
+                        err(strprintf("duplicate label '%s'",
+                                      line.label.c_str()));
+                    }
+                    prog_.symbols[line.label] = pc_;
+                }
+            }
+            if (line.mnemonic.empty())
+                continue;
+            if (line.isDirective)
+                directive(line);
+            else
+                instruction(line);
+        }
+    }
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    return Assembler(source).run();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::string out;
+    for (std::size_t a = 0; a < prog.code.size(); ++a) {
+        Instruction inst = decode(prog.code[a]);
+        out += strprintf("%04zx: %06x  %s\n", a,
+                         static_cast<unsigned>(prog.code[a]),
+                         inst.toString().c_str());
+    }
+    return out;
+}
+
+} // namespace disc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-pass text assembler for the DISC1 ISA.
+ *
+ * Syntax summary (one statement per line, ';' or '#' start a comment):
+ *
+ *   .org  ADDR          set the program counter for following code
+ *   .equ  NAME, VALUE   define a constant
+ *   .dmem ADDR, VALUE   preload one internal data-memory word
+ *   label:              define a label at the current address
+ *   mnemonic operands   one instruction (see below)
+ *
+ * A '+' or '-' suffix on any mnemonic sets the window-control field
+ * (AWP auto increment/decrement after the instruction), e.g. "add+".
+ *
+ * Register names: r0..r7 (window locals), g0..g3 (globals), sr, irr,
+ * imr, awp (specials).
+ *
+ * Memory operands: "[ra]", "[ra+imm]", "[ra-imm]"; direct internal
+ * forms take "[imm]". Branches (beq/bne/blt/bge/bult/buge/bmi/bpl)
+ * take a label or numeric absolute target and assemble a PC-relative
+ * offset. Immediates and addresses may be decimal, 0x hex, 0b binary,
+ * a symbol, or symbol+/-constant.
+ */
+
+#ifndef DISC_ISA_ASSEMBLER_HH
+#define DISC_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace disc
+{
+
+/**
+ * Assemble DISC1 assembly source text.
+ * @param source full program text.
+ * @return the assembled program.
+ * @throws FatalError on any syntax or range error (message carries the
+ *         line number).
+ */
+Program assemble(const std::string &source);
+
+/** Disassemble a program image into listing text (addr: word  asm). */
+std::string disassemble(const Program &prog);
+
+} // namespace disc
+
+#endif // DISC_ISA_ASSEMBLER_HH

@@ -1,0 +1,459 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+namespace reg
+{
+
+std::string
+name(unsigned r)
+{
+    if (isWindow(r))
+        return strprintf("r%u", r);
+    if (isGlobal(r))
+        return strprintf("g%u", r - G0);
+    switch (r) {
+      case SR: return "sr";
+      case IRR: return "irr";
+      case IMR: return "imr";
+      case AWP: return "awp";
+      default: return strprintf("?%u", r);
+    }
+}
+
+} // namespace reg
+
+namespace
+{
+
+constexpr std::uint32_t kWordMask = 0xffffffu;
+
+int
+signExtend(std::uint32_t value, unsigned bits)
+{
+    std::uint32_t sign = 1u << (bits - 1);
+    std::uint32_t mask = (1u << bits) - 1;
+    value &= mask;
+    return static_cast<int>((value ^ sign)) - static_cast<int>(sign);
+}
+
+std::uint32_t
+bits(std::uint32_t word, unsigned hi, unsigned lo)
+{
+    return (word >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+} // namespace
+
+Instruction
+decode(InstWord word)
+{
+    word &= kWordMask;
+    Instruction inst;
+    unsigned op_field = bits(word, 23, 18);
+    if (op_field >= kNumOpcodes) {
+        // Illegal opcode; machine layer raises the interrupt via
+        // isLegal(), we conservatively decode to NOP.
+        inst.op = Opcode::NOP;
+        return inst;
+    }
+    inst.op = static_cast<Opcode>(op_field);
+    unsigned wctl = bits(word, 17, 16);
+    inst.wctl = wctl <= 2 ? static_cast<WCtl>(wctl) : WCtl::None;
+
+    switch (inst.info().format) {
+      case Format::None:
+        break;
+      case Format::R3:
+        inst.rd = bits(word, 15, 12);
+        inst.ra = bits(word, 11, 8);
+        inst.rb = bits(word, 7, 4);
+        break;
+      case Format::R2:
+        inst.rd = bits(word, 15, 12);
+        inst.ra = bits(word, 11, 8);
+        break;
+      case Format::R1D:
+        inst.rd = bits(word, 15, 12);
+        break;
+      case Format::R1A:
+        inst.ra = bits(word, 11, 8);
+        break;
+      case Format::RR:
+        inst.ra = bits(word, 11, 8);
+        inst.rb = bits(word, 7, 4);
+        break;
+      case Format::RI:
+        inst.rd = bits(word, 15, 12);
+        inst.ra = bits(word, 11, 8);
+        inst.imm = signExtend(bits(word, 7, 0), 8);
+        break;
+      case Format::RIA:
+        inst.ra = bits(word, 11, 8);
+        inst.imm = signExtend(bits(word, 7, 0), 8);
+        break;
+      case Format::DI:
+        inst.rd = bits(word, 15, 12);
+        inst.imm = signExtend(bits(word, 11, 0), 12);
+        break;
+      case Format::IH:
+        inst.rd = bits(word, 15, 12);
+        inst.imm = static_cast<int>(bits(word, 7, 0));
+        break;
+      case Format::MD:
+        inst.rd = bits(word, 15, 12);
+        inst.imm = static_cast<int>(bits(word, 8, 0));
+        break;
+      case Format::J:
+        inst.imm = static_cast<int>(bits(word, 15, 0));
+        break;
+      case Format::B:
+        inst.cond = static_cast<Cond>(bits(word, 15, 12) & 0x7);
+        inst.imm = signExtend(bits(word, 11, 0), 12);
+        break;
+      case Format::Ret:
+        inst.imm = static_cast<int>(bits(word, 3, 0));
+        break;
+      case Format::Swi:
+        inst.stream = bits(word, 13, 12);
+        inst.bit = bits(word, 2, 0);
+        break;
+      case Format::Clr:
+        inst.bit = bits(word, 2, 0);
+        break;
+      case Format::Fork:
+        inst.stream = bits(word, 13, 12);
+        inst.imm = static_cast<int>(bits(word, 11, 0));
+        break;
+      case Format::ForkR:
+        inst.stream = bits(word, 13, 12);
+        inst.ra = bits(word, 11, 8);
+        break;
+      case Format::Sched:
+        inst.slot = bits(word, 15, 12);
+        inst.stream = bits(word, 1, 0);
+        break;
+    }
+    return inst;
+}
+
+bool
+isLegal(InstWord word)
+{
+    word &= kWordMask;
+    unsigned op_field = bits(word, 23, 18);
+    if (op_field >= kNumOpcodes)
+        return false;
+    if (bits(word, 17, 16) == 3)
+        return false;
+    return true;
+}
+
+InstWord
+encode(const Instruction &inst)
+{
+    std::uint32_t word = static_cast<std::uint32_t>(inst.op) << 18;
+    word |= static_cast<std::uint32_t>(inst.wctl) << 16;
+
+    auto field = [](std::uint32_t v, unsigned hi, unsigned lo) {
+        std::uint32_t mask = (1u << (hi - lo + 1)) - 1;
+        return (v & mask) << lo;
+    };
+
+    switch (inst.info().format) {
+      case Format::None:
+        break;
+      case Format::R3:
+        word |= field(inst.rd, 15, 12) | field(inst.ra, 11, 8) |
+                field(inst.rb, 7, 4);
+        break;
+      case Format::R2:
+        word |= field(inst.rd, 15, 12) | field(inst.ra, 11, 8);
+        break;
+      case Format::R1D:
+        word |= field(inst.rd, 15, 12);
+        break;
+      case Format::R1A:
+        word |= field(inst.ra, 11, 8);
+        break;
+      case Format::RR:
+        word |= field(inst.ra, 11, 8) | field(inst.rb, 7, 4);
+        break;
+      case Format::RI:
+        word |= field(inst.rd, 15, 12) | field(inst.ra, 11, 8) |
+                field(static_cast<std::uint32_t>(inst.imm), 7, 0);
+        break;
+      case Format::RIA:
+        word |= field(inst.ra, 11, 8) |
+                field(static_cast<std::uint32_t>(inst.imm), 7, 0);
+        break;
+      case Format::DI:
+        word |= field(inst.rd, 15, 12) |
+                field(static_cast<std::uint32_t>(inst.imm), 11, 0);
+        break;
+      case Format::IH:
+        word |= field(inst.rd, 15, 12) |
+                field(static_cast<std::uint32_t>(inst.imm), 7, 0);
+        break;
+      case Format::MD:
+        word |= field(inst.rd, 15, 12) |
+                field(static_cast<std::uint32_t>(inst.imm), 8, 0);
+        break;
+      case Format::J:
+        word |= field(static_cast<std::uint32_t>(inst.imm), 15, 0);
+        break;
+      case Format::B:
+        word |= field(static_cast<std::uint32_t>(inst.cond), 15, 12) |
+                field(static_cast<std::uint32_t>(inst.imm), 11, 0);
+        break;
+      case Format::Ret:
+        word |= field(static_cast<std::uint32_t>(inst.imm), 3, 0);
+        break;
+      case Format::Swi:
+        word |= field(inst.stream, 13, 12) | field(inst.bit, 2, 0);
+        break;
+      case Format::Clr:
+        word |= field(inst.bit, 2, 0);
+        break;
+      case Format::Fork:
+        word |= field(inst.stream, 13, 12) |
+                field(static_cast<std::uint32_t>(inst.imm), 11, 0);
+        break;
+      case Format::ForkR:
+        word |= field(inst.stream, 13, 12) | field(inst.ra, 11, 8);
+        break;
+      case Format::Sched:
+        word |= field(inst.slot, 15, 12) | field(inst.stream, 1, 0);
+        break;
+    }
+    return word & kWordMask;
+}
+
+std::string
+Instruction::toString() const
+{
+    const OpInfo &oi = info();
+    std::string out;
+    if (op == Opcode::BR)
+        out = std::string(condMnemonic(cond));
+    else
+        out = std::string(oi.mnemonic);
+    if (wctl == WCtl::Inc)
+        out += "+";
+    else if (wctl == WCtl::Dec)
+        out += "-";
+
+    switch (oi.format) {
+      case Format::None:
+        break;
+      case Format::R3:
+        out += strprintf(" %s, %s, %s", reg::name(rd).c_str(),
+                         reg::name(ra).c_str(), reg::name(rb).c_str());
+        break;
+      case Format::R2:
+        if (op == Opcode::TAS)
+            out += strprintf(" %s, [%s]", reg::name(rd).c_str(),
+                             reg::name(ra).c_str());
+        else
+            out += strprintf(" %s, %s", reg::name(rd).c_str(),
+                             reg::name(ra).c_str());
+        break;
+      case Format::R1D:
+        out += strprintf(" %s", reg::name(rd).c_str());
+        break;
+      case Format::R1A:
+        out += strprintf(" %s", reg::name(ra).c_str());
+        break;
+      case Format::RR:
+        out += strprintf(" %s, %s", reg::name(ra).c_str(),
+                         reg::name(rb).c_str());
+        break;
+      case Format::RI:
+        if (oi.isExternal || oi.isInternalMem) {
+            out += strprintf(" %s, [%s%+d]", reg::name(rd).c_str(),
+                             reg::name(ra).c_str(), imm);
+        } else {
+            out += strprintf(" %s, %s, %d", reg::name(rd).c_str(),
+                             reg::name(ra).c_str(), imm);
+        }
+        break;
+      case Format::RIA:
+        out += strprintf(" %s, %d", reg::name(ra).c_str(), imm);
+        break;
+      case Format::DI:
+      case Format::IH:
+        out += strprintf(" %s, %d", reg::name(rd).c_str(), imm);
+        break;
+      case Format::MD:
+        out += strprintf(" %s, [%d]", reg::name(rd).c_str(), imm);
+        break;
+      case Format::J:
+        out += strprintf(" 0x%04x", static_cast<unsigned>(imm));
+        break;
+      case Format::B:
+        out += strprintf(" %+d", imm);
+        break;
+      case Format::Ret:
+        out += strprintf(" %d", imm);
+        break;
+      case Format::Swi:
+        out += strprintf(" %u, %u", stream, bit);
+        break;
+      case Format::Clr:
+        out += strprintf(" %u", bit);
+        break;
+      case Format::Fork:
+        out += strprintf(" %u, 0x%03x", stream,
+                         static_cast<unsigned>(imm));
+        break;
+      case Format::ForkR:
+        out += strprintf(" %u, %s", stream, reg::name(ra).c_str());
+        break;
+      case Format::Sched:
+        out += strprintf(" %u, %u", slot, stream);
+        break;
+    }
+    return out;
+}
+
+bool
+Instruction::operator==(const Instruction &other) const
+{
+    return encode(*this) == encode(other);
+}
+
+Instruction
+makeR3(Opcode op, unsigned rd, unsigned ra, unsigned rb, WCtl w)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.ra = ra;
+    i.rb = rb;
+    i.wctl = w;
+    return i;
+}
+
+Instruction
+makeR2(Opcode op, unsigned rd, unsigned ra, WCtl w)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.ra = ra;
+    i.wctl = w;
+    return i;
+}
+
+Instruction
+makeRI(Opcode op, unsigned rd, unsigned ra, int imm, WCtl w)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.ra = ra;
+    i.imm = imm;
+    i.wctl = w;
+    return i;
+}
+
+Instruction
+makeLdi(unsigned rd, int imm)
+{
+    Instruction i;
+    i.op = Opcode::LDI;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLdih(unsigned rd, unsigned imm)
+{
+    Instruction i;
+    i.op = Opcode::LDIH;
+    i.rd = rd;
+    i.imm = static_cast<int>(imm & 0xff);
+    return i;
+}
+
+Instruction
+makeJump(Opcode op, PAddr target)
+{
+    Instruction i;
+    i.op = op;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+makeBranch(Cond cond, int offset)
+{
+    Instruction i;
+    i.op = Opcode::BR;
+    i.cond = cond;
+    i.imm = offset;
+    return i;
+}
+
+Instruction
+makeRet(unsigned pops)
+{
+    Instruction i;
+    i.op = Opcode::RET;
+    i.imm = static_cast<int>(pops);
+    return i;
+}
+
+Instruction
+makeSwi(unsigned stream, unsigned bit)
+{
+    Instruction i;
+    i.op = Opcode::SWI;
+    i.stream = stream;
+    i.bit = bit;
+    return i;
+}
+
+Instruction
+makeClri(unsigned bit)
+{
+    Instruction i;
+    i.op = Opcode::CLRI;
+    i.bit = bit;
+    return i;
+}
+
+Instruction
+makeFork(unsigned stream, PAddr target)
+{
+    Instruction i;
+    i.op = Opcode::FORK;
+    i.stream = stream;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+makeSched(unsigned slot, unsigned stream)
+{
+    Instruction i;
+    i.op = Opcode::SCHED;
+    i.slot = slot;
+    i.stream = stream;
+    return i;
+}
+
+Instruction
+makeOp(Opcode op, WCtl w)
+{
+    Instruction i;
+    i.op = op;
+    i.wctl = w;
+    return i;
+}
+
+} // namespace disc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Decoded instruction representation plus encode/decode between the
+ * 24-bit architectural word and the decoded form.
+ */
+
+#ifndef DISC_ISA_INSTRUCTION_HH
+#define DISC_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace disc
+{
+
+/** Register name encodings in the 4-bit register fields. */
+namespace reg
+{
+constexpr unsigned R0 = 0;    ///< window locals are 0..7
+constexpr unsigned G0 = 8;    ///< globals are 8..11
+constexpr unsigned G1 = 9;
+constexpr unsigned G2 = 10;
+constexpr unsigned G3 = 11;
+constexpr unsigned SR = 12;   ///< status register
+constexpr unsigned IRR = 13;  ///< interrupt request register
+constexpr unsigned IMR = 14;  ///< interrupt mask register
+constexpr unsigned AWP = 15;  ///< active window pointer
+
+/** True for window-local register names R0..R7. */
+constexpr bool isWindow(unsigned r) { return r < kNumWindowRegs; }
+/** True for global register names G0..G3. */
+constexpr bool isGlobal(unsigned r) { return r >= 8 && r < 12; }
+/** True for special register names. */
+constexpr bool isSpecial(unsigned r) { return r >= 12 && r < 16; }
+
+/** Printable name for a register field value ("r3", "g1", "sr", ...). */
+std::string name(unsigned r);
+} // namespace reg
+
+/**
+ * A fully decoded DISC1 instruction. The raw 24-bit word can always be
+ * regenerated with encode().
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    WCtl wctl = WCtl::None;
+    std::uint8_t rd = 0;      ///< destination (or store-source) register
+    std::uint8_t ra = 0;      ///< first source register
+    std::uint8_t rb = 0;      ///< second source register
+    Cond cond = Cond::EQ;     ///< BR condition
+    std::int32_t imm = 0;     ///< sign-extended immediate / target / count
+    std::uint8_t stream = 0;  ///< SWI/FORK target stream
+    std::uint8_t bit = 0;     ///< SWI/CLRI interrupt bit
+    std::uint8_t slot = 0;    ///< SCHED slot index
+
+    /** Instruction metadata (format and behaviour flags). */
+    const OpInfo &info() const { return opInfo(op); }
+
+    /** Render as assembly text. */
+    std::string toString() const;
+
+    /** Structural equality (all architected fields). */
+    bool operator==(const Instruction &other) const;
+};
+
+/**
+ * Decode a 24-bit instruction word.
+ *
+ * Undefined opcodes decode to NOP with a warning counter; the hardware
+ * would raise an illegal-instruction interrupt, which the machine layer
+ * implements on top of this by checking isLegal().
+ */
+Instruction decode(InstWord word);
+
+/** True if the word holds a defined opcode with a legal field encoding. */
+bool isLegal(InstWord word);
+
+/** Encode a decoded instruction into its 24-bit word. */
+InstWord encode(const Instruction &inst);
+
+// --- Convenience builders used by tests, examples and the assembler ---
+
+/** rd, ra, rb three-register ALU operation. */
+Instruction makeR3(Opcode op, unsigned rd, unsigned ra, unsigned rb,
+                   WCtl w = WCtl::None);
+/** rd, ra two-register operation (MOV/NOT/NEG/TAS). */
+Instruction makeR2(Opcode op, unsigned rd, unsigned ra,
+                   WCtl w = WCtl::None);
+/** rd, ra, imm8 immediate operation (also LD/ST/LDM/STM). */
+Instruction makeRI(Opcode op, unsigned rd, unsigned ra, int imm,
+                   WCtl w = WCtl::None);
+/** LDI rd, imm12. */
+Instruction makeLdi(unsigned rd, int imm);
+/** LDIH rd, imm8. */
+Instruction makeLdih(unsigned rd, unsigned imm);
+/** JMP/CALL with absolute 16-bit target. */
+Instruction makeJump(Opcode op, PAddr target);
+/** BR cond with signed 12-bit PC-relative offset. */
+Instruction makeBranch(Cond cond, int offset);
+/** RET n. */
+Instruction makeRet(unsigned pops);
+/** SWI stream, bit. */
+Instruction makeSwi(unsigned stream, unsigned bit);
+/** CLRI bit. */
+Instruction makeClri(unsigned bit);
+/** FORK stream, addr12. */
+Instruction makeFork(unsigned stream, PAddr target);
+/** SCHED slot, stream. */
+Instruction makeSched(unsigned slot, unsigned stream);
+/** Opcode with no operands (NOP/RETI/HALT/WINC/WDEC). */
+Instruction makeOp(Opcode op, WCtl w = WCtl::None);
+
+} // namespace disc
+
+#endif // DISC_ISA_INSTRUCTION_HH

@@ -1,0 +1,96 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+// One row per opcode, indexed by the enum value.
+//                 mnemonic  format        wrRd   rdRd   rdRa   rdRb   flags  jmp    ext    imem   window
+constexpr std::array<OpInfo, kNumOpcodes> opTable = {{
+    {"nop",   Format::None,  false, false, false, false, false, false, false, false, false},
+    {"add",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"adc",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"sub",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"sbc",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"and",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"or",    Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"xor",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"shl",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"shr",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"asr",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"mul",   Format::R3,    true, false,  true,  true,  true,  false, false, false, false},
+    {"mulh",  Format::R1D,   true, false,  false, false, false, false, false, false, false},
+    {"mov",   Format::R2,    true, false,  true,  false, true,  false, false, false, false},
+    {"not",   Format::R2,    true, false,  true,  false, true,  false, false, false, false},
+    {"neg",   Format::R2,    true, false,  true,  false, true,  false, false, false, false},
+    {"cmp",   Format::RR,    false, false, true,  true,  true,  false, false, false, false},
+    {"tst",   Format::RR,    false, false, true,  true,  true,  false, false, false, false},
+    {"addi",  Format::RI,    true, false,  true,  false, true,  false, false, false, false},
+    {"subi",  Format::RI,    true, false,  true,  false, true,  false, false, false, false},
+    {"andi",  Format::RI,    true, false,  true,  false, true,  false, false, false, false},
+    {"ori",   Format::RI,    true, false,  true,  false, true,  false, false, false, false},
+    {"xori",  Format::RI,    true, false,  true,  false, true,  false, false, false, false},
+    {"cmpi",  Format::RIA,   false, false, true,  false, true,  false, false, false, false},
+    {"ldi",   Format::DI,    true, false,  false, false, false, false, false, false, false},
+    {"ldih",  Format::IH,    true, false,  false, false, false, false, false, false, false},
+    {"ld",    Format::RI,    true, false,  true,  false, false, false, true,  false, false},
+    {"st",    Format::RI,    false, true,  true,  false,  false, false, true,  false, false},
+    {"ldm",   Format::RI,    true, false,  true,  false, false, false, false, true,  false},
+    {"stm",   Format::RI,    false, true,  true,  false,  false, false, false, true,  false},
+    {"ldmd",  Format::MD,    true, false,  false, false, false, false, false, true,  false},
+    {"stmd",  Format::MD,    false, true,  false, false,  false, false, false, true,  false},
+    {"tas",   Format::R2,    true, false,  true,  false, true,  false, false, true,  false},
+    {"jmp",   Format::J,     false, false, false, false, false, true,  false, false, false},
+    {"jr",    Format::R1A,   false, false, true,  false, false, true,  false, false, false},
+    {"call",  Format::J,     false, false, false, false, false, true,  false, false, true},
+    {"callr", Format::R1A,   false, false, true,  false, false, true,  false, false, true},
+    {"ret",   Format::Ret,   false, false, false, false, false, true,  false, false, true},
+    {"br",    Format::B,     false, false, false, false, false, true,  false, false, false},
+    {"swi",   Format::Swi,   false, false, false, false, false, false, false, false, false},
+    {"clri",  Format::Clr,   false, false, false, false, false, false, false, false, false},
+    {"reti",  Format::None,  false, false, false, false, false, true,  false, false, true},
+    {"halt",  Format::None,  false, false, false, false, false, false, false, false, false},
+    {"fork",  Format::Fork,  false, false, false, false, false, false, false, false, false},
+    {"forkr", Format::ForkR, false, false, true,  false, false, false, false, false, false},
+    {"sched", Format::Sched, false, false, false, false, false, false, false, false, false},
+    {"winc",  Format::None,  false, false, false, false, false, false, false, false, true},
+    {"wdec",  Format::None,  false, false, false, false, false, false, false, false, true},
+}};
+
+constexpr std::array<std::string_view, 8> condTable = {
+    "beq", "bne", "blt", "bge", "bult", "buge", "bmi", "bpl",
+};
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<unsigned>(op);
+    if (idx >= kNumOpcodes)
+        panic("opInfo: bad opcode %u", idx);
+    return opTable[idx];
+}
+
+std::string_view
+opMnemonic(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+std::string_view
+condMnemonic(Cond c)
+{
+    auto idx = static_cast<unsigned>(c);
+    if (idx >= condTable.size())
+        panic("condMnemonic: bad condition %u", idx);
+    return condTable[idx];
+}
+
+} // namespace disc

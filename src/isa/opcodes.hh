@@ -1,0 +1,136 @@
+/**
+ * @file
+ * DISC1 opcode set and per-opcode metadata.
+ *
+ * The paper specifies a load/store RISC with: single-cycle instructions,
+ * a 24-bit program word, 16-bit data, a 16x16 hardware multiplier,
+ * window-pointer auto increment/decrement folded into ordinary
+ * instructions, internal-memory addressing via register indirect,
+ * register+offset and 9-bit immediate, and stream/interrupt control
+ * instructions. It does not give encodings; this file defines ours.
+ *
+ * Instruction word layout (24 bits):
+ *
+ *   [23:18] opcode      (6 bits)
+ *   [17:16] wctl        window control: 0 none, 1 AWP++, 2 AWP-- (after)
+ *   [15:0]  operands, by format (see Format)
+ */
+
+#ifndef DISC_ISA_OPCODES_HH
+#define DISC_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace disc
+{
+
+/** Operand encodings within the low 16 bits of the instruction word. */
+enum class Format : std::uint8_t
+{
+    None,   ///< no operands (NOP, RETI, HALT, WINC, WDEC)
+    R3,     ///< rd[15:12] ra[11:8] rb[7:4]
+    R2,     ///< rd[15:12] ra[11:8]            (MOV, NOT, NEG, TAS)
+    R1D,    ///< rd[15:12]                     (MULH)
+    R1A,    ///< ra[11:8]                      (JR, CALLR)
+    RR,     ///< ra[11:8] rb[7:4]              (CMP, TST)
+    RI,     ///< rd[15:12] ra[11:8] imm8[7:0]  (ALU immediates, LD/ST/LDM/STM)
+    RIA,    ///< ra[11:8] imm8[7:0]            (CMPI)
+    DI,     ///< rd[15:12] imm12[11:0]         (LDI, sign-extended)
+    IH,     ///< rd[15:12] imm8[7:0]           (LDIH, into high byte)
+    MD,     ///< rd[15:12] addr9[8:0]          (LDMD/STMD direct internal)
+    J,      ///< target16[15:0]                (JMP, CALL)
+    B,      ///< cond[15:12] off12[11:0]       (BR, PC-relative signed)
+    Ret,    ///< n4[3:0]                       (RET n)
+    Swi,    ///< s2[13:12] bit3[2:0]           (SWI stream, bit)
+    Clr,    ///< bit3[2:0]                     (CLRI bit)
+    Fork,   ///< s2[13:12] addr12[11:0]        (FORK stream, target)
+    ForkR,  ///< s2[13:12] ra[11:8]            (FORKR stream, ra)
+    Sched,  ///< slot4[15:12] s2[1:0]          (SCHED slot, stream)
+};
+
+/** The DISC1 opcode set. Values are the 6-bit encodings. */
+enum class Opcode : std::uint8_t
+{
+    NOP = 0,
+    // ALU, three register operands. All set ZNCV.
+    ADD, ADC, SUB, SBC, AND, OR, XOR, SHL, SHR, ASR,
+    // 16x16 multiply: MUL writes the low half to rd and latches the
+    // high half per stream; MULH reads the latch.
+    MUL, MULH,
+    // Two-operand register moves/unaries (set ZN).
+    MOV, NOT, NEG,
+    // Compare / test (flags only).
+    CMP, TST,
+    // ALU immediates (imm8 sign-extended; logical ops zero-extended).
+    ADDI, SUBI, ANDI, ORI, XORI, CMPI,
+    // Constant loads: LDI sign-extends imm12; LDIH replaces high byte.
+    LDI, LDIH,
+    // External (asynchronous bus) load/store: rd, [ra + simm8].
+    LD, ST,
+    // Internal memory load/store: rd, [ra + simm8]; direct 9-bit forms.
+    LDM, STM, LDMD, STMD,
+    // Atomic test-and-set on internal memory: rd <- mem[ra]; mem[ra] <- ~0.
+    TAS,
+    // Control transfer.
+    JMP, JR, CALL, CALLR, RET, BR,
+    // Stream / interrupt control.
+    SWI, CLRI, RETI, HALT, FORK, FORKR, SCHED,
+    // Explicit window motion (also available as wctl on any instruction).
+    WINC, WDEC,
+
+    NumOpcodes
+};
+
+/** Branch condition codes for the BR cond field. */
+enum class Cond : std::uint8_t
+{
+    EQ = 0,  ///< Z
+    NE,      ///< !Z
+    LT,      ///< N ^ V      (signed less-than after CMP)
+    GE,      ///< !(N ^ V)
+    ULT,     ///< C          (borrow convention: C set on unsigned <)
+    UGE,     ///< !C
+    MI,      ///< N
+    PL,      ///< !N
+};
+
+/** Window-control field values. */
+enum class WCtl : std::uint8_t
+{
+    None = 0,
+    Inc = 1,   ///< AWP += 1 after the instruction completes
+    Dec = 2,   ///< AWP -= 1 after the instruction completes
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    Format format;
+    bool writesRd;      ///< architected write to the rd field register
+    bool readsRd;       ///< rd field is a *source* (stores)
+    bool readsRa;
+    bool readsRb;
+    bool setsFlags;
+    bool isJumpType;    ///< may redirect the stream's PC (paper "aljmp")
+    bool isExternal;    ///< goes through the asynchronous bus interface
+    bool isInternalMem; ///< touches on-chip memory
+    bool movesWindow;   ///< intrinsically changes AWP (CALL/RET/WINC/...)
+};
+
+/** Look up metadata for an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic for an opcode ("add", "jmp", ...). */
+std::string_view opMnemonic(Opcode op);
+
+/** Mnemonic for a branch condition ("beq", "bne", ...). */
+std::string_view condMnemonic(Cond c);
+
+/** Number of defined opcodes. */
+constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+} // namespace disc
+
+#endif // DISC_ISA_OPCODES_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Assembled-program container: program-memory image, internal-memory
+ * initialisation records and the symbol table.
+ */
+
+#ifndef DISC_ISA_PROGRAM_HH
+#define DISC_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace disc
+{
+
+/**
+ * An assembled DISC1 program. Program memory holds one 24-bit
+ * instruction word per address; unreachable gaps are NOPs.
+ */
+struct Program
+{
+    /** Program-memory image, indexed by instruction address. */
+    std::vector<InstWord> code;
+
+    /** Internal data-memory preloads: (word address, value). */
+    std::vector<std::pair<Addr, Word>> dataInit;
+
+    /** Label/equ symbol table (name -> value). */
+    std::map<std::string, std::uint32_t> symbols;
+
+    /** Address of a symbol; fatal() if undefined. */
+    PAddr symbol(const std::string &name) const;
+
+    /** True if the symbol exists. */
+    bool hasSymbol(const std::string &name) const;
+
+    /** Number of program words. */
+    std::size_t size() const { return code.size(); }
+};
+
+} // namespace disc
+
+#endif // DISC_ISA_PROGRAM_HH

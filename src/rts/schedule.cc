@@ -1,0 +1,79 @@
+#include "rts/schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+std::array<unsigned, kNumStreams>
+proportionalShares(const std::array<double, kNumStreams> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("partition weight %f is negative", w);
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("partition weights must have a positive sum");
+
+    // Largest-remainder: floor the ideal shares, then hand out the
+    // remaining slots by descending fractional part.
+    std::array<unsigned, kNumStreams> shares{};
+    std::array<double, kNumStreams> remainder{};
+    unsigned assigned = 0;
+    for (unsigned s = 0; s < kNumStreams; ++s) {
+        double ideal = weights[s] / total * kScheduleSlots;
+        shares[s] = static_cast<unsigned>(std::floor(ideal));
+        if (weights[s] > 0.0 && shares[s] == 0) {
+            shares[s] = 1; // positive demand gets at least one slot
+            remainder[s] = -1.0;
+        } else {
+            remainder[s] = ideal - shares[s];
+        }
+        assigned += shares[s];
+    }
+    if (assigned > kScheduleSlots) {
+        // Over-assignment can only come from the at-least-one rule;
+        // take slots back from the largest shares.
+        while (assigned > kScheduleSlots) {
+            auto it = std::max_element(shares.begin(), shares.end());
+            --*it;
+            --assigned;
+        }
+    }
+    std::array<unsigned, kNumStreams> order{0, 1, 2, 3};
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return remainder[a] > remainder[b];
+    });
+    for (unsigned i = 0; assigned < kScheduleSlots; ++i) {
+        unsigned s = order[i % kNumStreams];
+        if (weights[s] > 0.0) {
+            ++shares[s];
+            ++assigned;
+        }
+    }
+    return shares;
+}
+
+std::array<unsigned, kNumStreams>
+generalSchedulingShares(const std::array<double, kNumStreams> &demands)
+{
+    return proportionalShares(demands);
+}
+
+double
+taskDemand(double work_cycles, double period_cycles)
+{
+    if (period_cycles <= 0.0)
+        fatal("task period must be positive");
+    if (work_cycles < 0.0)
+        fatal("task work must be non-negative");
+    return work_cycles / period_cycles;
+}
+
+} // namespace disc

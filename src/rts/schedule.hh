@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Throughput-partition policies (paper sections 1.0 and 3.4).
+ *
+ * The paper cites Coffman & Denning: if processor throughput can be
+ * partitioned arbitrarily among processes, near-optimal scheduling is
+ * achievable — provided the partitioning itself costs nothing. DISC's
+ * 16-slot table provides 1/16 granularity; these helpers convert task
+ * demands into slot shares.
+ */
+
+#ifndef DISC_RTS_SCHEDULE_HH
+#define DISC_RTS_SCHEDULE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace disc
+{
+
+/**
+ * Convert positive weights into slot shares that sum to
+ * kScheduleSlots, using the largest-remainder method. Streams with
+ * zero weight receive zero slots, but every stream with positive
+ * weight receives at least one.
+ */
+std::array<unsigned, kNumStreams>
+proportionalShares(const std::array<double, kNumStreams> &weights);
+
+/**
+ * General-scheduling shares (processor-sharing discipline): each
+ * stream's share is proportional to its utilisation demand
+ * (work per period). Demands must be non-negative with a positive sum.
+ */
+std::array<unsigned, kNumStreams>
+generalSchedulingShares(const std::array<double, kNumStreams> &demands);
+
+/**
+ * Utilisation demand of a periodic task: cycles of work per period.
+ */
+double taskDemand(double work_cycles, double period_cycles);
+
+} // namespace disc
+
+#endif // DISC_RTS_SCHEDULE_HH

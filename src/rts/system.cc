@@ -1,0 +1,185 @@
+#include "rts/system.hh"
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+
+namespace disc
+{
+
+namespace
+{
+constexpr Addr kIoBase = 0x1000;
+constexpr Addr kTimerBase = 0x3000;
+} // namespace
+
+Addr
+RtsSystem::counterAddr(std::size_t i)
+{
+    return static_cast<Addr>(0x40 + i);
+}
+
+Addr
+RtsSystem::backgroundAddr()
+{
+    return 0x3f;
+}
+
+RtsSystem::RtsSystem(std::vector<RtsTask> tasks, RtsConfig cfg)
+    : tasks_(std::move(tasks)), cfg_(cfg),
+      ioDev_(64, cfg.ioLatency == 0 ? 1 : cfg.ioLatency)
+{
+    if (tasks_.empty())
+        fatal("RTS system needs at least one task");
+    for (const RtsTask &t : tasks_) {
+        if (t.stream >= kNumStreams)
+            fatal("task %s: bad stream", t.name.c_str());
+        if (t.bit < 1 || t.bit > 7)
+            fatal("task %s: interrupt bit must be 1..7", t.name.c_str());
+        if (t.period < 16)
+            fatal("task %s: period too short", t.name.c_str());
+    }
+    for (std::size_t a = 0; a < tasks_.size(); ++a) {
+        for (std::size_t b = a + 1; b < tasks_.size(); ++b) {
+            if (tasks_[a].stream == tasks_[b].stream &&
+                tasks_[a].bit == tasks_[b].bit) {
+                fatal("tasks %s and %s share stream %u bit %u",
+                      tasks_[a].name.c_str(), tasks_[b].name.c_str(),
+                      tasks_[a].stream, tasks_[a].bit);
+            }
+        }
+    }
+
+    machine_.attachDevice(kIoBase, 64, &ioDev_);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        timers_.push_back(std::make_unique<TimerDevice>(
+            tasks_[i].period, tasks_[i].stream, tasks_[i].bit));
+        machine_.attachDevice(static_cast<Addr>(kTimerBase + 4 * i), 4,
+                              timers_.back().get());
+    }
+
+    source_ = generateSource();
+    program_ = assemble(source_);
+}
+
+std::string
+RtsSystem::generateSource() const
+{
+    std::string src;
+    // Vector table entries.
+    for (const RtsTask &t : tasks_) {
+        src += strprintf(".org %u\n    jmp handler_%s\n",
+                         vectorAddress(t.stream, t.bit), t.name.c_str());
+    }
+    src += strprintf(".org 0x%x\n", kVectorTableEnd);
+
+    if (cfg_.backgroundLoad) {
+        src += strprintf(R"(
+background:
+    ldmd r1, [0x%x]
+    addi r1, r1, 1
+    stmd r1, [0x%x]
+    jmp background
+)",
+                         backgroundAddr(), backgroundAddr());
+    }
+
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        const RtsTask &t = tasks_[i];
+        src += strprintf("handler_%s:\n", t.name.c_str());
+        // Conventional context-switch model: save/restore the register
+        // file through internal memory.
+        for (unsigned k = 0; k < cfg_.contextSwitchOverhead; ++k) {
+            src += strprintf("    stmd r%u, [0x%zx]\n", 1 + k % 4,
+                             0x180 + i * 16 + k % 8);
+        }
+        if (t.workLoops > 0) {
+            src += strprintf(R"(    ldi r1, %u
+loop_%s:
+    subi r1, r1, 1
+    cmpi r1, 0
+    bne loop_%s
+)",
+                             t.workLoops, t.name.c_str(), t.name.c_str());
+        }
+        for (unsigned k = 0; k < t.ioAccesses; ++k)
+            src += "    ld r2, [g0]\n";
+        // Completion marker.
+        src += strprintf(R"(    ldmd r3, [0x%x]
+    addi r3, r3, 1
+    stmd r3, [0x%x]
+)",
+                         counterAddr(i), counterAddr(i));
+        for (unsigned k = 0; k < cfg_.contextSwitchOverhead; ++k) {
+            src += strprintf("    ldmd r%u, [0x%zx]\n", 1 + k % 4,
+                             0x180 + i * 16 + k % 8);
+        }
+        src += strprintf("    clri %u\n    reti\n", t.bit);
+    }
+    return src;
+}
+
+RtsReport
+RtsSystem::run()
+{
+    machine_.load(program_);
+    bool custom_shares = false;
+    for (unsigned sh : cfg_.shares)
+        custom_shares |= sh != 0;
+    if (custom_shares)
+        machine_.scheduler().setShares(cfg_.shares);
+    machine_.writeReg(0, reg::G0, kIoBase);
+    if (cfg_.backgroundLoad)
+        machine_.startStream(0, program_.symbol("background"));
+
+    RtsReport report;
+    report.tasks.resize(tasks_.size());
+    std::vector<std::deque<Cycle>> pending(tasks_.size());
+    std::vector<std::uint64_t> seenFires(tasks_.size(), 0);
+    std::vector<Word> seenCompletions(tasks_.size(), 0);
+    // Timers keep counting across runs; re-baseline them.
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+        seenFires[i] = timers_[i]->fired();
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+        report.tasks[i].name = tasks_[i].name;
+
+    for (Cycle now = 0; now < cfg_.horizon; ++now) {
+        machine_.step();
+        for (std::size_t i = 0; i < tasks_.size(); ++i) {
+            RtsTaskResult &res = report.tasks[i];
+            while (seenFires[i] < timers_[i]->fired()) {
+                ++seenFires[i];
+                ++res.activations;
+                pending[i].push_back(now);
+            }
+            Word done = machine_.internalMemory().read(counterAddr(i));
+            while (seenCompletions[i] != done) {
+                ++seenCompletions[i];
+                ++res.completions;
+                if (pending[i].empty()) {
+                    warn("task %s completed without a pending release",
+                         tasks_[i].name.c_str());
+                    continue;
+                }
+                Cycle release = pending[i].front();
+                pending[i].pop_front();
+                Cycle response = now - release;
+                res.response.add(static_cast<double>(response));
+                res.worstResponse = std::max(res.worstResponse, response);
+                unsigned deadline = tasks_[i].deadline
+                                        ? tasks_[i].deadline
+                                        : tasks_[i].period;
+                if (response > deadline)
+                    ++res.deadlineMisses;
+            }
+        }
+    }
+
+    report.backgroundProgress =
+        machine_.internalMemory().read(backgroundAddr());
+    report.utilization = machine_.stats().utilization();
+    report.meanVectorLatency = machine_.latencyHistogram().mean();
+    report.worstVectorLatency = machine_.latencyHistogram().maxValue();
+    return report;
+}
+
+} // namespace disc

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * The cycle-accurate DISC1 machine model (paper section 3.7).
+ *
+ * DISC1 is a 16-bit Harvard load/store machine with up to four
+ * resident instruction streams, a four-stage pipeline (IF, ID/RR, EX,
+ * WR), a 16-slot hardware scheduler with dynamic reallocation, a
+ * stack-window register file per stream, 2 KB of shared internal
+ * memory, an asynchronous external data bus with a pseudo-DMA
+ * interface, and per-stream vectored interrupts.
+ *
+ * Pipeline model
+ * --------------
+ * One instruction issues per cycle from the stream chosen by the
+ * scheduler. Semantics execute when an instruction reaches the EX
+ * stage (depth-2); the WR stage models writeback occupancy. Data
+ * hazards are modelled with a per-stream interlock: a stream cannot
+ * issue an instruction whose sources (registers, flags, AWP, MULH
+ * latch) are written by one of its own in-flight instructions — the
+ * interleaving principle means other streams use those slots instead.
+ *
+ * Control hazards follow the paper's simplifying assumption: when a
+ * redirect executes (taken branch, jump, call, return, vector entry),
+ * all younger in-flight instructions of the same stream are flushed.
+ *
+ * External accesses (LD/ST) hand the access to the ABI at EX. If the
+ * bus is busy, the instruction itself is flushed and retried when the
+ * stream leaves its wait state; if the access starts with a non-zero
+ * access time, younger same-stream instructions are flushed and the
+ * stream waits. Completion writes the destination register and
+ * re-activates all waiting streams.
+ *
+ * A "standard processor" baseline mode is provided (single stream,
+ * pipe halts during external waits instead of flushing) matching the
+ * Ps model of section 4.1.
+ */
+
+#ifndef DISC_SIM_MACHINE_HH
+#define DISC_SIM_MACHINE_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "arch/bus.hh"
+#include "arch/interrupts.hh"
+#include "arch/memory.hh"
+#include "arch/scheduler.hh"
+#include "arch/stack_window.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace disc
+{
+
+class ExecTrace;
+class PipeTrace;
+
+/** Machine construction parameters. */
+struct MachineConfig
+{
+    /** Pipeline depth in stages (>= 3; DISC1 uses 4). */
+    unsigned pipeDepth = kDisc1PipeDepth;
+
+    /** Scheduler policy (dynamic reallocation vs strict static). */
+    Scheduler::Mode schedMode = Scheduler::Mode::Dynamic;
+
+    /**
+     * Branch delay slots: on a taken control transfer, this many of
+     * the stream's in-flight younger instructions (in program order
+     * after the branch) execute instead of being flushed — the
+     * conventional alternative the paper contrasts with interleaving.
+     * Only instructions already fetched benefit; programs must be
+     * scheduled delay-slot aware. Default 0 (DISC semantics).
+     */
+    unsigned branchDelaySlots = 0;
+
+    /**
+     * Standard-processor baseline: halt the whole pipe during external
+     * waits (no flush, no overlap) — the single-stream machine the
+     * paper compares against.
+     */
+    bool baselineHaltOnWait = false;
+
+    /** First word of stream 0's stack region in internal memory. */
+    Addr stackBase = kStackRegionBase;
+
+    /** Words of stack region per stream. */
+    Addr stackWords = kStackRegionWords;
+};
+
+/** Counters exposed by the machine. */
+struct MachineStats
+{
+    Cycle cycles = 0;          ///< total step() calls
+    Cycle busyCycles = 0;      ///< cycles with any stream engaged
+    std::array<std::uint64_t, kNumStreams> retired{};
+    std::uint64_t totalRetired = 0;
+    std::uint64_t squashedJump = 0;   ///< flushed by control redirects
+    std::uint64_t squashedWait = 0;   ///< flushed by external accesses
+    std::uint64_t squashedDeact = 0;  ///< flushed by HALT/CLRI deactivation
+    std::uint64_t bubbles = 0;        ///< issue slots with no ready stream
+    std::uint64_t redirects = 0;      ///< taken control transfers
+    std::uint64_t jumpTypeRetired = 0;
+    std::uint64_t externalReads = 0;
+    std::uint64_t externalWrites = 0;
+    std::uint64_t busBusyRejections = 0;
+    std::uint64_t vectorsTaken = 0;
+    std::uint64_t stackOverflows = 0;
+    std::uint64_t illegalInstructions = 0;
+    std::uint64_t busFaults = 0;
+
+    /** Utilisation: retired instructions per machine-busy cycle. */
+    double utilization() const;
+
+    /**
+     * The paper's standard-processor utilisation computed from this
+     * run's totals: E / (E + B + (pipe-1) * Njump), with B the data
+     * bus busy cycles (passed in) and the pipe depth of the run.
+     */
+    double standardPs(Cycle bus_busy_cycles, unsigned pipe_depth) const;
+};
+
+/** The DISC1 machine. */
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig cfg = {});
+
+    /** Load a program (code + internal-memory preloads) and reset. */
+    void load(const Program &prog);
+
+    /** Reset architectural state; keeps the loaded program/devices. */
+    void reset();
+
+    /** Map a device on the external data bus. */
+    void attachDevice(Addr base, Addr size, Device *device);
+
+    /** Activate stream @p s at @p entry (external FORK). */
+    void startStream(StreamId s, PAddr entry);
+
+    /** Raise an external interrupt request. */
+    void raiseExternal(StreamId s, unsigned bit);
+
+    /** Advance one cycle. */
+    void step();
+
+    /**
+     * Run until idle (all streams inactive, pipe drained, bus quiet)
+     * or until @p max_cycles elapse.
+     * @param stop_when_idle pass false to always run max_cycles.
+     * @return cycles actually simulated.
+     */
+    Cycle run(Cycle max_cycles, bool stop_when_idle = true);
+
+    /** True when nothing can make progress without external input. */
+    bool idle() const;
+
+    // --- Architectural state access (tests, examples, probes) ---
+
+    /** Read an architected register of a stream. */
+    Word readReg(StreamId s, unsigned r) const;
+
+    /** Write an architected register of a stream. */
+    void writeReg(StreamId s, unsigned r, Word value);
+
+    /** Current fetch PC of a stream. */
+    PAddr pc(StreamId s) const;
+
+    /** Stream's stack window. */
+    const StackWindow &window(StreamId s) const;
+
+    /** Shared internal memory. */
+    InternalMemory &internalMemory() { return imem_; }
+    const InternalMemory &internalMemory() const { return imem_; }
+
+    /** Interrupt unit. */
+    InterruptUnit &interrupts() { return intUnit_; }
+    const InterruptUnit &interrupts() const { return intUnit_; }
+
+    /** Stream scheduler. */
+    Scheduler &scheduler() { return sched_; }
+
+    /** External bus (for decode tests). */
+    Bus &bus() { return bus_; }
+
+    /** Asynchronous bus interface. */
+    const AsyncBusInterface &abi() const { return abi_; }
+
+    /** Counters. */
+    const MachineStats &stats() const { return stats_; }
+
+    /** Interrupt latency samples (cycles from raise to vector entry). */
+    const Histogram &latencyHistogram() const { return latency_; }
+
+    /** Attach a pipeline trace recorder (nullptr to detach). */
+    void setTrace(PipeTrace *trace) { trace_ = trace; }
+
+    /**
+     * Attach an instruction-level execution trace (nullptr to
+     * detach). External accesses are recorded when they execute at
+     * EX, i.e. when the access is handed to the ABI.
+     */
+    void setExecTrace(ExecTrace *trace) { execTrace_ = trace; }
+
+    /** Pipe depth configured for this machine. */
+    unsigned pipeDepth() const { return cfg_.pipeDepth; }
+
+    /** True while the stream waits on the ABI. */
+    bool isWaiting(StreamId s) const;
+
+    /**
+     * Serialize the complete machine state: memories, registers,
+     * windows, interrupt state, scheduler, ABI, pipeline contents,
+     * statistics, and every attached device (in attach order). The
+     * loaded program, device configuration and the latency histogram
+     * are NOT included — restore into a machine constructed with the
+     * same config, program and devices.
+     */
+    std::vector<std::uint8_t> saveState() const;
+
+    /**
+     * Restore a checkpoint produced by saveState() on an identically
+     * configured machine. fatal() on any mismatch.
+     */
+    void restoreState(const std::vector<std::uint8_t> &bytes);
+
+  private:
+    /** Why a stream is not running. */
+    enum class WaitState : std::uint8_t
+    {
+        Ready,       ///< may be scheduled
+        BusFree,     ///< retry the access when the bus frees
+        Access,      ///< own access in flight
+    };
+
+    /** One pipeline slot. */
+    struct Slot
+    {
+        bool valid = false;
+        bool squashed = false;
+        bool executed = false;    ///< baseline halt mode bookkeeping
+        StreamId stream = kNoStream;
+        PAddr pc = 0;
+        Instruction inst;
+        std::uint32_t readsMask = 0;
+        std::uint32_t writesMask = 0;
+        char tag = ' ';           ///< trace letter
+    };
+
+    /** Per-stream architectural and micro-architectural state. */
+    struct StreamCtx
+    {
+        PAddr pc = 0;
+        bool z = false, n = false, c = false, v = false;
+        Word mulHigh = 0;
+        WaitState wait = WaitState::Ready;
+        WCtl pendingWctl = WCtl::None; ///< applied when the access lands
+        Cycle lastRaise[kNumIntLevels] = {};
+        bool latencyArmed[kNumIntLevels] = {};
+    };
+
+    MachineConfig cfg_;
+    InternalMemory imem_;
+    ProgramMemory pmem_;
+    Bus bus_;
+    AsyncBusInterface abi_;
+    InterruptUnit intUnit_;
+    Scheduler sched_;
+    std::vector<std::unique_ptr<StackWindow>> windows_;
+    std::array<StreamCtx, kNumStreams> streams_;
+    std::array<Word, kNumGlobalRegs> globals_{};
+    std::vector<Slot> pipe_; ///< index 0 = IF .. depth-1 = WR
+    MachineStats stats_;
+    Histogram latency_;
+    PipeTrace *trace_ = nullptr;
+    ExecTrace *execTrace_ = nullptr;
+    char nextTag_ = 'a';
+    Cycle haltedUntilBusDone_ = 0; ///< baseline mode flag (bool-ish)
+
+    // -- helpers --
+    StreamCtx &ctx(StreamId s);
+    const StreamCtx &ctx(StreamId s) const;
+    StackWindow &win(StreamId s);
+    const StackWindow &win(StreamId s) const;
+
+    void raiseInternal(StreamId s, unsigned bit);
+    std::uint32_t regBit(StreamId s, unsigned r) const;
+    void depMasks(const Instruction &inst, std::uint32_t &reads,
+                  std::uint32_t &writes) const;
+    bool interlocked(StreamId s, std::uint32_t reads,
+                     std::uint32_t writes) const;
+    bool hasInFlight(StreamId s) const;
+    unsigned readyMask();
+    void issue();
+    void executeAt(unsigned stage);
+    void execute(Slot &slot);
+    void applyWctl(Slot &slot);
+    void redirect(StreamId s, PAddr target, unsigned ex_stage);
+    void squashYounger(StreamId s, unsigned ex_stage,
+                       std::uint64_t *counter);
+    void setAluFlags(StreamId s, Word result, bool carry, bool overflow);
+    Word aluOp(Slot &slot, bool &is_redirect, PAddr &target);
+    void externalAccess(Slot &slot, unsigned stage);
+    void completeAccess(const AsyncBusInterface::Completion &c);
+    void wakeWaiters();
+    bool engaged() const;
+    void recordTrace();
+    void takeVector(StreamId s, unsigned level);
+};
+
+} // namespace disc
+
+#endif // DISC_SIM_MACHINE_HH

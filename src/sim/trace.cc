@@ -1,0 +1,124 @@
+#include "sim/trace.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+ExecTrace::ExecTrace(std::size_t max_entries)
+    : maxEntries_(max_entries)
+{
+    if (max_entries == 0)
+        panic("ExecTrace needs room for at least one entry");
+}
+
+void
+ExecTrace::record(Cycle cycle, StreamId stream, PAddr pc,
+                  const Instruction &inst)
+{
+    entries_.push_back({cycle, stream, pc, inst});
+    ++total_;
+    while (entries_.size() > maxEntries_)
+        entries_.pop_front();
+}
+
+std::string
+ExecTrace::render() const
+{
+    std::string out;
+    for (const Entry &e : entries_) {
+        out += strprintf("%8llu  is%u  %04x: %s\n",
+                         static_cast<unsigned long long>(e.cycle),
+                         e.stream + 1, e.pc,
+                         e.inst.toString().c_str());
+    }
+    return out;
+}
+
+void
+ExecTrace::clear()
+{
+    entries_.clear();
+    total_ = 0;
+}
+
+PipeTrace::PipeTrace(unsigned depth, std::size_t max_cycles)
+    : depth_(depth), maxCycles_(max_cycles)
+{
+    if (depth == 0)
+        panic("PipeTrace needs a positive depth");
+}
+
+void
+PipeTrace::record(Cycle cycle, const std::vector<StageEntry> &stages)
+{
+    if (stages.size() != depth_)
+        panic("trace record with %zu stages, expected %u", stages.size(),
+              depth_);
+    columns_.emplace_back(cycle, stages);
+    while (columns_.size() > maxCycles_)
+        columns_.pop_front();
+}
+
+std::vector<std::string>
+PipeTrace::stageNames(unsigned depth)
+{
+    switch (depth) {
+      case 3:
+        return {"IF", "EX", "WR"};
+      case 4:
+        return {"IF", "ID", "EX", "WR"};
+      case 5:
+        return {"IF", "ID", "RR", "EX", "WR"};
+      default: {
+        std::vector<std::string> names;
+        names.emplace_back("IF");
+        for (unsigned i = 1; i + 2 < depth; ++i)
+            names.push_back(strprintf("S%u", i));
+        names.emplace_back("EX");
+        names.emplace_back("WR");
+        return names;
+      }
+    }
+}
+
+std::string
+PipeTrace::render() const
+{
+    if (columns_.empty())
+        return "(empty trace)\n";
+
+    auto cell = [](const StageEntry &e) {
+        if (!e.valid)
+            return std::string(" -- ");
+        std::string body = strprintf("%c%u", e.tag, e.stream + 1);
+        if (e.squashed)
+            return "[" + body + "]";
+        return " " + body + " ";
+    };
+
+    std::vector<std::string> names = stageNames(depth_);
+    std::string out = "cycle";
+    for (const auto &[cycle, stages] : columns_)
+        out += strprintf(" %4llu", static_cast<unsigned long long>(cycle));
+    out += "\n";
+
+    // IF at the top, matching Figure 3.1's layout.
+    for (unsigned stage = 0; stage < depth_; ++stage) {
+        out += strprintf("%-5s", names[stage].c_str());
+        for (const auto &[cycle, stages] : columns_) {
+            (void)cycle;
+            out += " " + cell(stages[stage]);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+void
+PipeTrace::clear()
+{
+    columns_.clear();
+}
+
+} // namespace disc

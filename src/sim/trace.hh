@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pipeline trace recorder and diagram renderer.
+ *
+ * Regenerates the paper's Figure 3.1/3.2 style charts: one row per
+ * pipe stage, one column per cycle, each cell naming the instruction
+ * occupying the stage as "<tag><stream+1>" (e.g. "a1", "f2"), with
+ * squashed instructions bracketed.
+ */
+
+#ifndef DISC_SIM_TRACE_HH
+#define DISC_SIM_TRACE_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace disc
+{
+
+/**
+ * Records retired instructions in order: cycle, stream, pc and the
+ * decoded instruction. Useful for debugging programs and for tests
+ * asserting on execution order across streams.
+ */
+class ExecTrace
+{
+  public:
+    /** One retired instruction. */
+    struct Entry
+    {
+        Cycle cycle;
+        StreamId stream;
+        PAddr pc;
+        Instruction inst;
+    };
+
+    /** @param max_entries keep at most this many most-recent records. */
+    explicit ExecTrace(std::size_t max_entries = 4096);
+
+    /** Append one retirement record. */
+    void record(Cycle cycle, StreamId stream, PAddr pc,
+                const Instruction &inst);
+
+    /** Records currently held (oldest first). */
+    const std::deque<Entry> &entries() const { return entries_; }
+
+    /** Total retirements seen (including evicted ones). */
+    std::uint64_t total() const { return total_; }
+
+    /** Render as "cycle stream pc: disassembly" lines. */
+    std::string render() const;
+
+    /** Drop all records. */
+    void clear();
+
+  private:
+    std::size_t maxEntries_;
+    std::deque<Entry> entries_;
+    std::uint64_t total_ = 0;
+};
+
+/** Records pipeline stage occupancy per cycle. */
+class PipeTrace
+{
+  public:
+    /** Occupancy of one stage in one cycle. */
+    struct StageEntry
+    {
+        bool valid = false;
+        bool squashed = false;
+        StreamId stream = kNoStream;
+        char tag = ' ';
+    };
+
+    /**
+     * @param depth      pipe depth (rows).
+     * @param max_cycles keep at most this many most-recent cycles.
+     */
+    explicit PipeTrace(unsigned depth, std::size_t max_cycles = 256);
+
+    /** Append one cycle's stage occupancy (size must equal depth). */
+    void record(Cycle cycle, const std::vector<StageEntry> &stages);
+
+    /** Number of recorded cycles currently held. */
+    std::size_t size() const { return columns_.size(); }
+
+    /** Stage-name row labels for a given depth (IF, ID, ... WR). */
+    static std::vector<std::string> stageNames(unsigned depth);
+
+    /**
+     * Render the figure: rows are stages (IF at the top), columns are
+     * cycles. Squashed instructions render as "[a1]", bubbles as "--".
+     */
+    std::string render() const;
+
+    /** Drop all recorded cycles. */
+    void clear();
+
+  private:
+    unsigned depth_;
+    std::size_t maxCycles_;
+    std::deque<std::pair<Cycle, std::vector<StageEntry>>> columns_;
+};
+
+} // namespace disc
+
+#endif // DISC_SIM_TRACE_HH

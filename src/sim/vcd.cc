@@ -1,0 +1,104 @@
+#include "sim/vcd.hh"
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+/** Binary string of the low @p bits of @p value. */
+std::string
+bits(std::uint64_t value, unsigned width)
+{
+    std::string out;
+    for (unsigned i = width; i-- > 0;)
+        out += (value >> i) & 1 ? '1' : '0';
+    return out;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter()
+{
+    emitHeader();
+}
+
+void
+VcdWriter::emitHeader()
+{
+    body_ += "$date DISC1 simulation $end\n";
+    body_ += "$version disc reproduction $end\n";
+    body_ += "$timescale 1ns $end\n";
+    body_ += "$scope module disc1 $end\n";
+    for (unsigned s = 0; s < kNumStreams; ++s) {
+        body_ += strprintf("$var wire 1 a%u is%u_active $end\n", s,
+                           s + 1);
+        body_ += strprintf("$var wire 1 w%u is%u_waiting $end\n", s,
+                           s + 1);
+        body_ += strprintf("$var wire 16 p%u is%u_pc $end\n", s, s + 1);
+    }
+    body_ += "$var wire 1 bb bus_busy $end\n";
+    body_ += "$var wire 32 rt retired $end\n";
+    body_ += "$upscope $end\n";
+    body_ += "$enddefinitions $end\n";
+}
+
+void
+VcdWriter::change(const char *id, const std::string &value)
+{
+    if (value.size() == 1)
+        body_ += value + id + "\n";
+    else
+        body_ += "b" + value + " " + id + "\n";
+}
+
+void
+VcdWriter::sample(const Machine &machine)
+{
+    std::string changes;
+    auto scalar = [&](const char *id, int &last, bool now) {
+        if (last != static_cast<int>(now)) {
+            last = now;
+            changes += strprintf("%c%s\n", now ? '1' : '0', id);
+        }
+    };
+
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        StreamSignals &sig = streams_[s];
+        char aid[4], wid[4], pid[4];
+        std::snprintf(aid, sizeof aid, "a%u", s);
+        std::snprintf(wid, sizeof wid, "w%u", s);
+        std::snprintf(pid, sizeof pid, "p%u", s);
+        scalar(aid, sig.active, machine.interrupts().isActive(s));
+        scalar(wid, sig.waiting, machine.isWaiting(s));
+        std::uint32_t pc = machine.pc(s);
+        if (sig.pc != pc) {
+            sig.pc = pc;
+            changes += "b" + bits(pc, 16) + " " + pid + "\n";
+        }
+    }
+    scalar("bb", busBusy_, machine.abi().busy());
+    std::uint64_t retired = machine.stats().totalRetired;
+    if (retired_ != retired) {
+        retired_ = retired;
+        changes += "b" + bits(retired, 32) + " rt\n";
+    }
+
+    if (!changes.empty()) {
+        body_ += strprintf("#%llu\n",
+                           static_cast<unsigned long long>(samples_));
+        body_ += changes;
+    }
+    ++samples_;
+}
+
+std::string
+VcdWriter::text() const
+{
+    return body_;
+}
+
+} // namespace disc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * VCD (Value Change Dump) waveform writer for machine activity.
+ *
+ * Records per-cycle machine signals — per-stream activity/wait/PC,
+ * issue-stream id, bus busy, pipe occupancy — in the standard IEEE
+ * 1364 VCD format, viewable in GTKWave or any waveform viewer. The
+ * writer is pull-based: call sample(machine) once per cycle (or wire
+ * it up around Machine::step in your driver loop).
+ */
+
+#ifndef DISC_SIM_VCD_HH
+#define DISC_SIM_VCD_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace disc
+{
+
+class Machine;
+
+/** Streams machine state into VCD text. */
+class VcdWriter
+{
+  public:
+    VcdWriter();
+
+    /**
+     * Sample the machine's observable state for the current cycle.
+     * Emits value changes only (VCD semantics).
+     */
+    void sample(const Machine &machine);
+
+    /** The VCD document accumulated so far (header + changes). */
+    std::string text() const;
+
+    /** Number of samples taken. */
+    Cycle samples() const { return samples_; }
+
+  private:
+    struct StreamSignals
+    {
+        int active = -1;   ///< -1 = never emitted
+        int waiting = -1;
+        std::uint32_t pc = 0xffffffff;
+    };
+
+    std::string body_;
+    Cycle samples_ = 0;
+    StreamSignals streams_[kNumStreams];
+    int busBusy_ = -1;
+    int issueStream_ = -100; ///< kNumStreams = bubble
+    std::uint64_t retired_ = ~0ull;
+
+    void emitHeader();
+    void change(const char *id, const std::string &value);
+};
+
+} // namespace disc
+
+#endif // DISC_SIM_VCD_HH

@@ -1,0 +1,82 @@
+#include "stochastic/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+/** Mix a stream index into a replication seed. */
+std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t stream)
+{
+    std::uint64_t x = base * 0x9e3779b97f4a7c15ULL + stream + 1;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+SourceFactory
+makeLoadFactory(const LoadSpec &spec)
+{
+    return [spec](std::uint64_t seed) {
+        return std::make_unique<LoadProcess>(spec, seed);
+    };
+}
+
+SourceFactory
+makeCombinedFactory(const LoadSpec &a, const LoadSpec &b)
+{
+    return [a, b](std::uint64_t seed) {
+        return std::make_unique<CombinedSource>(
+            std::make_unique<LoadProcess>(a, mixSeed(seed, 101)),
+            std::make_unique<LoadProcess>(b, mixSeed(seed, 202)));
+    };
+}
+
+ExperimentResult
+runExperiment(const StochasticConfig &cfg,
+              const std::vector<SourceFactory> &streams,
+              unsigned replications, std::uint64_t base_seed)
+{
+    if (streams.empty())
+        fatal("experiment needs at least one stream");
+    if (replications == 0)
+        fatal("experiment needs at least one replication");
+
+    ExperimentResult result;
+    for (unsigned rep = 0; rep < replications; ++rep) {
+        std::vector<std::unique_ptr<WorkSource>> sources;
+        sources.reserve(streams.size());
+        for (std::size_t s = 0; s < streams.size(); ++s)
+            sources.push_back(
+                streams[s](mixSeed(base_seed + rep, s)));
+        StochasticModel model(cfg, std::move(sources));
+        RunTotals t = model.run();
+        result.pd.add(t.pd());
+        result.ps.add(t.ps(cfg.pipeDepth));
+        result.delta.add(t.delta(cfg.pipeDepth));
+        result.busyFraction.add(
+            t.cycles ? static_cast<double>(t.busyCycles) /
+                           static_cast<double>(t.cycles)
+                     : 0.0);
+    }
+    return result;
+}
+
+ExperimentResult
+runPartitioned(const StochasticConfig &cfg, const LoadSpec &spec,
+               unsigned k, unsigned replications, std::uint64_t base_seed)
+{
+    if (k == 0 || k > kNumStreams)
+        fatal("cannot partition into %u streams", k);
+    std::vector<SourceFactory> streams(k, makeLoadFactory(spec));
+    return runExperiment(cfg, streams, replications, base_seed);
+}
+
+} // namespace disc

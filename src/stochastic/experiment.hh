@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Replicated-run experiment driver for the stochastic model: builds
+ * stream configurations (partitioned loads, combined loads, mixes),
+ * runs several seeds and aggregates PD / Ps / delta.
+ */
+
+#ifndef DISC_STOCHASTIC_EXPERIMENT_HH
+#define DISC_STOCHASTIC_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "stochastic/model.hh"
+
+namespace disc
+{
+
+/** Builds one stream's work source from a replication seed. */
+using SourceFactory =
+    std::function<std::unique_ptr<WorkSource>(std::uint64_t seed)>;
+
+/** Aggregated measures over replications. */
+struct ExperimentResult
+{
+    RunningStat pd;
+    RunningStat ps;
+    RunningStat delta;
+    RunningStat busyFraction; ///< busy cycles / measured cycles
+};
+
+/** A factory for a plain LoadSpec stream. */
+SourceFactory makeLoadFactory(const LoadSpec &spec);
+
+/** A factory for a combined (two-spec) stream, e.g. load "1:4". */
+SourceFactory makeCombinedFactory(const LoadSpec &a, const LoadSpec &b);
+
+/**
+ * Run the model with one stream per factory, @p replications times
+ * with distinct seeds, and aggregate the measures.
+ */
+ExperimentResult runExperiment(const StochasticConfig &cfg,
+                               const std::vector<SourceFactory> &streams,
+                               unsigned replications,
+                               std::uint64_t base_seed = 1);
+
+/**
+ * Table 4.2 helper: partition @p spec into @p k iid streams and run.
+ */
+ExperimentResult runPartitioned(const StochasticConfig &cfg,
+                                const LoadSpec &spec, unsigned k,
+                                unsigned replications,
+                                std::uint64_t base_seed = 1);
+
+} // namespace disc
+
+#endif // DISC_STOCHASTIC_EXPERIMENT_HH

@@ -1,0 +1,176 @@
+#include "stochastic/load.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+LoadProcess::LoadProcess(LoadSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed)
+{
+    if (spec_.alpha < 0.0 || spec_.alpha > 1.0)
+        fatal("load %s: alpha must be in [0,1]", spec_.name.c_str());
+    if (spec_.alJmp < 0.0 || spec_.alJmp > 1.0)
+        fatal("load %s: aljmp must be in [0,1]", spec_.name.c_str());
+    drawOn();
+    drawReq();
+}
+
+void
+LoadProcess::drawOn()
+{
+    if (spec_.alwaysActive() || spec_.meanOn <= 0) {
+        onRemaining_ = ~0ull;
+        return;
+    }
+    onRemaining_ = std::max<std::uint64_t>(1, rng_.poisson(spec_.meanOn));
+}
+
+void
+LoadProcess::drawOff()
+{
+    offRemaining_ =
+        std::max<std::uint64_t>(1, rng_.poisson(spec_.meanOff));
+}
+
+void
+LoadProcess::drawReq()
+{
+    if (spec_.meanReq <= 0) {
+        reqCountdown_ = ~0ull;
+        return;
+    }
+    reqCountdown_ =
+        std::max<std::uint64_t>(1, rng_.poisson(spec_.meanReq));
+}
+
+bool
+LoadProcess::active() const
+{
+    return offRemaining_ == 0;
+}
+
+InstrClass
+LoadProcess::next()
+{
+    if (!active())
+        panic("load %s: next() while inactive", spec_.name.c_str());
+
+    InstrClass cls;
+    if (reqCountdown_ != ~0ull && --reqCountdown_ == 0) {
+        cls.external = true;
+        if (rng_.chance(spec_.alpha)) {
+            cls.accessTime = spec_.tmem;
+        } else {
+            cls.accessTime = std::max<std::uint64_t>(
+                1, rng_.poisson(spec_.meanIo));
+        }
+        drawReq();
+    } else if (rng_.chance(spec_.alJmp)) {
+        cls.jump = true;
+    }
+
+    if (onRemaining_ != ~0ull && --onRemaining_ == 0)
+        drawOff();
+    return cls;
+}
+
+void
+LoadProcess::tickIdle()
+{
+    if (offRemaining_ > 0 && --offRemaining_ == 0)
+        drawOn();
+}
+
+CombinedSource::CombinedSource(std::unique_ptr<WorkSource> a,
+                               std::unique_ptr<WorkSource> b)
+    : a_(std::move(a)), b_(std::move(b))
+{
+    if (!a_ || !b_)
+        panic("CombinedSource needs two sub-sources");
+}
+
+bool
+CombinedSource::active() const
+{
+    return a_->active() || b_->active();
+}
+
+InstrClass
+CombinedSource::next()
+{
+    bool a_ok = a_->active();
+    bool b_ok = b_->active();
+    if (!a_ok && !b_ok)
+        panic("CombinedSource::next() while inactive");
+
+    // Serve the alternation target when possible; the idle sub-source
+    // keeps aging so its off-phase still elapses in wall-clock time.
+    bool use_b = b_ok && (serveB_ || !a_ok);
+    WorkSource *chosen = use_b ? b_.get() : a_.get();
+    WorkSource *other = use_b ? a_.get() : b_.get();
+    if (!other->active())
+        other->tickIdle();
+    serveB_ = !use_b;
+    return chosen->next();
+}
+
+void
+CombinedSource::tickIdle()
+{
+    if (!a_->active())
+        a_->tickIdle();
+    if (!b_->active())
+        b_->tickIdle();
+}
+
+std::string
+CombinedSource::name() const
+{
+    return a_->name() + ":" + b_->name();
+}
+
+LoadSpec
+standardLoad(unsigned number)
+{
+    // Values re-derived from the prose of sections 4.1/4.2 (the OCR
+    // lost Table 4.1's cells); see DESIGN.md and EXPERIMENTS.md.
+    switch (number) {
+      case 1:
+        // Typical RTS behaviour, always active: a control program
+        // doing a mix of computation, peripheral I/O and branching.
+        return {"load1", /*meanOn=*/0, /*meanOff=*/0,
+                /*meanReq=*/20, /*alpha=*/0.5, /*tmem=*/4,
+                /*meanIo=*/12, /*alJmp=*/0.15};
+      case 2:
+        // Typical RTS behaviour but alternately active and inactive.
+        return {"load2", /*meanOn=*/60, /*meanOff=*/40,
+                /*meanReq=*/20, /*alpha=*/0.5, /*tmem=*/4,
+                /*meanIo=*/12, /*alJmp=*/0.15};
+      case 3:
+        // DSP-type program running only from internal memory: no
+        // external requests, few branches (unrolled kernels).
+        return {"load3", /*meanOn=*/0, /*meanOff=*/0,
+                /*meanReq=*/0, /*alpha=*/0.0, /*tmem=*/0,
+                /*meanIo=*/0, /*alJmp=*/0.05};
+      case 4:
+        // Interrupt-driven program, active only while handling an
+        // interrupt; handlers are short, I/O-heavy and branchy.
+        return {"load4", /*meanOn=*/25, /*meanOff=*/120,
+                /*meanReq=*/8, /*alpha=*/0.3, /*tmem=*/4,
+                /*meanIo=*/16, /*alJmp=*/0.20};
+      default:
+        fatal("standard load %u does not exist (1..4)", number);
+    }
+}
+
+std::vector<LoadSpec>
+standardLoads()
+{
+    return {standardLoad(1), standardLoad(2), standardLoad(3),
+            standardLoad(4)};
+}
+
+} // namespace disc

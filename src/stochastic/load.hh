@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Stochastic workload model (paper section 4.1, Table 4.1).
+ *
+ * Each instruction stream's offered work is a stochastic process with
+ * Poisson-distributed phase lengths:
+ *
+ *   meanon   mean number of consecutive instructions while active
+ *   meanoff  mean number of cycles inactive between bursts
+ *   mean_req mean instructions between external access requests
+ *   alpha    fraction of external requests that go to memory
+ *   tmem     wait cycles of an external memory access
+ *   mean_io  mean wait cycles of an I/O access (Poisson)
+ *   aljmp    fraction of instructions that modify program flow
+ *
+ * The OCR of the paper's Table 4.1 lost its numeric cells, so the
+ * standard loads below are re-derived from the prose:
+ *   load 1: typical RTS, always active;
+ *   load 2: typical RTS, alternately active and inactive;
+ *   load 3: DSP program running only from internal memory;
+ *   load 4: interrupt-driven, active only while handling interrupts.
+ * Combined loads (e.g. "1:4") multiplex two processes on one stream.
+ */
+
+#ifndef DISC_STOCHASTIC_LOAD_HH
+#define DISC_STOCHASTIC_LOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace disc
+{
+
+/** Parameter set of one stochastic load (one Table 4.1 column). */
+struct LoadSpec
+{
+    std::string name;
+    double meanOn = 0;    ///< 0 means "always active"
+    double meanOff = 0;   ///< 0 means "never inactive"
+    double meanReq = 0;   ///< 0 means "no external requests"
+    double alpha = 0;     ///< P(request goes to memory)
+    unsigned tmem = 0;    ///< memory access wait cycles
+    double meanIo = 0;    ///< mean I/O wait cycles
+    double alJmp = 0;     ///< P(instruction is jump-type)
+
+    /** True when the load never goes inactive. */
+    bool alwaysActive() const { return meanOff <= 0; }
+};
+
+/** Classification of one generated instruction. */
+struct InstrClass
+{
+    bool jump = false;       ///< modifies program flow
+    bool external = false;   ///< external bus request
+    unsigned accessTime = 0; ///< bus wait cycles when external
+};
+
+/**
+ * Abstract source of classified instructions, with active/inactive
+ * phases. The model issues next() only while active(); every cycle a
+ * source is not issued from, tickIdle() advances its wall-clock
+ * phases.
+ */
+class WorkSource
+{
+  public:
+    virtual ~WorkSource() = default;
+
+    /** Is the source offering an instruction right now? */
+    virtual bool active() const = 0;
+
+    /** Consume and classify the next instruction (requires active()). */
+    virtual InstrClass next() = 0;
+
+    /** Advance one cycle of wall-clock time while inactive. */
+    virtual void tickIdle() = 0;
+
+    /** Source label for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** A single LoadSpec driven by its own RNG. */
+class LoadProcess : public WorkSource
+{
+  public:
+    LoadProcess(LoadSpec spec, std::uint64_t seed);
+
+    bool active() const override;
+    InstrClass next() override;
+    void tickIdle() override;
+    std::string name() const override { return spec_.name; }
+
+    /** The parameter set. */
+    const LoadSpec &spec() const { return spec_; }
+
+  private:
+    LoadSpec spec_;
+    Rng rng_;
+    std::uint64_t onRemaining_ = 0;  ///< instructions left in burst
+    std::uint64_t offRemaining_ = 0; ///< cycles left inactive
+    std::uint64_t reqCountdown_ = 0; ///< instructions to next request
+
+    void drawOn();
+    void drawOff();
+    void drawReq();
+};
+
+/**
+ * Statistical combination of two loads into a single instruction
+ * stream (the paper's "load (1:4)"): the stream is active whenever
+ * either sub-process is, and instructions are served alternately from
+ * the active sub-processes.
+ */
+class CombinedSource : public WorkSource
+{
+  public:
+    CombinedSource(std::unique_ptr<WorkSource> a,
+                   std::unique_ptr<WorkSource> b);
+
+    bool active() const override;
+    InstrClass next() override;
+    void tickIdle() override;
+    std::string name() const override;
+
+  private:
+    std::unique_ptr<WorkSource> a_;
+    std::unique_ptr<WorkSource> b_;
+    bool serveB_ = false; ///< alternation cursor
+};
+
+/** The paper's standard loads 1..4 (prose-derived parameters). */
+LoadSpec standardLoad(unsigned number);
+
+/** All four standard loads. */
+std::vector<LoadSpec> standardLoads();
+
+} // namespace disc
+
+#endif // DISC_STOCHASTIC_LOAD_HH

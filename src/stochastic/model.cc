@@ -1,0 +1,234 @@
+#include "stochastic/model.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+double
+RunTotals::pd() const
+{
+    if (busyCycles == 0)
+        return 0.0;
+    return static_cast<double>(executed) /
+           static_cast<double>(busyCycles);
+}
+
+double
+RunTotals::ps(unsigned pipe_depth) const
+{
+    double e = static_cast<double>(executed);
+    if (e == 0.0)
+        return 0.0;
+    double denom = e + static_cast<double>(busBusy) +
+                   static_cast<double>(jumps) *
+                       static_cast<double>(pipe_depth - 1);
+    return e / denom;
+}
+
+double
+RunTotals::delta(unsigned pipe_depth) const
+{
+    double p = ps(pipe_depth);
+    if (p == 0.0)
+        return 0.0;
+    return (pd() - p) / p * 100.0;
+}
+
+StochasticModel::StochasticModel(
+    StochasticConfig cfg, std::vector<std::unique_ptr<WorkSource>> sources)
+    : cfg_(cfg), sources_(std::move(sources))
+{
+    if (sources_.empty())
+        fatal("stochastic model needs at least one work source");
+    if (sources_.size() > kNumStreams)
+        fatal("stochastic model supports at most %u streams",
+              kNumStreams);
+    if (cfg_.pipeDepth < 2)
+        fatal("stochastic model needs a pipe depth of at least 2");
+    sched_.setMode(cfg_.schedMode);
+    bool custom_shares = false;
+    for (unsigned s : cfg_.shares)
+        custom_shares |= s != 0;
+    if (custom_shares)
+        sched_.setShares(cfg_.shares);
+    else
+        sched_.setEven(static_cast<unsigned>(sources_.size()));
+    pipe_.resize(cfg_.pipeDepth);
+    wait_.assign(sources_.size(), Wait::Ready);
+    hasRetry_.assign(sources_.size(), false);
+    retry_.resize(sources_.size());
+    wasActive_.assign(sources_.size(), false);
+    latencyArmed_.assign(sources_.size(), false);
+    activatedAt_.assign(sources_.size(), 0);
+    for (std::size_t s = 0; s < sources_.size(); ++s)
+        wasActive_[s] = sources_[s]->active();
+    totals_.perStreamExecuted.assign(sources_.size(), 0);
+}
+
+bool
+StochasticModel::engaged() const
+{
+    if (busRemaining_ > 0)
+        return true;
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+        if (wait_[s] != Wait::Ready || hasRetry_[s] ||
+            sources_[s]->active()) {
+            return true;
+        }
+    }
+    for (const Slot &slot : pipe_) {
+        if (slot.valid && !slot.squashed)
+            return true;
+    }
+    return false;
+}
+
+void
+StochasticModel::flushSameStream(StreamId s, unsigned below_stage,
+                                 std::uint64_t *counter)
+{
+    for (unsigned i = 0; i < below_stage; ++i) {
+        Slot &slot = pipe_[i];
+        if (slot.valid && !slot.squashed && slot.stream == s) {
+            slot.squashed = true;
+            if (counting_ && counter)
+                ++(*counter);
+        }
+    }
+}
+
+void
+StochasticModel::resolveAt(unsigned stage)
+{
+    Slot &slot = pipe_[stage];
+    if (!slot.valid || slot.squashed)
+        return;
+    StreamId s = slot.stream;
+
+    if (slot.cls.external && slot.cls.accessTime > 0) {
+        if (busRemaining_ > 0) {
+            // Bus busy: the access instruction itself is flushed and
+            // retried after the stream leaves the wait state.
+            slot.squashed = true;
+            if (counting_) {
+                ++totals_.busRejections;
+                ++totals_.flushedWait;
+            }
+            flushSameStream(s, stage, &totals_.flushedWait);
+            hasRetry_[s] = true;
+            retry_[s] = slot.cls;
+            wait_[s] = Wait::BusFree;
+            return;
+        }
+        // Start the access; the stream waits until it completes.
+        busRemaining_ = slot.cls.accessTime;
+        flushSameStream(s, stage, &totals_.flushedWait);
+        wait_[s] = Wait::Access;
+    } else if (slot.cls.jump) {
+        // The simplifying assumption: a jump flushes every same-IS
+        // instruction still in the pipe.
+        flushSameStream(s, stage, &totals_.flushedJump);
+    }
+
+    if (counting_) {
+        ++totals_.executed;
+        ++totals_.perStreamExecuted[s];
+        if (slot.cls.jump)
+            ++totals_.jumps;
+    }
+}
+
+void
+StochasticModel::stepOnce()
+{
+    bool was_engaged = engaged();
+
+    // Bus progress; completion clears all waiting flags (paper 4.1).
+    if (busRemaining_ > 0) {
+        if (counting_)
+            ++totals_.busBusy;
+        if (--busRemaining_ == 0) {
+            for (auto &w : wait_)
+                w = Wait::Ready;
+        }
+    }
+
+    // Advance the pipe. Control resolves at the *end* of the pipe and
+    // fetch happens before resolution, so a jump flushes the full
+    // (pipe_length - 1) younger same-IS instructions — the same charge
+    // the Ps model levies on the standard processor.
+    for (unsigned i = cfg_.pipeDepth - 1; i > 0; --i)
+        pipe_[i] = pipe_[i - 1];
+    pipe_[0] = Slot{};
+
+    // Issue (before resolve: the fetch of this cycle is already in
+    // flight when the oldest instruction redirects or waits).
+    unsigned ready = 0;
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+        if (wait_[s] != Wait::Ready)
+            continue;
+        if (hasRetry_[s] || sources_[s]->active())
+            ready |= 1u << s;
+    }
+    StreamId chosen = sched_.pick(ready);
+    if (chosen == kNoStream) {
+        if (counting_)
+            ++totals_.bubbles;
+    } else {
+        if (latencyArmed_[chosen]) {
+            if (counting_) {
+                totals_.activationLatency.add(now_ -
+                                              activatedAt_[chosen]);
+            }
+            latencyArmed_[chosen] = false;
+        }
+        Slot &slot = pipe_[0];
+        slot.valid = true;
+        slot.squashed = false;
+        slot.stream = chosen;
+        if (hasRetry_[chosen]) {
+            slot.cls = retry_[chosen];
+            hasRetry_[chosen] = false;
+        } else {
+            slot.cls = sources_[chosen]->next();
+        }
+    }
+
+    // Resolve the instruction that reached the last stage.
+    resolveAt(cfg_.pipeDepth - 1);
+
+    // Inactive sources age in wall-clock time; arm the activation
+    // latency probe on each inactive -> active transition.
+    for (std::size_t s = 0; s < sources_.size(); ++s) {
+        if (!sources_[s]->active() && !hasRetry_[s])
+            sources_[s]->tickIdle();
+        bool active_now = sources_[s]->active() || hasRetry_[s];
+        if (active_now && !wasActive_[s]) {
+            activatedAt_[s] = now_ + 1; // issuable from next cycle
+            latencyArmed_[s] = true;
+        }
+        wasActive_[s] = active_now;
+    }
+
+    ++now_;
+    if (counting_) {
+        ++totals_.cycles;
+        if (was_engaged || engaged())
+            ++totals_.busyCycles;
+    }
+}
+
+RunTotals
+StochasticModel::run()
+{
+    counting_ = false;
+    for (Cycle c = 0; c < cfg_.warmup; ++c)
+        stepOnce();
+    counting_ = true;
+    for (Cycle c = 0; c < cfg_.horizon; ++c)
+        stepOnce();
+    return totals_;
+}
+
+} // namespace disc

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The stochastic DISC sequencer model (paper section 4.1).
+ *
+ * This is a direct implementation of the evaluation model the paper
+ * used: an interleaved pipe fed by stochastic work sources, with the
+ * DISC1 sequencer's scheduling, the simplifying flush assumptions and
+ * the bus-busy arbitration spelled out in section 4.1:
+ *
+ *  - when a jump executes, all same-IS instructions in the pipe are
+ *    flushed;
+ *  - an external request with access time > 0 flushes the same-IS
+ *    instructions and puts the IS into a wait state;
+ *  - if the bus is busy at request time, the requesting instruction is
+ *    itself flushed and retried once the IS leaves the wait state;
+ *  - completion of an external access clears all waiting flags.
+ *
+ * Two measures are produced: PD (processor utilisation on DISC) and
+ * Ps (the analytical standard-processor utilisation), from which
+ * delta = (PD - Ps) / Ps * 100%.
+ */
+
+#ifndef DISC_STOCHASTIC_MODEL_HH
+#define DISC_STOCHASTIC_MODEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/scheduler.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "stochastic/load.hh"
+
+namespace disc
+{
+
+/** Stochastic-model run parameters. */
+struct StochasticConfig
+{
+    unsigned pipeDepth = kDisc1PipeDepth;
+    Scheduler::Mode schedMode = Scheduler::Mode::Dynamic;
+    Cycle warmup = 5000;    ///< cycles discarded before counting
+    Cycle horizon = 200000; ///< measured cycles
+
+    /**
+     * Slot shares per stream (sixteenths). All-zero (the default)
+     * means an even partition over the configured streams.
+     */
+    std::array<unsigned, kNumStreams> shares{};
+};
+
+/** Raw totals of one stochastic run. */
+struct RunTotals
+{
+    Cycle cycles = 0;        ///< measured cycles
+    Cycle busyCycles = 0;    ///< cycles with any stream engaged
+    std::uint64_t executed = 0;
+    std::uint64_t jumps = 0; ///< jump-type instructions executed
+    Cycle busBusy = 0;       ///< data-bus busy cycles
+    std::uint64_t flushedJump = 0;
+    std::uint64_t flushedWait = 0;
+    std::uint64_t busRejections = 0;
+    std::uint64_t bubbles = 0;
+    std::vector<std::uint64_t> perStreamExecuted;
+
+    /**
+     * Activation (scheduling) latency: cycles from a stream's burst
+     * start (inactive -> active, e.g. an interrupt arrival) to the
+     * issue of its first instruction. This is the paper's "interrupt
+     * latency measure" at the scheduling level, complementing the
+     * machine's vector-entry latency.
+     */
+    Histogram activationLatency{64};
+
+    /** DISC processor utilisation. */
+    double pd() const;
+
+    /**
+     * The paper's standard-processor utilisation: executable
+     * instructions over executable + bus busy + jump-flush cycles.
+     */
+    double ps(unsigned pipe_depth) const;
+
+    /** delta = (PD - Ps)/Ps * 100%. */
+    double delta(unsigned pipe_depth) const;
+};
+
+/** One run of the stochastic sequencer over a set of work sources. */
+class StochasticModel
+{
+  public:
+    /**
+     * @param cfg     run parameters.
+     * @param sources one work source per instruction stream (at most
+     *                kNumStreams).
+     */
+    StochasticModel(StochasticConfig cfg,
+                    std::vector<std::unique_ptr<WorkSource>> sources);
+
+    /** Run warmup + horizon and return the measured totals. */
+    RunTotals run();
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        bool squashed = false;
+        StreamId stream = kNoStream;
+        InstrClass cls;
+    };
+
+    enum class Wait : std::uint8_t { Ready, BusFree, Access };
+
+    StochasticConfig cfg_;
+    std::vector<std::unique_ptr<WorkSource>> sources_;
+    Scheduler sched_;
+    std::vector<Slot> pipe_;
+    std::vector<Wait> wait_;
+    std::vector<bool> hasRetry_;
+    std::vector<InstrClass> retry_;
+    std::vector<bool> wasActive_;
+    std::vector<bool> latencyArmed_;
+    std::vector<Cycle> activatedAt_;
+    Cycle now_ = 0;
+    Cycle busRemaining_ = 0;
+    RunTotals totals_;
+    bool counting_ = false;
+
+    void stepOnce();
+    void resolveAt(unsigned stage);
+    void flushSameStream(StreamId s, unsigned below_stage,
+                         std::uint64_t *counter);
+    bool engaged() const;
+};
+
+} // namespace disc
+
+#endif // DISC_STOCHASTIC_MODEL_HH

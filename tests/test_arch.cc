@@ -1,0 +1,683 @@
+/**
+ * @file
+ * Unit tests for the architecture substrate: internal memory, stack
+ * window, interrupt unit, scheduler, bus/ABI and device models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/bus.hh"
+#include "arch/devices.hh"
+#include "arch/interrupts.hh"
+#include "arch/memory.hh"
+#include "arch/scheduler.hh"
+#include "arch/stack_window.hh"
+#include "arch/window_models.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace disc
+{
+namespace
+{
+
+// ---- Internal memory ----
+
+TEST(InternalMemory, ReadWriteRoundTrip)
+{
+    InternalMemory mem;
+    mem.write(0, 0x1234);
+    mem.write(1023, 0xffff);
+    EXPECT_EQ(mem.read(0), 0x1234);
+    EXPECT_EQ(mem.read(1023), 0xffff);
+    EXPECT_EQ(mem.read(5), 0);
+}
+
+TEST(InternalMemory, AddressWraps)
+{
+    InternalMemory mem;
+    mem.write(static_cast<Addr>(kInternalMemWords + 3), 7);
+    EXPECT_EQ(mem.read(3), 7);
+}
+
+TEST(InternalMemory, TestAndSetIsAtomicSemantics)
+{
+    InternalMemory mem;
+    mem.write(10, 0);
+    EXPECT_EQ(mem.testAndSet(10), 0);      // acquired
+    EXPECT_EQ(mem.read(10), 0xffff);
+    EXPECT_EQ(mem.testAndSet(10), 0xffff); // contended
+}
+
+TEST(InternalMemory, LoadAppliesDmemRecords)
+{
+    Program p;
+    p.dataInit = {{4, 44}, {5, 55}};
+    InternalMemory mem;
+    mem.load(p);
+    EXPECT_EQ(mem.read(4), 44);
+    EXPECT_EQ(mem.read(5), 55);
+}
+
+// ---- Program memory ----
+
+TEST(ProgramMemory, OutOfImageFetchesNop)
+{
+    ProgramMemory pm;
+    Program p;
+    p.code = {0x123456, 0x0000ff};
+    pm.load(p);
+    EXPECT_EQ(pm.fetch(0), 0x123456u);
+    EXPECT_EQ(pm.fetch(1), 0x0000ffu);
+    EXPECT_EQ(pm.fetch(2), 0u);
+    EXPECT_EQ(pm.fetch(60000), 0u);
+}
+
+// ---- Stack window ----
+
+class StackWindowTest : public ::testing::Test
+{
+  protected:
+    InternalMemory mem;
+    StackWindow sw{mem, 512, 64};
+};
+
+TEST_F(StackWindowTest, ResetPosition)
+{
+    EXPECT_EQ(sw.awp(), 512u + kNumWindowRegs - 1);
+    EXPECT_EQ(sw.depth(), 0u);
+    EXPECT_EQ(sw.bos(), 512u);
+}
+
+TEST_F(StackWindowTest, ReadWriteWindowRegisters)
+{
+    for (unsigned n = 0; n < kNumWindowRegs; ++n)
+        sw.write(n, static_cast<Word>(100 + n));
+    for (unsigned n = 0; n < kNumWindowRegs; ++n)
+        EXPECT_EQ(sw.read(n), 100 + n);
+    // R0 is at AWP, Rn at AWP-n (backing memory visible through LDM).
+    EXPECT_EQ(mem.read(sw.awp()), 100);
+    EXPECT_EQ(mem.read(sw.awp() - 3), 103);
+}
+
+TEST_F(StackWindowTest, IncSlidesWindowUp)
+{
+    sw.write(0, 11);
+    sw.write(1, 22);
+    EXPECT_FALSE(sw.inc());
+    // The old R0 is now R1 (Figure 3.5 left).
+    EXPECT_EQ(sw.read(1), 11);
+    EXPECT_EQ(sw.read(2), 22);
+}
+
+TEST_F(StackWindowTest, DecSlidesWindowDown)
+{
+    sw.inc();
+    sw.write(0, 99);
+    sw.write(1, 11);
+    EXPECT_FALSE(sw.dec());
+    // The old R1 is now R0; the old R0 left the window.
+    EXPECT_EQ(sw.read(0), 11);
+}
+
+TEST_F(StackWindowTest, CallReturnDiscipline)
+{
+    // Simulate: caller writes local, CALL pushes RA, callee allocates
+    // 2 locals, RET 2 restores.
+    sw.write(0, 0xaaaa);         // caller local
+    sw.inc();                    // CALL: AWP++
+    sw.write(0, 0x0123);         // return address in new R0
+    sw.move(2);                  // callee allocates two locals
+    sw.write(0, 1);
+    sw.write(1, 2);
+    EXPECT_EQ(sw.read(2), 0x0123); // RA visible at R2 (= allocations)
+    sw.move(-2);                 // RET 2: unwind locals
+    EXPECT_EQ(sw.read(0), 0x0123);
+    sw.dec();                    // pop RA
+    EXPECT_EQ(sw.read(0), 0xaaaa); // caller frame restored
+}
+
+TEST_F(StackWindowTest, OverflowDetectedAndClamped)
+{
+    bool bad = false;
+    for (int i = 0; i < 100 && !bad; ++i)
+        bad = sw.inc();
+    EXPECT_TRUE(bad);
+    EXPECT_EQ(sw.awp(), 512u + 64 - 1); // clamped to region top
+}
+
+TEST_F(StackWindowTest, UnderflowDetectedAndClamped)
+{
+    EXPECT_TRUE(sw.dec());
+    EXPECT_EQ(sw.awp(), sw.minAwp());
+}
+
+TEST_F(StackWindowTest, SetAwpValidatesRange)
+{
+    EXPECT_FALSE(sw.setAwp(540));
+    EXPECT_EQ(sw.awp(), 540u);
+    EXPECT_TRUE(sw.setAwp(100));   // below region
+    EXPECT_EQ(sw.awp(), sw.minAwp());
+    EXPECT_TRUE(sw.setAwp(1000));  // above region
+    EXPECT_EQ(sw.awp(), 512u + 63);
+}
+
+TEST_F(StackWindowTest, HeadroomTracksAwp)
+{
+    unsigned initial = sw.headroom();
+    sw.inc();
+    EXPECT_EQ(sw.headroom(), initial - 1);
+}
+
+TEST(StackWindowConfig, RejectsTinyRegion)
+{
+    InternalMemory mem;
+    EXPECT_THROW(StackWindow(mem, 0, 4), FatalError);
+}
+
+TEST(StackWindowConfig, RejectsOutOfMemoryRegion)
+{
+    InternalMemory mem;
+    EXPECT_THROW(StackWindow(mem, 1000, 64), FatalError);
+}
+
+/** Property: any legal sequence of pushes/pops is LIFO-consistent. */
+TEST(StackWindowProperty, RandomPushPopLifo)
+{
+    InternalMemory mem;
+    StackWindow sw(mem, 512, 128);
+    Rng rng(2024);
+    std::vector<Word> model; // values pushed, in order
+    for (int step = 0; step < 5000; ++step) {
+        bool push = model.empty() ||
+                    (sw.headroom() > 0 && rng.chance(0.55));
+        if (push && sw.headroom() > 0) {
+            Word v = static_cast<Word>(rng.next64());
+            ASSERT_FALSE(sw.inc());
+            sw.write(0, v);
+            model.push_back(v);
+        } else if (!model.empty()) {
+            ASSERT_EQ(sw.read(0), model.back());
+            model.pop_back();
+            ASSERT_FALSE(sw.dec());
+        }
+        ASSERT_EQ(sw.depth(), model.size());
+    }
+}
+
+// ---- Window traffic models ----
+
+TEST(FixedWindows, NoTrafficWithinResidentSet)
+{
+    FixedWindowModel m(4, 8);
+    for (int i = 0; i < 3; ++i)
+        m.call();
+    for (int i = 0; i < 3; ++i)
+        m.ret();
+    EXPECT_EQ(m.traffic().spillWords, 0u);
+    EXPECT_EQ(m.traffic().fillWords, 0u);
+}
+
+TEST(FixedWindows, SpillsOnePerCallPastCapacity)
+{
+    FixedWindowModel m(4, 8);
+    for (int i = 0; i < 10; ++i)
+        m.call();
+    // Depth 10 with 4 resident: 10 - 4 = 6 windows spilled.
+    EXPECT_EQ(m.traffic().spillWords, 6u * 8);
+    for (int i = 0; i < 10; ++i)
+        m.ret();
+    EXPECT_EQ(m.traffic().fillWords, 6u * 8);
+    EXPECT_EQ(m.depth(), 0u);
+}
+
+TEST(FixedWindows, LazyPolicyMakesSingleBoundaryOscillationCheap)
+{
+    FixedWindowModel m(4, 8);
+    for (int i = 0; i < 5; ++i)
+        m.call(); // one spill
+    std::uint64_t after_setup = m.traffic().spillWords;
+    for (int i = 0; i < 100; ++i) {
+        m.ret();
+        m.call();
+    }
+    // Depth never drops below the resident base: no further traffic.
+    EXPECT_EQ(m.traffic().spillWords, after_setup);
+    EXPECT_EQ(m.traffic().fillWords, 0u);
+}
+
+TEST(FixedWindows, ReturnBelowZeroPanics)
+{
+    FixedWindowModel m(2, 8);
+    EXPECT_THROW(m.ret(), PanicError);
+}
+
+TEST(StackWindowModelTest, NoTrafficUntilRegionOverflow)
+{
+    StackWindowModel m(32, 32);
+    for (int i = 0; i < 10; ++i)
+        m.call(3); // 30 words: fits
+    EXPECT_EQ(m.traffic().overflowTraps, 0u);
+    EXPECT_EQ(m.traffic().trafficCycles(1), 0u);
+    m.call(3); // 33 words: trap
+    EXPECT_EQ(m.traffic().overflowTraps, 1u);
+    EXPECT_EQ(m.traffic().trafficCycles(1), 64u);
+}
+
+TEST(StackWindowModelTest, VariableFramesTracked)
+{
+    StackWindowModel m(128, 128);
+    m.call(1);
+    m.call(5);
+    m.call(2);
+    EXPECT_EQ(m.depthWords(), 8u);
+    m.ret();
+    EXPECT_EQ(m.depthWords(), 6u);
+    m.ret();
+    m.ret();
+    EXPECT_EQ(m.depthWords(), 0u);
+}
+
+// ---- Interrupt unit ----
+
+TEST(Interrupts, RaiseAndActivity)
+{
+    InterruptUnit iu;
+    EXPECT_FALSE(iu.isActive(0));
+    iu.raise(0, 0);
+    EXPECT_TRUE(iu.isActive(0));
+    EXPECT_EQ(iu.ir(0), 0x01);
+    EXPECT_FALSE(iu.isActive(1));
+}
+
+TEST(Interrupts, MaskGatesActivity)
+{
+    InterruptUnit iu;
+    iu.setMr(2, 0x00);
+    iu.raise(2, 3);
+    EXPECT_FALSE(iu.isActive(2));
+    iu.setMr(2, 0x08);
+    EXPECT_TRUE(iu.isActive(2));
+}
+
+TEST(Interrupts, BackgroundDoesNotVector)
+{
+    InterruptUnit iu;
+    iu.raise(1, 0);
+    EXPECT_FALSE(iu.pendingVector(1).has_value());
+}
+
+TEST(Interrupts, HighestPriorityVectors)
+{
+    InterruptUnit iu;
+    iu.raise(0, 2);
+    iu.raise(0, 5);
+    auto v = iu.pendingVector(0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 5u);
+}
+
+TEST(Interrupts, RunningLevelBlocksEqualOrLower)
+{
+    InterruptUnit iu;
+    iu.raise(0, 4);
+    iu.enterService(0, 4);
+    EXPECT_EQ(iu.runningLevel(0), 4u);
+    // Same level pending again: no vector.
+    EXPECT_FALSE(iu.pendingVector(0).has_value());
+    iu.raise(0, 3);
+    EXPECT_FALSE(iu.pendingVector(0).has_value());
+    iu.raise(0, 6);
+    auto v = iu.pendingVector(0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 6u);
+}
+
+TEST(Interrupts, NestedServiceUnwinds)
+{
+    InterruptUnit iu;
+    iu.enterService(0, 3);
+    iu.enterService(0, 6);
+    EXPECT_EQ(iu.runningLevel(0), 6u);
+    EXPECT_EQ(iu.serviceDepth(0), 2u);
+    EXPECT_TRUE(iu.exitService(0));
+    EXPECT_EQ(iu.runningLevel(0), 3u);
+    EXPECT_TRUE(iu.exitService(0));
+    EXPECT_EQ(iu.runningLevel(0), 0u);
+    EXPECT_FALSE(iu.exitService(0));
+}
+
+TEST(Interrupts, ClearDropsRequest)
+{
+    InterruptUnit iu;
+    iu.raise(3, 7);
+    iu.raise(3, 1);
+    iu.clear(3, 7);
+    EXPECT_EQ(iu.ir(3), 0x02);
+}
+
+TEST(Interrupts, MaskedBitDoesNotVector)
+{
+    InterruptUnit iu;
+    iu.setMr(0, 0x01); // only background enabled
+    iu.raise(0, 5);
+    EXPECT_FALSE(iu.pendingVector(0).has_value());
+    EXPECT_FALSE(iu.isActive(0));
+}
+
+TEST(Interrupts, VectorAddressLayout)
+{
+    EXPECT_EQ(vectorAddress(0, 1), 1u);
+    EXPECT_EQ(vectorAddress(1, 0), 8u);
+    EXPECT_EQ(vectorAddress(3, 7), 31u);
+    EXPECT_EQ(kVectorTableEnd, 32u);
+}
+
+// ---- Scheduler ----
+
+TEST(SchedulerTest, EvenPartitionRoundRobins)
+{
+    Scheduler sched;
+    sched.setEven(4);
+    unsigned ready = 0xf;
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(sched.pick(ready), i % 4);
+}
+
+TEST(SchedulerTest, DynamicReallocationDonatesSlots)
+{
+    Scheduler sched;
+    sched.setEven(4);
+    // Stream 2 never ready: its slots must go to others, never bubble.
+    unsigned ready = 0xb; // 1011
+    std::array<unsigned, kNumStreams> counts{};
+    for (unsigned i = 0; i < 1600; ++i) {
+        StreamId s = sched.pick(ready);
+        ASSERT_NE(s, kNoStream);
+        ASSERT_NE(s, 2);
+        ++counts[s];
+    }
+    // Everyone ready gets at least its own 400 slots.
+    EXPECT_GE(counts[0], 400u);
+    EXPECT_GE(counts[1], 400u);
+    EXPECT_GE(counts[3], 400u);
+    EXPECT_EQ(counts[0] + counts[1] + counts[3], 1600u);
+}
+
+TEST(SchedulerTest, StaticModeWastesUnreadySlots)
+{
+    Scheduler sched;
+    sched.setEven(4);
+    sched.setMode(Scheduler::Mode::Static);
+    unsigned ready = 0x1; // only stream 0
+    unsigned bubbles = 0, issued = 0;
+    for (unsigned i = 0; i < 1600; ++i) {
+        StreamId s = sched.pick(ready);
+        if (s == kNoStream)
+            ++bubbles;
+        else
+            ++issued;
+    }
+    EXPECT_EQ(issued, 400u);  // exactly its 4/16 share
+    EXPECT_EQ(bubbles, 1200u);
+}
+
+TEST(SchedulerTest, SharesArePropotionalWhenAllReady)
+{
+    Scheduler sched;
+    // Paper's Figure 3.3 example: T/2, T/6-ish -> 8,4,2,2 sixteenths.
+    sched.setShares({8, 4, 2, 2});
+    std::array<unsigned, kNumStreams> counts{};
+    for (unsigned i = 0; i < 1600; ++i)
+        ++counts[sched.pick(0xf)];
+    EXPECT_EQ(counts[0], 800u);
+    EXPECT_EQ(counts[1], 400u);
+    EXPECT_EQ(counts[2], 200u);
+    EXPECT_EQ(counts[3], 200u);
+}
+
+TEST(SchedulerTest, SharesInterleaveAcrossFrame)
+{
+    Scheduler sched;
+    sched.setShares({8, 4, 2, 2});
+    // Stream 0 must not own more than 2 consecutive slots anywhere.
+    std::string table = sched.describe();
+    EXPECT_EQ(table.size(), kScheduleSlots);
+    EXPECT_EQ(table.find("000"), std::string::npos) << table;
+}
+
+TEST(SchedulerTest, SharesMustSumToSixteen)
+{
+    Scheduler sched;
+    EXPECT_THROW(sched.setShares({8, 8, 8, 8}), FatalError);
+    EXPECT_THROW(sched.setShares({1, 1, 1, 1}), FatalError);
+}
+
+TEST(SchedulerTest, SingleStreamGetsFullThroughput)
+{
+    // Figure 3.3: when only IS1 is active it receives T even though
+    // its static share is T/2.
+    Scheduler sched;
+    sched.setShares({8, 4, 2, 2});
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(sched.pick(0x2), 1);
+}
+
+TEST(SchedulerTest, NoReadyStreamBubbles)
+{
+    Scheduler sched;
+    EXPECT_EQ(sched.pick(0), kNoStream);
+}
+
+TEST(SchedulerTest, SchedInstructionUpdatesSlot)
+{
+    Scheduler sched;
+    sched.setSlot(5, 3);
+    EXPECT_EQ(sched.slot(5), 3);
+}
+
+/** Property: dynamic mode never starves a ready stream. */
+class SchedulerStarvationTest
+    : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SchedulerStarvationTest, EveryReadyStreamIssuesWithinAFrame)
+{
+    unsigned ready = GetParam();
+    Scheduler sched;
+    sched.setShares({13, 1, 1, 1}); // heavily skewed partition
+    std::array<unsigned, kNumStreams> counts{};
+    for (unsigned i = 0; i < 16 * 100; ++i) {
+        StreamId s = sched.pick(ready);
+        if (s != kNoStream)
+            ++counts[s];
+    }
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        if (ready & (1u << s))
+            EXPECT_GE(counts[s], 100u) << "stream " << unsigned(s);
+        else
+            EXPECT_EQ(counts[s], 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReadyMasks, SchedulerStarvationTest,
+                         ::testing::Values(0x1u, 0x2u, 0x3u, 0x5u, 0x7u,
+                                           0x9u, 0xbu, 0xeu, 0xfu));
+
+// ---- Bus and ABI ----
+
+TEST(BusTest, DecodeRouting)
+{
+    Bus bus;
+    ExternalMemoryDevice mem(256, 2);
+    ActuatorDevice act(1);
+    bus.attach(0x1000, 256, &mem);
+    bus.attach(0x2000, 16, &act);
+    Addr off = 0;
+    EXPECT_EQ(bus.decode(0x1005, off), &mem);
+    EXPECT_EQ(off, 5);
+    EXPECT_EQ(bus.decode(0x200f, off), &act);
+    EXPECT_EQ(off, 15);
+    EXPECT_EQ(bus.decode(0x0000, off), nullptr);
+    EXPECT_EQ(bus.decode(0x2010, off), nullptr);
+}
+
+TEST(BusTest, OverlapRejected)
+{
+    Bus bus;
+    ExternalMemoryDevice a(256, 1), b(256, 1);
+    bus.attach(0x1000, 256, &a);
+    EXPECT_THROW(bus.attach(0x10ff, 4, &b), FatalError);
+    EXPECT_NO_THROW(bus.attach(0x1100, 4, &b));
+}
+
+TEST(AbiTest, ReadCompletesAfterLatency)
+{
+    Bus bus;
+    ExternalMemoryDevice mem(64, 3);
+    mem.poke(5, 0xbeef);
+    bus.attach(0x1000, 64, &mem);
+    AsyncBusInterface abi(bus);
+
+    auto out = abi.request(1, 0x1005, false, 0, 4);
+    EXPECT_EQ(out, AsyncBusInterface::Outcome::Started);
+    EXPECT_FALSE(abi.takeImmediate().has_value());
+    EXPECT_TRUE(abi.busy());
+
+    EXPECT_FALSE(abi.tick().has_value());
+    EXPECT_FALSE(abi.tick().has_value());
+    auto comp = abi.tick();
+    ASSERT_TRUE(comp.has_value());
+    EXPECT_EQ(comp->stream, 1);
+    EXPECT_EQ(comp->destReg, 4);
+    EXPECT_EQ(comp->data, 0xbeef);
+    EXPECT_FALSE(abi.busy());
+    EXPECT_EQ(abi.busyCycles(), 3u);
+}
+
+TEST(AbiTest, WriteLandsAtCompletion)
+{
+    Bus bus;
+    ExternalMemoryDevice mem(64, 2);
+    bus.attach(0, 64, &mem);
+    AsyncBusInterface abi(bus);
+    abi.request(0, 7, true, 0x1234, AsyncBusInterface::kNoDest);
+    EXPECT_EQ(mem.peek(7), 0); // not yet written
+    abi.tick();
+    auto comp = abi.tick();
+    ASSERT_TRUE(comp.has_value());
+    EXPECT_TRUE(comp->isWrite);
+    EXPECT_EQ(mem.peek(7), 0x1234);
+}
+
+TEST(AbiTest, BusyWhileInFlight)
+{
+    Bus bus;
+    ExternalMemoryDevice mem(64, 4);
+    bus.attach(0, 64, &mem);
+    AsyncBusInterface abi(bus);
+    EXPECT_EQ(abi.request(0, 1, false, 0, 0),
+              AsyncBusInterface::Outcome::Started);
+    EXPECT_EQ(abi.request(1, 2, false, 0, 0),
+              AsyncBusInterface::Outcome::Busy);
+}
+
+TEST(AbiTest, FaultOnUnmappedAddress)
+{
+    Bus bus;
+    AsyncBusInterface abi(bus);
+    EXPECT_EQ(abi.request(0, 0x5555, false, 0, 0),
+              AsyncBusInterface::Outcome::Fault);
+    EXPECT_FALSE(abi.busy());
+}
+
+TEST(AbiTest, ZeroLatencyCompletesImmediately)
+{
+    Bus bus;
+    ExternalMemoryDevice mem(64, 0);
+    mem.poke(3, 42);
+    bus.attach(0, 64, &mem);
+    AsyncBusInterface abi(bus);
+    EXPECT_EQ(abi.request(2, 3, false, 0, 6),
+              AsyncBusInterface::Outcome::Started);
+    auto imm = abi.takeImmediate();
+    ASSERT_TRUE(imm.has_value());
+    EXPECT_EQ(imm->data, 42);
+    EXPECT_FALSE(abi.busy());
+    EXPECT_EQ(abi.busyCycles(), 0u);
+}
+
+// ---- Devices ----
+
+TEST(Devices, SensorProducesAndInterrupts)
+{
+    SensorDevice sensor(10, 2);
+    sensor.setInterrupt(2, 4);
+    unsigned ints = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (auto req = sensor.tick()) {
+            EXPECT_EQ(req->stream, 2);
+            EXPECT_EQ(req->bit, 4u);
+            ++ints;
+        }
+    }
+    EXPECT_EQ(ints, 10u);
+    EXPECT_EQ(sensor.samplesProduced(), 10u);
+    Word v = sensor.read(0);
+    EXPECT_EQ(v, static_cast<Word>(9 * 17 + 3));
+    EXPECT_EQ(sensor.samplesRead(), 1u);
+}
+
+TEST(Devices, SensorCustomGenerator)
+{
+    SensorDevice sensor(1, 0);
+    sensor.setGenerator([](std::uint64_t n) {
+        return static_cast<Word>(n * n);
+    });
+    for (int i = 0; i < 5; ++i)
+        sensor.tick();
+    EXPECT_EQ(sensor.read(0), 16);
+}
+
+TEST(Devices, ActuatorRecordsOutputs)
+{
+    ActuatorDevice act(1);
+    act.tick();
+    act.tick();
+    act.write(0, 100);
+    act.tick();
+    act.write(1, 200);
+    ASSERT_EQ(act.outputs().size(), 2u);
+    EXPECT_EQ(act.outputs()[0].cycle, 2u);
+    EXPECT_EQ(act.outputs()[0].value, 100);
+    EXPECT_EQ(act.outputs()[1].offset, 1);
+    EXPECT_EQ(act.lastValue(), 100);
+}
+
+TEST(Devices, TimerFiresPeriodically)
+{
+    TimerDevice timer(5, 1, 7);
+    unsigned fires = 0;
+    for (int i = 0; i < 25; ++i) {
+        if (auto req = timer.tick()) {
+            EXPECT_EQ(req->stream, 1);
+            EXPECT_EQ(req->bit, 7u);
+            ++fires;
+        }
+    }
+    EXPECT_EQ(fires, 5u);
+    EXPECT_EQ(timer.fired(), 5u);
+}
+
+TEST(Devices, TimerReprogrammable)
+{
+    TimerDevice timer(100, 0, 1);
+    timer.write(0, 2);
+    unsigned fires = 0;
+    for (int i = 0; i < 10; ++i)
+        fires += timer.tick().has_value();
+    EXPECT_EQ(fires, 5u);
+}
+
+} // namespace
+} // namespace disc

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Checkpoint/restore tests: the serialization substrate, and full
+ * machine determinism across save/restore — a restored machine must
+ * continue exactly like the original, mid-pipeline, mid-bus-access
+ * and mid-interrupt included.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/devices.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+namespace disc
+{
+namespace
+{
+
+// ---- Serializer primitives ----
+
+TEST(Serialize, RoundTripScalars)
+{
+    Serializer out;
+    out.put<std::uint8_t>(0xab);
+    out.put<std::uint16_t>(0x1234);
+    out.put<std::uint32_t>(0xdeadbeef);
+    out.put<std::uint64_t>(0x0123456789abcdefULL);
+    out.put<std::int32_t>(-42);
+    out.putBool(true);
+    out.putBool(false);
+
+    Deserializer in(out.bytes());
+    EXPECT_EQ(in.get<std::uint8_t>(), 0xab);
+    EXPECT_EQ(in.get<std::uint16_t>(), 0x1234);
+    EXPECT_EQ(in.get<std::uint32_t>(), 0xdeadbeefu);
+    EXPECT_EQ(in.get<std::uint64_t>(), 0x0123456789abcdefULL);
+    EXPECT_EQ(in.get<std::int32_t>(), -42);
+    EXPECT_TRUE(in.getBool());
+    EXPECT_FALSE(in.getBool());
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Serialize, RoundTripVectors)
+{
+    Serializer out;
+    out.putVector(std::vector<Word>{1, 2, 0xffff});
+    out.putVector(std::vector<std::uint8_t>{});
+    Deserializer in(out.bytes());
+    auto v = in.getVector<Word>();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[2], 0xffff);
+    EXPECT_TRUE(in.getVector<std::uint8_t>().empty());
+}
+
+TEST(Serialize, TruncationDiagnosed)
+{
+    Serializer out;
+    out.put<std::uint32_t>(7);
+    std::vector<std::uint8_t> bytes = out.bytes();
+    bytes.pop_back();
+    Deserializer in(bytes);
+    EXPECT_THROW(in.get<std::uint32_t>(), FatalError);
+}
+
+// ---- Machine checkpoints ----
+
+/** Build the reference workload: timers, bus traffic, interrupts. */
+struct Rig
+{
+    Machine machine;
+    ExternalMemoryDevice ext{64, 7};
+    TimerDevice timer{97, 1, 3};
+    Program prog;
+
+    Rig()
+    {
+        machine.attachDevice(0x1000, 64, &ext);
+        machine.attachDevice(0x3000, 4, &timer);
+        prog = assemble(R"(
+            .org 11             ; vectorAddress(1, 3)
+                jmp tick_isr
+            .org 0x20
+            main:
+                ldi  g0, 0x00
+                ldih g0, 0x10
+            loop:
+                ld   r1, [g0]
+                addi r1, r1, 1
+                st   r1, [g0]
+                ldmd r2, [0x40]
+                addi r2, r2, 1
+                stmd r2, [0x40]
+                jmp  loop
+            tick_isr:
+                ldmd r1, [0x41]
+                addi r1, r1, 1
+                stmd r1, [0x41]
+                clri 3
+                reti
+        )");
+        machine.load(prog);
+        machine.startStream(0, prog.symbol("main"));
+    }
+};
+
+/** Fingerprint of all observable machine state. */
+std::string
+fingerprint(const Machine &m, const ExternalMemoryDevice &ext)
+{
+    std::string fp;
+    const MachineStats &st = m.stats();
+    fp += strprintf("c=%llu busy=%llu ret=%llu redir=%llu waits=%llu ",
+                    (unsigned long long)st.cycles,
+                    (unsigned long long)st.busyCycles,
+                    (unsigned long long)st.totalRetired,
+                    (unsigned long long)st.redirects,
+                    (unsigned long long)st.squashedWait);
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        fp += strprintf("s%u:pc=%04x awp=%u ir=%02x ", s, m.pc(s),
+                        m.window(s).awp(), m.interrupts().ir(s));
+    }
+    for (Addr a = 0x40; a < 0x44; ++a)
+        fp += strprintf("m%x=%u ", a, m.internalMemory().read(a));
+    fp += strprintf("ext0=%u", ext.peek(0));
+    return fp;
+}
+
+TEST(Checkpoint, RestoredMachineContinuesIdentically)
+{
+    // Run A: 1000 + 1000 cycles straight through.
+    Rig a;
+    a.machine.run(1000, false);
+    std::vector<std::uint8_t> snap = a.machine.saveState();
+    a.machine.run(1000, false);
+    std::string want = fingerprint(a.machine, a.ext);
+
+    // Run B: fresh rig, restore the snapshot, run the second half.
+    Rig b;
+    b.machine.restoreState(snap);
+    EXPECT_EQ(b.machine.stats().cycles, 1000u);
+    b.machine.run(1000, false);
+    EXPECT_EQ(fingerprint(b.machine, b.ext), want);
+}
+
+class CheckpointAtCycle : public ::testing::TestWithParam<Cycle>
+{};
+
+TEST_P(CheckpointAtCycle, AnySplitPointIsExact)
+{
+    // Property: for any split point — mid-access, mid-vector,
+    // mid-flush — restore + continue equals straight-through.
+    const Cycle split = GetParam();
+    const Cycle total = 700;
+
+    Rig a;
+    a.machine.run(total, false);
+    std::string want = fingerprint(a.machine, a.ext);
+
+    Rig b;
+    b.machine.run(split, false);
+    auto snap = b.machine.saveState();
+
+    Rig c;
+    c.machine.restoreState(snap);
+    c.machine.run(total - split, false);
+    EXPECT_EQ(fingerprint(c.machine, c.ext), want)
+        << "split at " << split;
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, CheckpointAtCycle,
+                         ::testing::Values(1u, 13u, 97u, 98u, 255u,
+                                           500u, 699u));
+
+TEST(Checkpoint, MismatchesDiagnosed)
+{
+    Rig a;
+    a.machine.run(100, false);
+    auto snap = a.machine.saveState();
+
+    // Wrong pipe depth.
+    MachineConfig deep;
+    deep.pipeDepth = 6;
+    Machine other(deep);
+    EXPECT_THROW(other.restoreState(snap), FatalError);
+
+    // Wrong device set.
+    Machine bare;
+    EXPECT_THROW(bare.restoreState(snap), FatalError);
+
+    // Corrupted magic.
+    auto bad = snap;
+    bad[0] ^= 0xff;
+    Rig b;
+    EXPECT_THROW(b.machine.restoreState(bad), FatalError);
+
+    // Truncation.
+    auto trunc = snap;
+    trunc.resize(trunc.size() / 2);
+    Rig c;
+    EXPECT_THROW(c.machine.restoreState(trunc), FatalError);
+}
+
+TEST(Checkpoint, UartAndDmaSurvive)
+{
+    ExternalMemoryDevice ext_a(64, 2), ext_b(64, 2);
+    auto build = [](ExternalMemoryDevice &ext, UartDevice &u,
+                    DmaDevice &d, Machine &m, const Program &p) {
+        m.attachDevice(0x1000, 64, &ext);
+        m.attachDevice(0x2000, 4, &u);
+        m.attachDevice(0x3000, 8, &d);
+        m.load(p);
+        m.startStream(0, p.symbol("main"));
+    };
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi  g0, 0x00
+            ldih g0, 0x30
+            ldi  r1, 0
+            st   r1, [g0]      ; dma src
+            ldi  r1, 32
+            st   r1, [g0+1]    ; dma dst
+            ldi  r1, 8
+            st   r1, [g0+2]    ; start
+        spin:
+            jmp spin
+    )");
+
+    UartDevice uart_a(40, 1), uart_b(40, 1);
+    uart_a.scriptRx({5, 6, 7, 8, 9});
+    uart_b.scriptRx({5, 6, 7, 8, 9});
+    DmaDevice dma_a(ext_a, 9), dma_b(ext_b, 9);
+    for (Addr i = 0; i < 8; ++i) {
+        ext_a.poke(i, static_cast<Word>(i + 100));
+        ext_b.poke(i, static_cast<Word>(i + 100));
+    }
+
+    Machine a;
+    build(ext_a, uart_a, dma_a, a, p);
+    a.run(60, false);
+    auto snap = a.saveState();
+    a.run(200, false);
+
+    Machine b;
+    build(ext_b, uart_b, dma_b, b, p);
+    b.restoreState(snap);
+    b.run(200, false);
+
+    EXPECT_EQ(uart_b.pendingRx(), uart_a.pendingRx());
+    EXPECT_EQ(dma_b.transfersDone(), dma_a.transfersDone());
+    for (Addr i = 0; i < 8; ++i)
+        EXPECT_EQ(ext_b.peek(32 + i), ext_a.peek(32 + i)) << i;
+}
+
+} // namespace
+} // namespace disc

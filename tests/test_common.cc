@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the common substrate: logging, RNG/Poisson sampling,
+ * statistics accumulators and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace disc
+{
+namespace
+{
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("a=%d b=%s", 3, "x"), "a=3 b=x");
+    EXPECT_EQ(strprintf("%04x", 0xabu), "00ab");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom %d", 1), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error %s", "x"), FatalError);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(PoissonMeanTest, MatchesMeanAndVariance)
+{
+    const double mean = GetParam();
+    Rng r(123);
+    RunningStat s;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        s.add(static_cast<double>(r.poisson(mean)));
+    // Poisson: mean == variance. Allow 5 standard errors.
+    double se = std::sqrt(mean / n);
+    EXPECT_NEAR(s.mean(), mean, 5 * se + 1e-9);
+    EXPECT_NEAR(s.variance(), mean, 0.05 * mean + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.3, 1.0, 4.0, 12.0, 29.0, 31.0,
+                                           80.0, 250.0));
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(77);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.exponential(5.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.2);
+    EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(78);
+    RunningStat s;
+    const double p = 0.25;
+    for (int i = 0; i < 100000; ++i)
+        s.add(static_cast<double>(r.geometric(p)));
+    EXPECT_NEAR(s.mean(), (1 - p) / p, 0.1);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    Rng r(3);
+    RunningStat whole, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniform() * 10;
+        whole.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStat copy = a;
+    a.merge(b);
+    EXPECT_EQ(a.count(), copy.count());
+    EXPECT_DOUBLE_EQ(a.mean(), copy.mean());
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndPercentiles)
+{
+    Histogram h(10);
+    for (std::uint64_t v : {0u, 1u, 1u, 2u, 2u, 2u, 9u, 15u})
+        h.add(v);
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_EQ(h.binCount(2), 3u);
+    EXPECT_EQ(h.binCount(10), 1u); // overflow bucket
+    EXPECT_EQ(h.maxValue(), 15u);
+    EXPECT_EQ(h.percentile(0.5), 2u);
+    EXPECT_EQ(h.percentile(1.0), 10u); // overflow reported as numBins
+}
+
+TEST(Histogram, MeanIncludesOverflow)
+{
+    Histogram h(4);
+    h.add(2);
+    h.add(10);
+    EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+}
+
+TEST(Histogram, RenderNonEmpty)
+{
+    Histogram h(8);
+    h.add(1);
+    h.add(1);
+    h.add(3);
+    std::string out = h.render();
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t("Caption");
+    t.setHeader({"load", "PD", "delta"});
+    t.addRow({"load 1", Table::cell(0.5, 3), Table::cell(12.3, 1)});
+    t.addRow({"load 22", Table::cell(0.75, 3), Table::cell(-3.0, 1)});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Caption"), std::string::npos);
+    EXPECT_NE(out.find("load 22"), std::string::npos);
+    EXPECT_NE(out.find("0.750"), std::string::npos);
+    EXPECT_NE(out.find("-3.0"), std::string::npos);
+    // Every body line has the same width.
+    std::size_t pos = out.find('\n');
+    std::size_t first = out.find('+');
+    std::string rule = out.substr(first, out.find('\n', first) - first);
+    EXPECT_GT(rule.size(), 10u);
+    (void)pos;
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t("x");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), PanicError);
+}
+
+} // namespace
+} // namespace disc

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Global determinism properties: identical runs produce identical
+ * cycle-level statistics, and race-free multi-stream programs produce
+ * identical architectural results at every pipeline depth (timing
+ * changes, results must not).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/devices.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+namespace disc
+{
+namespace
+{
+
+/** Multi-stream, race-free program: disjoint memory per stream. */
+const char *kRaceFree = R"(
+    .org 0x20
+    entry:
+        ; each stream derives its own data area from its id in SR
+        mov  r7, sr
+        shr  r7, r7, g2       ; g2 = 4: stream id from SR[5:4]
+        andi r7, r7, 3
+        ldi  r6, 16
+        mul  r6, r7, r6
+        addi r6, r6, 0x40     ; base = 0x40 + 16*id
+        ldi  r5, 10           ; iterations
+        ldi  r4, 0            ; accumulator
+    loop:
+        add  r4, r4, r5
+        call helper
+        add  r4, r4, g1
+        subi r5, r5, 1
+        cmpi r5, 0
+        bne  loop
+        stm  r4, [r6]
+        halt
+    helper:
+        winc
+        ldi  r0, 3
+        mul  g1, r0, r0       ; g1 = 9 (same for every caller: benign)
+        ret 1
+)";
+
+std::string
+machineFingerprint(const Machine &m)
+{
+    const MachineStats &st = m.stats();
+    std::string fp = strprintf(
+        "c=%llu b=%llu r=%llu j=%llu q=%llu w=%llu d=%llu bub=%llu",
+        (unsigned long long)st.cycles,
+        (unsigned long long)st.busyCycles,
+        (unsigned long long)st.totalRetired,
+        (unsigned long long)st.redirects,
+        (unsigned long long)st.squashedJump,
+        (unsigned long long)st.squashedWait,
+        (unsigned long long)st.squashedDeact,
+        (unsigned long long)st.bubbles);
+    for (Addr a = 0x40; a < 0x80; ++a)
+        fp += strprintf(" %04x", m.internalMemory().read(a));
+    return fp;
+}
+
+TEST(Determinism, IdenticalRunsMatchCycleForCycle)
+{
+    Program p = assemble(kRaceFree);
+    auto run = [&] {
+        Machine m;
+        m.load(p);
+        m.writeReg(0, reg::G2, 4);
+        for (StreamId s = 0; s < 4; ++s)
+            m.startStream(s, p.symbol("entry"));
+        m.run(100000);
+        EXPECT_TRUE(m.idle());
+        return machineFingerprint(m);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+class DepthIndependence : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(DepthIndependence, RaceFreeResultsMatchReferenceDepth)
+{
+    Program p = assemble(kRaceFree);
+    auto results = [&](unsigned depth) {
+        MachineConfig cfg;
+        cfg.pipeDepth = depth;
+        Machine m(cfg);
+        m.load(p);
+        m.writeReg(0, reg::G2, 4);
+        for (StreamId s = 0; s < 4; ++s)
+            m.startStream(s, p.symbol("entry"));
+        m.run(200000);
+        EXPECT_TRUE(m.idle()) << "depth " << depth;
+        std::string out;
+        for (Addr a = 0x40; a < 0x80; ++a)
+            out += strprintf(" %04x", m.internalMemory().read(a));
+        return out;
+    };
+    EXPECT_EQ(results(GetParam()), results(kDisc1PipeDepth))
+        << "depth " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthIndependence,
+                         ::testing::Values(3u, 5u, 6u, 8u));
+
+TEST(Determinism, SchedulerModeChangesTimingNotResults)
+{
+    Program p = assemble(kRaceFree);
+    auto results = [&](Scheduler::Mode mode) {
+        MachineConfig cfg;
+        cfg.schedMode = mode;
+        Machine m(cfg);
+        m.load(p);
+        m.writeReg(0, reg::G2, 4);
+        for (StreamId s = 0; s < 4; ++s)
+            m.startStream(s, p.symbol("entry"));
+        m.run(400000);
+        EXPECT_TRUE(m.idle());
+        std::string out;
+        for (Addr a = 0x40; a < 0x80; ++a)
+            out += strprintf(" %04x", m.internalMemory().read(a));
+        return out;
+    };
+    EXPECT_EQ(results(Scheduler::Mode::Dynamic),
+              results(Scheduler::Mode::Static));
+}
+
+TEST(Determinism, DeviceTimingPerturbsScheduleNotValues)
+{
+    // Same program against external memories of different speeds:
+    // wait lengths change, final values must not.
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi  g0, 0x00
+            ldih g0, 0x10
+            ldi  r1, 6
+            ldi  r2, 0
+        loop:
+            ld   r3, [g0]
+            add  r2, r2, r3
+            st   r2, [g0+1]
+            subi r1, r1, 1
+            cmpi r1, 0
+            bne  loop
+            stmd r2, [0x90]
+            halt
+    )");
+    auto result = [&](unsigned latency) {
+        Machine m;
+        ExternalMemoryDevice dev(16, latency);
+        dev.poke(0, 5);
+        m.attachDevice(0x1000, 16, &dev);
+        m.load(p);
+        m.startStream(0, p.symbol("main"));
+        m.run(100000);
+        EXPECT_TRUE(m.idle());
+        return m.internalMemory().read(0x90);
+    };
+    Word fast = result(0);
+    EXPECT_EQ(fast, 30);
+    for (unsigned latency : {1u, 3u, 9u, 20u})
+        EXPECT_EQ(result(latency), fast) << latency;
+}
+
+} // namespace
+} // namespace disc

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the UART and DMA peripheral models, standalone and
+ * integrated with the machine (interrupt-driven echo, DMA offload).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/devices.hh"
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "stochastic/model.hh"
+
+namespace disc
+{
+namespace
+{
+
+// ---- UART standalone ----
+
+TEST(Uart, DeliversScriptOnCadence)
+{
+    UartDevice uart(10, 1);
+    uart.scriptRx({100, 200, 300});
+    unsigned delivered = 0;
+    for (int c = 0; c < 35; ++c) {
+        if (auto req = uart.tick())
+            ADD_FAILURE() << "no interrupt configured";
+        if (uart.read(2) & 1) {
+            Word v = uart.read(0);
+            EXPECT_EQ(v, 100 * (delivered + 1));
+            ++delivered;
+            EXPECT_EQ(uart.read(2) & 1, 0); // read clears ready
+        }
+    }
+    EXPECT_EQ(delivered, 3u);
+    EXPECT_EQ(uart.pendingRx(), 0u);
+    EXPECT_EQ(uart.overruns(), 0u);
+}
+
+TEST(Uart, RxInterruptRequests)
+{
+    UartDevice uart(5, 1);
+    uart.setRxInterrupt(2, 4);
+    uart.scriptRx({7});
+    unsigned ints = 0;
+    for (int c = 0; c < 20; ++c) {
+        if (auto req = uart.tick()) {
+            EXPECT_EQ(req->stream, 2);
+            EXPECT_EQ(req->bit, 4u);
+            ++ints;
+        }
+    }
+    EXPECT_EQ(ints, 1u);
+}
+
+TEST(Uart, OverrunWhenUnread)
+{
+    UartDevice uart(3, 1);
+    uart.scriptRx({1, 2, 3});
+    for (int c = 0; c < 12; ++c)
+        uart.tick();
+    EXPECT_EQ(uart.overruns(), 2u); // only the last word survives
+    EXPECT_EQ(uart.read(0), 3);
+}
+
+TEST(Uart, RecordsTransmits)
+{
+    UartDevice uart(10, 1);
+    uart.write(1, 0xaa);
+    uart.write(1, 0xbb);
+    ASSERT_EQ(uart.transmitted().size(), 2u);
+    EXPECT_EQ(uart.transmitted()[0], 0xaa);
+    EXPECT_EQ(uart.transmitted()[1], 0xbb);
+}
+
+// ---- DMA standalone ----
+
+TEST(Dma, CopiesBlockAndInterrupts)
+{
+    ExternalMemoryDevice mem(128, 2);
+    for (Addr a = 0; a < 8; ++a)
+        mem.poke(a, static_cast<Word>(0x100 + a));
+    DmaDevice dma(mem, 3);
+    dma.setCompletionInterrupt(1, 5);
+
+    dma.write(0, 0);   // src
+    dma.write(1, 64);  // dst
+    dma.write(2, 8);   // count: starts
+    EXPECT_EQ(dma.read(3), 1); // busy
+
+    unsigned ints = 0;
+    for (int c = 0; c < 8 * 3 + 5; ++c) {
+        if (auto req = dma.tick()) {
+            EXPECT_EQ(req->stream, 1);
+            EXPECT_EQ(req->bit, 5u);
+            ++ints;
+        }
+    }
+    EXPECT_EQ(ints, 1u);
+    EXPECT_EQ(dma.read(3), 0);
+    EXPECT_EQ(dma.transfersDone(), 1u);
+    for (Addr a = 0; a < 8; ++a)
+        EXPECT_EQ(mem.peek(64 + a), 0x100 + a);
+}
+
+TEST(Dma, IgnoresStartWhileBusy)
+{
+    ExternalMemoryDevice mem(64, 1);
+    DmaDevice dma(mem, 2);
+    dma.write(2, 4);
+    dma.write(2, 10); // ignored: already busy
+    unsigned ticks = 0;
+    while (dma.read(3) == 1 && ticks < 100) {
+        dma.tick();
+        ++ticks;
+    }
+    EXPECT_EQ(ticks, 8u); // 4 words x 2 cycles
+}
+
+// ---- Machine integration ----
+
+TEST(UartMachine, InterruptDrivenEcho)
+{
+    // Classic RTS demo: stream 1 sleeps until the UART receives a
+    // word, echoes it (incremented) to TX, and goes back to sleep.
+    // The background stream keeps computing throughout.
+    Machine m;
+    UartDevice uart(60, 2);
+    uart.setRxInterrupt(1, 4);
+    uart.scriptRx({10, 20, 30, 40, 50});
+    m.attachDevice(0x2000, 4, &uart);
+
+    Program p = assemble(R"(
+        .org 12               ; vectorAddress(1, 4)
+            jmp rx_isr
+        .org 0x20
+        background:
+            ldmd r1, [0x30]
+            addi r1, r1, 1
+            stmd r1, [0x30]
+            jmp background
+        rx_isr:
+            ld   r1, [g0]     ; read RX (g0 = uart base)
+            addi r1, r1, 1
+            st   r1, [g0+1]   ; echo to TX
+            clri 4
+            reti
+    )");
+    m.load(p);
+    m.writeReg(0, reg::G0, 0x2000);
+    m.startStream(0, p.symbol("background"));
+    m.run(2000, false);
+
+    ASSERT_EQ(uart.transmitted().size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(uart.transmitted()[i], 10 * (i + 1) + 1);
+    EXPECT_EQ(uart.overruns(), 0u);
+    EXPECT_GT(m.internalMemory().read(0x30), 100);
+}
+
+TEST(DmaMachine, OffloadsCopyWhileCpuComputes)
+{
+    // The CPU programs a DMA block copy, continues computing, and
+    // takes a completion interrupt to verify the copy.
+    Machine m;
+    ExternalMemoryDevice mem(256, 3);
+    for (Addr a = 0; a < 16; ++a)
+        mem.poke(a, static_cast<Word>(5 * a + 1));
+    DmaDevice dma(mem, 4);
+    dma.setCompletionInterrupt(0, 3);
+    m.attachDevice(0x1000, 256, &mem);
+    m.attachDevice(0x3000, 8, &dma);
+
+    Program p = assemble(R"(
+        .org 3                ; vectorAddress(0, 3)
+            jmp done_isr
+        .org 0x20
+        main:
+            ldi  g1, 0x00
+            ldih g1, 0x30     ; DMA register base
+            ldi  r1, 0
+            st   r1, [g1]     ; src
+            ldi  r1, 128
+            st   r1, [g1+1]   ; dst
+            ldi  r1, 16
+            st   r1, [g1+2]   ; count -> go
+            ldi  r2, 0
+        compute:
+            addi r2, r2, 1
+            stmd r2, [0x40]
+            jmp  compute
+        done_isr:
+            ldi  r3, 1
+            stmd r3, [0x41]
+            clri 3
+            ; stop the experiment: silence the background loop too
+            clri 0
+            reti
+    )");
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(5000, false);
+
+    EXPECT_EQ(m.internalMemory().read(0x41), 1);   // completion seen
+    EXPECT_GT(m.internalMemory().read(0x40), 5);   // CPU kept working
+    for (Addr a = 0; a < 16; ++a)
+        EXPECT_EQ(mem.peek(128 + a), 5 * a + 1);
+    EXPECT_EQ(dma.transfersDone(), 1u);
+}
+
+// ---- Stochastic shares plumbing ----
+
+TEST(StochasticShares, CustomPartitionSkewsStreams)
+{
+    StochasticConfig cfg;
+    cfg.warmup = 1000;
+    cfg.horizon = 50000;
+    cfg.shares = {13, 1, 1, 1};
+    std::vector<std::unique_ptr<WorkSource>> sources;
+    for (unsigned s = 0; s < 4; ++s) {
+        sources.push_back(std::make_unique<LoadProcess>(
+            LoadSpec{"flat", 0, 0, 0, 0, 0, 0, 0.0}, 100 + s));
+    }
+    StochasticModel model(cfg, std::move(sources));
+    RunTotals t = model.run();
+    double share0 = static_cast<double>(t.perStreamExecuted[0]) /
+                    static_cast<double>(t.executed);
+    EXPECT_NEAR(share0, 13.0 / 16.0, 0.02);
+}
+
+} // namespace
+} // namespace disc

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode metadata, encode/decode
+ * round-trips, the assembler and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+
+namespace disc
+{
+namespace
+{
+
+TEST(Opcodes, MetadataConsistency)
+{
+    // Every opcode has a unique, non-empty mnemonic.
+    std::set<std::string_view> seen;
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        const OpInfo &oi = opInfo(op);
+        EXPECT_FALSE(oi.mnemonic.empty());
+        EXPECT_TRUE(seen.insert(oi.mnemonic).second)
+            << "duplicate mnemonic " << oi.mnemonic;
+    }
+}
+
+TEST(Opcodes, StoreReadsRdNotWrites)
+{
+    for (Opcode op : {Opcode::ST, Opcode::STM, Opcode::STMD}) {
+        EXPECT_TRUE(opInfo(op).readsRd);
+        EXPECT_FALSE(opInfo(op).writesRd);
+    }
+    for (Opcode op : {Opcode::LD, Opcode::LDM, Opcode::LDMD}) {
+        EXPECT_FALSE(opInfo(op).readsRd);
+        EXPECT_TRUE(opInfo(op).writesRd);
+    }
+}
+
+TEST(Opcodes, ExternalVsInternalClassification)
+{
+    EXPECT_TRUE(opInfo(Opcode::LD).isExternal);
+    EXPECT_TRUE(opInfo(Opcode::ST).isExternal);
+    EXPECT_FALSE(opInfo(Opcode::LDM).isExternal);
+    EXPECT_TRUE(opInfo(Opcode::LDM).isInternalMem);
+    EXPECT_TRUE(opInfo(Opcode::TAS).isInternalMem);
+}
+
+TEST(Opcodes, JumpTypeClassification)
+{
+    // These are the "aljmp" instructions of the stochastic model.
+    for (Opcode op : {Opcode::JMP, Opcode::JR, Opcode::CALL,
+                      Opcode::CALLR, Opcode::RET, Opcode::BR,
+                      Opcode::RETI}) {
+        EXPECT_TRUE(opInfo(op).isJumpType) << opMnemonic(op);
+    }
+    for (Opcode op : {Opcode::ADD, Opcode::LD, Opcode::SWI,
+                      Opcode::FORK, Opcode::HALT}) {
+        EXPECT_FALSE(opInfo(op).isJumpType) << opMnemonic(op);
+    }
+}
+
+// ---- Encode/decode round trips ----
+
+class RoundTripTest : public ::testing::TestWithParam<Instruction>
+{};
+
+TEST_P(RoundTripTest, EncodeDecodeIdentity)
+{
+    const Instruction &inst = GetParam();
+    InstWord w = encode(inst);
+    EXPECT_LE(w, 0xffffffu) << "must fit in 24 bits";
+    Instruction back = decode(w);
+    EXPECT_EQ(back, inst) << inst.toString() << " vs " << back.toString();
+    EXPECT_EQ(encode(back), w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representative, RoundTripTest,
+    ::testing::Values(
+        makeOp(Opcode::NOP),
+        makeR3(Opcode::ADD, 1, 2, 3),
+        makeR3(Opcode::SUB, 7, reg::G0, reg::G0 + 3, WCtl::Inc),
+        makeR3(Opcode::MUL, 0, 1, 2, WCtl::Dec),
+        makeR2(Opcode::MOV, reg::G0, 5),
+        makeR2(Opcode::TAS, 2, reg::G1, WCtl::None),
+        makeRI(Opcode::ADDI, 3, 3, -128),
+        makeRI(Opcode::ADDI, 3, 3, 127),
+        makeRI(Opcode::LD, 4, reg::G2, -5),
+        makeRI(Opcode::ST, 4, reg::G2, 100),
+        makeRI(Opcode::LDM, 0, 1, 0),
+        makeLdi(5, -2048),
+        makeLdi(5, 2047),
+        makeLdih(5, 0xff),
+        makeJump(Opcode::JMP, 0xffff),
+        makeJump(Opcode::CALL, 0x0020),
+        makeBranch(Cond::NE, -2048),
+        makeBranch(Cond::ULT, 2047),
+        makeRet(0), makeRet(15),
+        makeSwi(3, 7), makeSwi(0, 0),
+        makeClri(6),
+        makeFork(2, 0xfff),
+        makeSched(15, 3),
+        makeOp(Opcode::RETI), makeOp(Opcode::HALT),
+        makeOp(Opcode::WINC), makeOp(Opcode::WDEC, WCtl::None)));
+
+TEST(Encoding, AllOpcodeFormatsRoundTripExhaustively)
+{
+    // Sweep every opcode with a mid-range operand pattern.
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        Instruction inst;
+        inst.op = static_cast<Opcode>(i);
+        inst.rd = 3;
+        inst.ra = 9;
+        inst.rb = 12;
+        inst.cond = Cond::GE;
+        inst.stream = 1;
+        inst.bit = 5;
+        inst.slot = 7;
+        switch (inst.info().format) {
+          case Format::RI:
+          case Format::RIA:
+            inst.imm = -7;
+            break;
+          case Format::DI:
+            inst.imm = -1000;
+            break;
+          case Format::IH:
+            inst.imm = 200;
+            break;
+          case Format::MD:
+            inst.imm = 300;
+            break;
+          case Format::J:
+            inst.imm = 0x1234;
+            break;
+          case Format::B:
+            inst.imm = -100;
+            break;
+          case Format::Ret:
+            inst.imm = 9;
+            break;
+          case Format::Fork:
+            inst.imm = 0x234;
+            break;
+          default:
+            inst.imm = 0;
+            break;
+        }
+        // Zero out fields the format does not carry, then round trip.
+        Instruction canon = decode(encode(inst));
+        EXPECT_EQ(decode(encode(canon)), canon)
+            << opMnemonic(inst.op);
+        EXPECT_EQ(canon.op, inst.op);
+    }
+}
+
+TEST(Encoding, IllegalOpcodeDetected)
+{
+    InstWord bad = static_cast<InstWord>(kNumOpcodes) << 18;
+    EXPECT_FALSE(isLegal(bad));
+    EXPECT_TRUE(isLegal(encode(makeOp(Opcode::NOP))));
+    // Reserved wctl value 3 is illegal.
+    InstWord w = encode(makeR3(Opcode::ADD, 0, 1, 2)) | (3u << 16);
+    EXPECT_FALSE(isLegal(w));
+}
+
+TEST(Encoding, DecodeMasksTo24Bits)
+{
+    InstWord w = encode(makeJump(Opcode::JMP, 0x00ff));
+    Instruction a = decode(w);
+    Instruction b = decode(w | 0xff000000u);
+    EXPECT_EQ(a, b);
+}
+
+// ---- Register naming ----
+
+TEST(Registers, Names)
+{
+    EXPECT_EQ(reg::name(0), "r0");
+    EXPECT_EQ(reg::name(7), "r7");
+    EXPECT_EQ(reg::name(8), "g0");
+    EXPECT_EQ(reg::name(11), "g3");
+    EXPECT_EQ(reg::name(reg::SR), "sr");
+    EXPECT_EQ(reg::name(reg::IRR), "irr");
+    EXPECT_EQ(reg::name(reg::IMR), "imr");
+    EXPECT_EQ(reg::name(reg::AWP), "awp");
+}
+
+TEST(Registers, Classification)
+{
+    EXPECT_TRUE(reg::isWindow(0));
+    EXPECT_TRUE(reg::isWindow(7));
+    EXPECT_FALSE(reg::isWindow(8));
+    EXPECT_TRUE(reg::isGlobal(8));
+    EXPECT_TRUE(reg::isGlobal(11));
+    EXPECT_FALSE(reg::isGlobal(12));
+    EXPECT_TRUE(reg::isSpecial(12));
+    EXPECT_TRUE(reg::isSpecial(15));
+}
+
+// ---- Assembler ----
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble(R"(
+        ; simple arithmetic
+        start:
+            ldi r0, 5
+            ldi r1, 7
+            add r2, r0, r1
+            halt
+    )");
+    ASSERT_EQ(p.code.size(), 4u);
+    EXPECT_EQ(decode(p.code[0]), makeLdi(0, 5));
+    EXPECT_EQ(decode(p.code[1]), makeLdi(1, 7));
+    EXPECT_EQ(decode(p.code[2]), makeR3(Opcode::ADD, 2, 0, 1));
+    EXPECT_EQ(decode(p.code[3]), makeOp(Opcode::HALT));
+    EXPECT_EQ(p.symbol("start"), 0u);
+}
+
+TEST(Assembler, OrgAndLabels)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            jmp main
+    )");
+    ASSERT_EQ(p.code.size(), 0x21u);
+    EXPECT_EQ(decode(p.code[0x20]), makeJump(Opcode::JMP, 0x20));
+    // The gap is NOP-filled.
+    EXPECT_EQ(decode(p.code[0]).op, Opcode::NOP);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = assemble(R"(
+            jmp end
+            nop
+        end:
+            halt
+    )");
+    EXPECT_EQ(decode(p.code[0]), makeJump(Opcode::JMP, 2));
+}
+
+TEST(Assembler, BranchOffsets)
+{
+    Program p = assemble(R"(
+        top:
+            nop
+            beq top
+            bne after
+            nop
+        after:
+            halt
+    )");
+    Instruction beq = decode(p.code[1]);
+    EXPECT_EQ(beq.op, Opcode::BR);
+    EXPECT_EQ(beq.cond, Cond::EQ);
+    EXPECT_EQ(beq.imm, -1);
+    Instruction bne = decode(p.code[2]);
+    EXPECT_EQ(bne.cond, Cond::NE);
+    EXPECT_EQ(bne.imm, 2);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program p = assemble(R"(
+        ld  r1, [g0+4]
+        st  r1, [g0-4]
+        ldm r2, [r3]
+        stm r2, [r3+1]
+        ldmd r4, [0x1f0]
+        stmd r4, [3]
+        tas r5, [g1]
+    )");
+    EXPECT_EQ(decode(p.code[0]), makeRI(Opcode::LD, 1, reg::G0, 4));
+    EXPECT_EQ(decode(p.code[1]), makeRI(Opcode::ST, 1, reg::G0, -4));
+    EXPECT_EQ(decode(p.code[2]), makeRI(Opcode::LDM, 2, 3, 0));
+    EXPECT_EQ(decode(p.code[3]), makeRI(Opcode::STM, 2, 3, 1));
+    Instruction ldmd = decode(p.code[4]);
+    EXPECT_EQ(ldmd.op, Opcode::LDMD);
+    EXPECT_EQ(ldmd.imm, 0x1f0);
+    Instruction tas = decode(p.code[6]);
+    EXPECT_EQ(tas.op, Opcode::TAS);
+    EXPECT_EQ(tas.ra, reg::G1);
+}
+
+TEST(Assembler, WindowSuffixes)
+{
+    Program p = assemble(R"(
+        add+ r0, r1, r2
+        sub- r0, r1, r2
+        winc
+        wdec
+        ldi+ r0, 3
+    )");
+    EXPECT_EQ(decode(p.code[0]).wctl, WCtl::Inc);
+    EXPECT_EQ(decode(p.code[1]).wctl, WCtl::Dec);
+    EXPECT_EQ(decode(p.code[2]).op, Opcode::WINC);
+    EXPECT_EQ(decode(p.code[4]).wctl, WCtl::Inc);
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    Program p = assemble(R"(
+        .equ BASE, 0x40
+        .equ COUNT, 5
+        ldi r0, BASE
+        ldi r1, BASE+2
+        ldi r2, COUNT
+        ldmd r3, [BASE-1]
+    )");
+    EXPECT_EQ(decode(p.code[0]).imm, 0x40);
+    EXPECT_EQ(decode(p.code[1]).imm, 0x42);
+    EXPECT_EQ(decode(p.code[2]).imm, 5);
+    EXPECT_EQ(decode(p.code[3]).imm, 0x3f);
+}
+
+TEST(Assembler, DmemDirective)
+{
+    Program p = assemble(R"(
+        .dmem 0x10, 1234
+        .dmem 0x11, 0xffff
+        nop
+    )");
+    ASSERT_EQ(p.dataInit.size(), 2u);
+    EXPECT_EQ(p.dataInit[0].first, 0x10);
+    EXPECT_EQ(p.dataInit[0].second, 1234);
+    EXPECT_EQ(p.dataInit[1].second, 0xffff);
+}
+
+TEST(Assembler, StreamControl)
+{
+    Program p = assemble(R"(
+        handler:
+            clri 3
+            reti
+        main:
+            swi 2, 3
+            fork 1, handler
+            sched 4, 2
+            ret 2
+    )");
+    EXPECT_EQ(decode(p.code[2]), makeSwi(2, 3));
+    EXPECT_EQ(decode(p.code[3]), makeFork(1, 0));
+    EXPECT_EQ(decode(p.code[4]), makeSched(4, 2));
+    EXPECT_EQ(decode(p.code[5]), makeRet(2));
+}
+
+TEST(Assembler, RetDefaultsToZero)
+{
+    Program p = assemble("ret\n");
+    EXPECT_EQ(decode(p.code[0]), makeRet(0));
+}
+
+// Error cases.
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate r0\n"), FatalError);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol)
+{
+    EXPECT_THROW(assemble("jmp nowhere\n"), FatalError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("a:\na:\n"), FatalError);
+}
+
+TEST(AssemblerErrors, ImmediateRange)
+{
+    EXPECT_THROW(assemble("addi r0, r0, 128\n"), FatalError);
+    EXPECT_THROW(assemble("addi r0, r0, -129\n"), FatalError);
+    EXPECT_THROW(assemble("ldi r0, 2048\n"), FatalError);
+    EXPECT_THROW(assemble("ldmd r0, [512]\n"), FatalError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("add r0, r1\n"), FatalError);
+    EXPECT_THROW(assemble("halt r0\n"), FatalError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(assemble("add r0, r1, r9\n"), FatalError);
+    EXPECT_THROW(assemble("mov q1, r0\n"), FatalError);
+}
+
+// ---- Disassembler ----
+
+TEST(Disassembler, ListsEveryWord)
+{
+    Program p = assemble(R"(
+        ldi r0, 1
+        add+ r1, r0, g2
+        jmp 0
+    )");
+    std::string text = disassemble(p);
+    EXPECT_NE(text.find("ldi r0, 1"), std::string::npos);
+    EXPECT_NE(text.find("add+ r1, r0, g2"), std::string::npos);
+    EXPECT_NE(text.find("jmp 0x0000"), std::string::npos);
+}
+
+TEST(Disassembler, RoundTripThroughAssembler)
+{
+    // Disassembly of instruction text must re-assemble to the same bits
+    // for position-independent instructions.
+    Program p = assemble(R"(
+        ldi r0, -7
+        add r1, r0, r0
+        ldm r2, [r1+3]
+        st r2, [g0-2]
+        swi 1, 4
+        ret 3
+        halt
+    )");
+    for (InstWord w : p.code) {
+        Instruction inst = decode(w);
+        if (inst.op == Opcode::BR || inst.op == Opcode::JMP)
+            continue;
+        Program q = assemble(inst.toString() + "\n");
+        ASSERT_EQ(q.code.size(), 1u);
+        EXPECT_EQ(q.code[0], w) << inst.toString();
+    }
+}
+
+} // namespace
+} // namespace disc

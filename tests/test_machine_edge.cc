@@ -1,0 +1,710 @@
+/**
+ * @file
+ * Edge-case and feature tests for the cycle-accurate machine:
+ * multi-precision arithmetic, shift corners, register-indirect
+ * control flow, special-register semantics, interrupt corner cases,
+ * TAS contention, deeper pipes and the execution trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/devices.hh"
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+#include "sim/vcd.hh"
+
+namespace disc
+{
+namespace
+{
+
+Machine &
+runOn(Machine &m, const Program &p, const char *entry,
+      Cycle max_cycles = 50000)
+{
+    m.load(p);
+    m.startStream(0, p.symbol(entry));
+    m.run(max_cycles);
+    EXPECT_TRUE(m.idle());
+    return m;
+}
+
+TEST(MachineEdge, MultiPrecisionAddWithCarry)
+{
+    // 0x1fff0 + 0x2fff0 as two 32-bit numbers via ADD/ADC.
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi  r0, -16      ; 0xfff0 low a
+            ldi  r1, 1        ; high a  -> a = 0x1fff0
+            ldi  r2, -16      ; 0xfff0 low b
+            ldi  r3, 2        ; high b  -> b = 0x2fff0
+            add  r4, r0, r2   ; low sum, sets carry
+            adc  r5, r1, r3   ; high sum + carry
+            stmd r4, [0x10]
+            stmd r5, [0x11]
+            halt
+    )");
+    runOn(m, p, "main");
+    // 0x1fff0 + 0x2fff0 = 0x4ffe0.
+    EXPECT_EQ(m.internalMemory().read(0x10), 0xffe0);
+    EXPECT_EQ(m.internalMemory().read(0x11), 0x0004);
+}
+
+TEST(MachineEdge, MultiPrecisionSubWithBorrow)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi  r0, 0        ; a = 0x0002_0000
+            ldi  r1, 2
+            ldi  r2, 1        ; b = 0x0000_0001
+            ldi  r3, 0
+            sub  r4, r0, r2   ; low, sets borrow
+            sbc  r5, r1, r3   ; high - borrow
+            stmd r4, [0x10]
+            stmd r5, [0x11]
+            halt
+    )");
+    runOn(m, p, "main");
+    // 0x20000 - 1 = 0x1ffff.
+    EXPECT_EQ(m.internalMemory().read(0x10), 0xffff);
+    EXPECT_EQ(m.internalMemory().read(0x11), 0x0001);
+}
+
+TEST(MachineEdge, ShiftCorners)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi  r0, 1
+            ldi  r1, 15
+            shl  r2, r0, r1   ; 0x8000
+            ldi  r3, 0
+            shl  r4, r2, r3   ; shift by zero: unchanged, no carry
+            asr  r5, r2, r1   ; arithmetic: sign fills -> 0xffff
+            shr  r6, r2, r1   ; logical -> 1
+            stmd r2, [0x10]
+            stmd r4, [0x11]
+            stmd r5, [0x12]
+            stmd r6, [0x13]
+            halt
+    )");
+    runOn(m, p, "main");
+    EXPECT_EQ(m.internalMemory().read(0x10), 0x8000);
+    EXPECT_EQ(m.internalMemory().read(0x11), 0x8000);
+    EXPECT_EQ(m.internalMemory().read(0x12), 0xffff);
+    EXPECT_EQ(m.internalMemory().read(0x13), 0x0001);
+}
+
+TEST(MachineEdge, RegisterIndirectControlFlow)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi r0, target
+            jr  r0
+            ldi g0, 111       ; skipped
+            halt
+        target:
+            ldi r1, fn
+            callr r1
+            stmd g1, [0x10]
+            halt
+        fn:
+            ldi g1, 77
+            ret 0
+    )");
+    runOn(m, p, "main");
+    EXPECT_EQ(m.internalMemory().read(0x10), 77);
+    EXPECT_EQ(m.readReg(0, reg::G0), 0); // skipped path never ran
+}
+
+TEST(MachineEdge, ForkRegisterForm)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi r0, worker
+            forkr 3, r0
+            halt
+        worker:
+            ldi r1, 9
+            stmd r1, [0x30]
+            halt
+    )");
+    runOn(m, p, "main");
+    EXPECT_EQ(m.internalMemory().read(0x30), 9);
+    EXPECT_GT(m.stats().retired[3], 0u);
+}
+
+TEST(MachineEdge, MovToImrMasksAndIrrSelfPosts)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 3                ; stream 0 level 3 vector
+            jmp handler
+        .org 0x20
+        main:
+            ldi  r0, 0x01
+            mov  imr, r0      ; mask everything but background
+            ldi  r0, 0x08
+            mov  irr, r0      ; self-post level 3 (stays pending)
+            nop
+            nop
+            nop
+            ldmd r1, [0x40]
+            stmd r1, [0x41]   ; must still be 0
+            ldi  r0, 0xff
+            mov  imr, r0      ; unmask -> vector fires
+            nop
+            nop
+            halt
+        handler:
+            ldi r1, 1
+            stmd r1, [0x40]
+            clri 3
+            reti
+    )");
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(1000, false);
+    EXPECT_EQ(m.internalMemory().read(0x41), 0);
+    EXPECT_EQ(m.internalMemory().read(0x40), 1);
+}
+
+TEST(MachineEdge, AwpDirectWrite)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            mov g0, awp
+            addi g1, g0, 4
+            mov awp, g1       ; jump the window up by four
+            mov g2, awp
+            halt
+    )");
+    runOn(m, p, "main");
+    EXPECT_EQ(m.readReg(0, reg::G2), m.readReg(0, reg::G0) + 4);
+    EXPECT_EQ(m.stats().stackOverflows, 0u);
+}
+
+TEST(MachineEdge, SrWriteRestoresFlags)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi r0, 1
+            cmpi r0, 1        ; Z=1
+            mov r1, sr        ; save flags
+            cmpi r0, 0        ; Z=0
+            mov sr, r1        ; restore
+            beq was_zero
+            ldi g0, 0
+            halt
+        was_zero:
+            ldi g0, 1
+            halt
+    )");
+    runOn(m, p, "main");
+    EXPECT_EQ(m.readReg(0, reg::G0), 1);
+}
+
+TEST(MachineEdge, StackOverflowVectorsToHandler)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 6                ; stream 0, kStackOverflowBit = 6
+            jmp ovf_handler
+        .org 0x20
+        main:
+            winc
+            jmp main
+        ovf_handler:
+            ldmd r1, [0x50]
+            addi r1, r1, 1
+            stmd r1, [0x50]
+            ; recover: pull the window back down
+            mov g0, awp
+            subi g0, g0, 32
+            mov awp, g0
+            clri 6
+            reti
+    )");
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(5000, false);
+    EXPECT_GT(m.internalMemory().read(0x50), 0);
+}
+
+TEST(MachineEdge, TasContentionGrantsExactlyOneWinner)
+{
+    // Two streams race for the same lock; exactly one may hold it at
+    // a time, and the total number of critical sections is exact.
+    Machine m;
+    Program p = assemble(R"(
+        .equ LOCK, 0x80
+        .equ COUNT, 0x81
+        .org 0x20
+        entry:
+            ldi r7, 30         ; rounds per stream
+        spin:
+            tas r1, [g0]
+            cmpi r1, 0
+            bne spin
+            ; critical section: non-atomic read-modify-write
+            ldmd r2, [COUNT]
+            addi r2, r2, 1
+            stmd r2, [COUNT]
+            ldi r3, 0
+            stmd r3, [LOCK]
+            subi r7, r7, 1
+            cmpi r7, 0
+            bne spin
+            halt
+    )");
+    m.load(p);
+    m.writeReg(0, reg::G0, 0x80);
+    m.startStream(0, p.symbol("entry"));
+    m.startStream(1, p.symbol("entry"));
+    m.run(100000);
+    ASSERT_TRUE(m.idle());
+    // Without mutual exclusion the non-atomic increment would lose
+    // updates; with TAS the count is exactly 60.
+    EXPECT_EQ(m.internalMemory().read(0x81), 60);
+}
+
+TEST(MachineEdge, RetiOutsideHandlerTraps)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            reti
+            halt
+    )");
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(100, false);
+    EXPECT_GT(m.stats().illegalInstructions, 0u);
+}
+
+TEST(MachineEdge, ForkRestartsActiveStream)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            fork 1, loop_a
+            ldi r0, 40
+        wait1:
+            subi r0, r0, 1
+            cmpi r0, 0
+            bne wait1
+            fork 1, finish    ; restart stream 1 elsewhere
+            halt
+        loop_a:
+            ldmd r1, [0x60]
+            addi r1, r1, 1
+            stmd r1, [0x60]
+            jmp loop_a
+        finish:
+            ldi r2, 1
+            stmd r2, [0x61]
+            halt
+    )");
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(5000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_GT(m.internalMemory().read(0x60), 0);  // loop_a ran
+    EXPECT_EQ(m.internalMemory().read(0x61), 1);  // then was re-forked
+}
+
+TEST(MachineEdge, SchedRepartitionSkewsThroughput)
+{
+    // Give stream 1 fifteen of sixteen slots; its retirement share
+    // must dominate even though both streams are always ready.
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 1
+            ldi r2, 2
+            ldi r3, 3
+            jmp entry
+    )");
+    Machine m;
+    m.load(p);
+    for (unsigned slot = 0; slot < 15; ++slot)
+        m.scheduler().setSlot(slot, 1);
+    m.scheduler().setSlot(15, 0);
+    m.startStream(0, p.symbol("entry"));
+    m.startStream(1, p.symbol("entry"));
+    m.run(8000, false);
+    double share1 =
+        static_cast<double>(m.stats().retired[1]) /
+        static_cast<double>(m.stats().retired[0] + m.stats().retired[1]);
+    EXPECT_GT(share1, 0.85);
+    EXPECT_LT(share1, 0.99);
+}
+
+class PipeDepthTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PipeDepthTest, ResultsIndependentOfDepth)
+{
+    MachineConfig cfg;
+    cfg.pipeDepth = GetParam();
+    Machine m(cfg);
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi r0, 12
+            ldi r1, 0
+        loop:
+            add r1, r1, r0
+            subi r0, r0, 1
+            cmpi r0, 0
+            bne loop
+            stmd r1, [0x70]
+            halt
+    )");
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(50000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x70), 78); // sum 1..12
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PipeDepthTest,
+                         ::testing::Values(3u, 4u, 5u, 6u, 8u));
+
+TEST(MachineEdge, DeeperPipeCostsMoreCycles)
+{
+    auto cycles_at = [](unsigned depth) {
+        MachineConfig cfg;
+        cfg.pipeDepth = depth;
+        Machine m(cfg);
+        Program p = assemble(R"(
+            .org 0x20
+            main:
+                ldi r0, 50
+            loop:
+                subi r0, r0, 1
+                cmpi r0, 0
+                bne loop
+                halt
+        )");
+        m.load(p);
+        m.startStream(0, p.symbol("main"));
+        m.run(100000);
+        EXPECT_TRUE(m.idle());
+        return m.stats().busyCycles;
+    };
+    EXPECT_LT(cycles_at(3), cycles_at(6));
+}
+
+TEST(MachineEdge, NegativeInternalMemoryOffset)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .dmem 0x4e, 321
+        .org 0x20
+        main:
+            ldi r0, 0x50
+            ldm r1, [r0-2]
+            stmd r1, [0x51]
+            halt
+    )");
+    runOn(m, p, "main");
+    EXPECT_EQ(m.internalMemory().read(0x51), 321);
+}
+
+TEST(MachineEdge, BaselineModeMatchesArchitecturally)
+{
+    // The baseline (halt-on-wait) machine must compute the same
+    // values as the DISC machine; only the timing differs.
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi  g0, 0x00
+            ldih g0, 0x10
+            ldi  r7, 5
+            ldi  r6, 0
+        loop:
+            ld   r1, [g0]
+            add  r6, r6, r1
+            st   r6, [g0+1]
+            subi r7, r7, 1
+            cmpi r7, 0
+            bne  loop
+            stmd r6, [0x90]
+            halt
+    )");
+    auto run_mode = [&](bool baseline) {
+        MachineConfig cfg;
+        cfg.baselineHaltOnWait = baseline;
+        Machine m(cfg);
+        ExternalMemoryDevice dev(16, 4);
+        dev.poke(0, 11);
+        m.attachDevice(0x1000, 16, &dev);
+        m.load(p);
+        m.startStream(0, p.symbol("main"));
+        m.run(100000);
+        EXPECT_TRUE(m.idle());
+        return m.internalMemory().read(0x90);
+    };
+    EXPECT_EQ(run_mode(false), 55);
+    EXPECT_EQ(run_mode(true), 55);
+}
+
+TEST(MachineEdge, MulZeroSetsZFlag)
+{
+    Machine m;
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi r0, 0
+            ldi r1, 999
+            mul r2, r0, r1
+            beq was_zero
+            ldi g0, 0
+            halt
+        was_zero:
+            ldi g0, 1
+            halt
+    )");
+    runOn(m, p, "main");
+    EXPECT_EQ(m.readReg(0, reg::G0), 1);
+}
+
+// ---- VCD waveforms ----
+
+TEST(Vcd, EmitsValidStructureAndChanges)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi r1, 1
+            ldi r2, 2
+            halt
+    )");
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    VcdWriter vcd;
+    while (!m.idle()) {
+        m.step();
+        vcd.sample(m);
+    }
+    std::string text = vcd.text();
+    EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_NE(text.find("is1_active"), std::string::npos);
+    EXPECT_NE(text.find("retired"), std::string::npos);
+    // Activity edges: stream 1 turned on then off.
+    EXPECT_NE(text.find("1a0"), std::string::npos);
+    EXPECT_NE(text.find("0a0"), std::string::npos);
+    // Timestamped change records exist.
+    EXPECT_NE(text.find("#1"), std::string::npos);
+    EXPECT_GT(vcd.samples(), 5u);
+}
+
+TEST(Vcd, OnlyChangesAreEmitted)
+{
+    // An idle machine sampled repeatedly must not grow the document.
+    Machine m;
+    Program p;
+    p.code = {encode(makeOp(Opcode::HALT))};
+    m.load(p);
+    VcdWriter vcd;
+    vcd.sample(m);
+    std::size_t after_first = vcd.text().size();
+    for (int i = 0; i < 100; ++i)
+        vcd.sample(m);
+    EXPECT_EQ(vcd.text().size(), after_first);
+    EXPECT_EQ(vcd.samples(), 101u);
+}
+
+// ---- Delayed branching ----
+
+TEST(DelaySlots, SparedInstructionsExecute)
+{
+    // With one delay slot, the (independent) instruction after a
+    // taken jump still executes. Note: only instructions already in
+    // flight are spared, so a slot instruction that interlocks on an
+    // older write would never have issued - the compiler must fill
+    // slots with independent work, as on any delay-slot machine.
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            jmp over
+            ldi r2, 5         ; delay slot: executes
+            ldi r3, 50        ; second younger: flushed
+        over:
+            stmd r2, [0x10]
+            stmd r3, [0x11]
+            halt
+    )");
+    MachineConfig cfg;
+    cfg.branchDelaySlots = 1;
+    Machine m(cfg);
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(1000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x10), 5);
+    EXPECT_EQ(m.internalMemory().read(0x11), 0);
+}
+
+TEST(DelaySlots, DefaultSemanticsFlushEverything)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi r1, 0
+            jmp over
+            addi r1, r1, 5
+            addi r1, r1, 50
+        over:
+            stmd r1, [0x10]
+            halt
+    )");
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(1000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x10), 0);
+}
+
+TEST(DelaySlots, ImproveSingleStreamBranchThroughput)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 1
+            ldi r2, 2
+            ldi r3, 3
+            jmp entry
+    )");
+    auto util = [&](unsigned slots) {
+        MachineConfig cfg;
+        cfg.pipeDepth = 6; // deep enough that two slots stay below 1.0
+        cfg.branchDelaySlots = slots;
+        Machine m(cfg);
+        m.load(p);
+        m.startStream(0, p.symbol("entry"));
+        m.run(20000, false);
+        return m.stats().utilization();
+    };
+    double none = util(0);
+    double one = util(1);
+    double two = util(2);
+    EXPECT_GT(one, none + 0.05);
+    EXPECT_GT(two, one + 0.05);
+}
+
+// ---- Execution trace ----
+
+TEST(ExecTraceTest, RecordsRetirementOrder)
+{
+    Machine m;
+    ExecTrace trace(1024);
+    m.setExecTrace(&trace);
+    Program p = assemble(R"(
+        .org 0x20
+        main:
+            ldi r0, 1
+            ldi r1, 2
+            add r2, r0, r1
+            halt
+    )");
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(1000);
+    ASSERT_TRUE(m.idle());
+    ASSERT_EQ(trace.total(), m.stats().totalRetired);
+    ASSERT_GE(trace.entries().size(), 4u);
+    EXPECT_EQ(trace.entries()[0].inst.op, Opcode::LDI);
+    EXPECT_EQ(trace.entries()[2].inst.op, Opcode::ADD);
+    EXPECT_EQ(trace.entries().back().inst.op, Opcode::HALT);
+    // Cycles strictly increase within a stream.
+    for (std::size_t i = 1; i < trace.entries().size(); ++i)
+        EXPECT_GT(trace.entries()[i].cycle, trace.entries()[i - 1].cycle);
+    std::string text = trace.render();
+    EXPECT_NE(text.find("add r2, r0, r1"), std::string::npos);
+}
+
+TEST(ExecTraceTest, InterleavesStreams)
+{
+    Machine m;
+    ExecTrace trace(4096);
+    m.setExecTrace(&trace);
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 1
+            ldi r2, 2
+            ldi r3, 3
+            ldi r4, 4
+            halt
+    )");
+    m.load(p);
+    for (StreamId s = 0; s < 4; ++s)
+        m.startStream(s, p.symbol("entry"));
+    m.run(1000);
+    ASSERT_TRUE(m.idle());
+    // Adjacent records mostly belong to different streams.
+    unsigned adjacent_same = 0;
+    const auto &es = trace.entries();
+    for (std::size_t i = 1; i < es.size(); ++i)
+        adjacent_same += es[i].stream == es[i - 1].stream;
+    EXPECT_LT(adjacent_same, es.size() / 3);
+}
+
+TEST(ExecTraceTest, CapsEntries)
+{
+    ExecTrace trace(4);
+    Instruction nop = makeOp(Opcode::NOP);
+    for (Cycle c = 0; c < 10; ++c)
+        trace.record(c, 0, static_cast<PAddr>(c), nop);
+    EXPECT_EQ(trace.entries().size(), 4u);
+    EXPECT_EQ(trace.total(), 10u);
+    EXPECT_EQ(trace.entries().front().cycle, 6u);
+}
+
+TEST(PipeTraceTest, StageNamesByDepth)
+{
+    EXPECT_EQ(PipeTrace::stageNames(3),
+              (std::vector<std::string>{"IF", "EX", "WR"}));
+    EXPECT_EQ(PipeTrace::stageNames(5),
+              (std::vector<std::string>{"IF", "ID", "RR", "EX", "WR"}));
+    auto seven = PipeTrace::stageNames(7);
+    EXPECT_EQ(seven.size(), 7u);
+    EXPECT_EQ(seven.front(), "IF");
+    EXPECT_EQ(seven.back(), "WR");
+}
+
+TEST(PipeTraceTest, CapsColumnsAndClears)
+{
+    PipeTrace trace(4, 8);
+    std::vector<PipeTrace::StageEntry> stages(4);
+    for (Cycle c = 0; c < 20; ++c)
+        trace.record(c, stages);
+    EXPECT_EQ(trace.size(), 8u);
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_NE(trace.render().find("empty"), std::string::npos);
+}
+
+} // namespace
+} // namespace disc

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the assembler preprocessor: .macro/.endm with parameters
+ * and unique-label counters, .rept/.endr repeat blocks, nesting, and
+ * error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "sim/machine.hh"
+
+namespace disc
+{
+namespace
+{
+
+TEST(Macros, SimpleExpansion)
+{
+    Program p = assemble(R"(
+        .macro inc2 reg
+            addi \reg, \reg, 2
+        .endm
+        main:
+            ldi r0, 1
+            inc2 r0
+            inc2 r1
+            halt
+    )");
+    ASSERT_EQ(p.code.size(), 4u);
+    EXPECT_EQ(decode(p.code[1]), makeRI(Opcode::ADDI, 0, 0, 2));
+    EXPECT_EQ(decode(p.code[2]), makeRI(Opcode::ADDI, 1, 1, 2));
+}
+
+TEST(Macros, MultipleParameters)
+{
+    Program p = assemble(R"(
+        .macro move3 a, b, c
+            mov \a, \b
+            mov \b, \c
+            mov \c, \a
+        .endm
+        move3 r1, r2, g0
+    )");
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(decode(p.code[0]), makeR2(Opcode::MOV, 1, 2));
+    EXPECT_EQ(decode(p.code[1]), makeR2(Opcode::MOV, 2, reg::G0));
+    EXPECT_EQ(decode(p.code[2]), makeR2(Opcode::MOV, reg::G0, 1));
+}
+
+TEST(Macros, UniqueLabelsViaCounter)
+{
+    // \@ gives each expansion a distinct label suffix, so the macro
+    // can contain loops and be used twice.
+    Program p = assemble(R"(
+        .macro spin n
+            ldi r7, \n
+        loop\@:
+            subi r7, r7, 1
+            cmpi r7, 0
+            bne loop\@
+        .endm
+        main:
+            spin 3
+            spin 5
+            stmd r7, [0x10]
+            halt
+    )");
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(10000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x10), 0);
+}
+
+TEST(Macros, MacroCallsMacro)
+{
+    Program p = assemble(R"(
+        .macro zero reg
+            ldi \reg, 0
+        .endm
+        .macro zero2 x, y
+            zero \x
+            zero \y
+        .endm
+        zero2 r3, g1
+    )");
+    ASSERT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(decode(p.code[0]), makeLdi(3, 0));
+    EXPECT_EQ(decode(p.code[1]), makeLdi(reg::G1, 0));
+}
+
+TEST(Macros, ParameterNamePrefixesDoNotCollide)
+{
+    // Parameter "a" must not replace inside "\ab".
+    Program p = assemble(R"(
+        .macro two a, ab
+            ldi \a, 1
+            ldi \ab, 2
+        .endm
+        two r1, r2
+    )");
+    EXPECT_EQ(decode(p.code[0]), makeLdi(1, 1));
+    EXPECT_EQ(decode(p.code[1]), makeLdi(2, 2));
+}
+
+TEST(Rept, RepeatsBlock)
+{
+    Program p = assemble(R"(
+        main:
+        .rept 5
+            addi r0, r0, 1
+        .endr
+            halt
+    )");
+    ASSERT_EQ(p.code.size(), 6u);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(decode(p.code[i]).op, Opcode::ADDI);
+}
+
+TEST(Rept, NestedRepeats)
+{
+    Program p = assemble(R"(
+        .rept 3
+        .rept 2
+            nop
+        .endr
+            winc
+        .endr
+        halt
+    )");
+    // 3 * (2 nops + winc) + halt = 10 words.
+    ASSERT_EQ(p.code.size(), 10u);
+    EXPECT_EQ(decode(p.code[2]).op, Opcode::WINC);
+}
+
+TEST(Rept, ZeroCountEmitsNothing)
+{
+    Program p = assemble(R"(
+        .rept 0
+            nop
+        .endr
+        halt
+    )");
+    ASSERT_EQ(p.code.size(), 1u);
+}
+
+TEST(Rept, MacroContainingRept)
+{
+    Program p = assemble(R"(
+        .macro pad n
+        .rept \n
+            nop
+        .endr
+        .endm
+        pad 4
+        halt
+    )");
+    ASSERT_EQ(p.code.size(), 5u);
+}
+
+TEST(MacroErrors, MissingEndm)
+{
+    EXPECT_THROW(assemble(".macro broken\n nop\n"), FatalError);
+}
+
+TEST(MacroErrors, MissingEndr)
+{
+    EXPECT_THROW(assemble(".rept 3\n nop\n"), FatalError);
+}
+
+TEST(MacroErrors, ArgumentCountMismatch)
+{
+    EXPECT_THROW(assemble(R"(
+        .macro one a
+            ldi \a, 0
+        .endm
+        one r1, r2
+    )"),
+                 FatalError);
+}
+
+TEST(MacroErrors, BadReptCount)
+{
+    EXPECT_THROW(assemble(".rept nope\n nop\n.endr\n"), FatalError);
+    EXPECT_THROW(assemble(".rept -1\n nop\n.endr\n"), FatalError);
+}
+
+TEST(MacroErrors, SelfRecursionDetected)
+{
+    EXPECT_THROW(assemble(R"(
+        .macro forever
+            forever
+        .endm
+        forever
+    )"),
+                 FatalError);
+}
+
+TEST(Macros, WorkloadGeneration)
+{
+    // The intended use: generating sizeable synthetic workloads.
+    Program p = assemble(R"(
+        .macro block seed
+            ldi r1, \seed
+            ldi r2, \seed
+            add r3, r1, r2
+        .endm
+        main:
+        .rept 20
+            block 7
+        .endr
+            halt
+    )");
+    EXPECT_EQ(p.code.size(), 61u);
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(10000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.readReg(0, 3), 14);
+}
+
+} // namespace
+} // namespace disc

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Regression tests for the shipped assembly samples in examples/asm
+ * and for inter-stream join synchronisation (paper section 3.6.3:
+ * "the first IS to reach the join point is deactivated until the
+ * other IS arrives").
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "dcc/dcc.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+#ifndef DISC_SOURCE_DIR
+#define DISC_SOURCE_DIR "."
+#endif
+
+namespace disc
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing sample " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Samples, GcdComputes21)
+{
+    Program p = assemble(
+        readFile(std::string(DISC_SOURCE_DIR) + "/examples/asm/gcd.s"));
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("main"));
+    m.run(10000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x80), 21);
+}
+
+TEST(Samples, ParallelSumComputes5050)
+{
+    Program p = assemble(readFile(std::string(DISC_SOURCE_DIR) +
+                                  "/examples/asm/parallel_sum.s"));
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("combine"));
+    m.startStream(1, p.symbol("worker_a"));
+    m.startStream(2, p.symbol("worker_b"));
+    m.startStream(3, p.symbol("worker_c"));
+    m.run(50000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x94), 5050);
+    // All four streams contributed.
+    for (StreamId s = 0; s < 4; ++s)
+        EXPECT_GT(m.stats().retired[s], 0u) << "stream " << unsigned(s);
+}
+
+TEST(Samples, DccPrimesCounts46)
+{
+    std::string src = readFile(std::string(DISC_SOURCE_DIR) +
+                               "/examples/dcc/primes.dc");
+    Program p = assemble(dcc::compile(src));
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("__start"));
+    m.run(2000000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.readReg(0, reg::G0), 46);
+}
+
+TEST(Samples, DccPipelineComputes408)
+{
+    std::string src = readFile(std::string(DISC_SOURCE_DIR) +
+                               "/examples/dcc/pipeline.dc");
+    Program p = assemble(dcc::compile(src));
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("__start"));
+    m.run(100000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.readReg(0, reg::G0), 408);
+    // All three pipeline stages ran on their own streams.
+    for (StreamId s = 0; s < 3; ++s)
+        EXPECT_GT(m.stats().retired[s], 50u) << unsigned(s);
+}
+
+TEST(Samples, RtosMailboxServesBlockedClients)
+{
+    Program p = assemble(readFile(std::string(DISC_SOURCE_DIR) +
+                                  "/examples/asm/rtos_mailbox.s"));
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("idle"));
+    m.startStream(1, p.symbol("client1"));
+    m.startStream(2, p.symbol("client2"));
+    m.run(100000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x120), 42); // 20 + 22
+    EXPECT_EQ(m.internalMemory().read(0x121), 42); // 6 * 7
+    EXPECT_EQ(m.internalMemory().read(0x122), 25); // 5 * 5
+    // The kernel stream ran purely on request interrupts.
+    EXPECT_GT(m.stats().retired[3], 30u);
+    EXPECT_FALSE(m.interrupts().isActive(3));
+    // Clients blocked instead of polling: tiny retire counts.
+    EXPECT_LT(m.stats().retired[1], 120u);
+    EXPECT_LT(m.stats().retired[2], 80u);
+}
+
+TEST(Samples, DccThermostatHoldsBand)
+{
+    std::string src = readFile(std::string(DISC_SOURCE_DIR) +
+                               "/examples/dcc/thermostat.dc");
+    Program p = assemble(dcc::compile(src));
+    Machine m;
+    m.load(p);
+    m.startStream(0, p.symbol("__start"));
+    m.run(3000000);
+    ASSERT_TRUE(m.idle());
+    // The bang-bang controller keeps the plant inside the comfort
+    // band for nearly all of the 400 samples.
+    EXPECT_GE(m.readReg(0, reg::G0), 350);
+    EXPECT_LE(m.readReg(0, reg::G0), 400);
+}
+
+TEST(JoinSync, FirstArriverSleepsUntilPartnerSignals)
+{
+    // Interrupt-based join: stream 1 (short job) halts at the join;
+    // stream 2 (long job) SWIs stream 1's join level when it arrives.
+    // While stream 1 sleeps, its throughput goes to stream 2 — no
+    // polling loop burns slots.
+    Machine m;
+    Program p = assemble(R"(
+        .org 13               ; vectorAddress(1, 5): join wake-up
+            jmp joined
+        .org 0x20
+        short_job:
+            ldi r1, 3
+            stmd r1, [0x20]
+            halt              ; arrive at join: deactivate
+        joined:
+            ldmd r1, [0x20]
+            ldmd r2, [0x21]
+            add  r3, r1, r2
+            stmd r3, [0x22]   ; combined result
+            clri 5
+            halt
+        long_job:
+            ldi r0, 200
+        work:
+            subi r0, r0, 1
+            cmpi r0, 0
+            bne  work
+            ldi r1, 4
+            stmd r1, [0x21]
+            swi 1, 5          ; partner may proceed
+            halt
+    )");
+    m.load(p);
+    m.startStream(1, p.symbol("short_job"));
+    m.startStream(2, p.symbol("long_job"));
+    m.run(20000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x22), 7);
+    // The sleeping stream burned (almost) nothing: its retired count
+    // is only its two jobs, not hundreds of polling iterations.
+    EXPECT_LT(m.stats().retired[1], 20u);
+    EXPECT_GT(m.stats().retired[2], 500u);
+}
+
+TEST(JoinSync, SignalBeforeArrivalStillJoins)
+{
+    // Race the other way: the long job signals before the short job
+    // reaches its HALT. The request bit is latched in the IR, so the
+    // join must still happen.
+    Machine m;
+    Program p = assemble(R"(
+        .org 13
+            jmp joined
+        .org 0x20
+        late_arriver:
+            ldi r0, 0x01
+            mov imr, r0       ; mask the join level until arrival
+            ldi r0, 300       ; now the *arriver* is slow
+        spin:
+            subi r0, r0, 1
+            cmpi r0, 0
+            bne  spin
+            ldi r1, 3
+            stmd r1, [0x20]
+            ldi r0, 0x21
+            mov imr, r0       ; arrive: accept the join signal
+            halt
+        joined:
+            ldmd r1, [0x20]
+            addi r1, r1, 10
+            stmd r1, [0x22]
+            clri 5
+            halt
+        early_signaler:
+            ldi r1, 4
+            stmd r1, [0x21]
+            swi 1, 5
+            halt
+    )");
+    m.load(p);
+    m.startStream(1, p.symbol("late_arriver"));
+    m.startStream(2, p.symbol("early_signaler"));
+    m.run(20000);
+    ASSERT_TRUE(m.idle());
+    EXPECT_EQ(m.internalMemory().read(0x22), 13);
+}
+
+} // namespace
+} // namespace disc

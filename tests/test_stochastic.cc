@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Tests for the stochastic evaluation model: load processes, the
+ * sequencer model's accounting, and the qualitative shapes the paper
+ * asserts in section 4.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stochastic/experiment.hh"
+#include "stochastic/load.hh"
+#include "stochastic/model.hh"
+
+namespace disc
+{
+namespace
+{
+
+// ---- Load processes ----
+
+TEST(LoadProcess, AlwaysActiveLoadNeverIdles)
+{
+    LoadProcess p(standardLoad(1), 7);
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(p.active());
+        p.next();
+    }
+}
+
+TEST(LoadProcess, OnOffPhasesAlternate)
+{
+    LoadSpec spec = standardLoad(2);
+    LoadProcess p(spec, 11);
+    std::uint64_t on = 0, off = 0;
+    for (int i = 0; i < 200000; ++i) {
+        if (p.active()) {
+            p.next();
+            ++on;
+        } else {
+            p.tickIdle();
+            ++off;
+        }
+    }
+    double duty = static_cast<double>(on) / (on + off);
+    double expect = spec.meanOn / (spec.meanOn + spec.meanOff);
+    EXPECT_NEAR(duty, expect, 0.03);
+}
+
+TEST(LoadProcess, RequestRateMatchesMeanReq)
+{
+    LoadSpec spec = standardLoad(1);
+    LoadProcess p(spec, 13);
+    std::uint64_t n = 200000, req = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        req += p.next().external;
+    double rate = static_cast<double>(req) / n;
+    EXPECT_NEAR(rate, 1.0 / spec.meanReq, 0.01);
+}
+
+TEST(LoadProcess, JumpRateMatchesAlJmp)
+{
+    LoadSpec spec = standardLoad(1);
+    LoadProcess p(spec, 17);
+    std::uint64_t n = 200000, jumps = 0, ext = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        InstrClass c = p.next();
+        jumps += c.jump;
+        ext += c.external;
+    }
+    // Jumps are drawn among non-external instructions.
+    double rate = static_cast<double>(jumps) / (n - ext);
+    EXPECT_NEAR(rate, spec.alJmp, 0.01);
+}
+
+TEST(LoadProcess, MemoryVsIoSplitFollowsAlpha)
+{
+    LoadSpec spec = standardLoad(1);
+    LoadProcess p(spec, 19);
+    std::uint64_t mem = 0, io = 0;
+    double io_time_sum = 0;
+    for (int i = 0; i < 400000; ++i) {
+        InstrClass c = p.next();
+        if (!c.external)
+            continue;
+        if (c.accessTime == spec.tmem)
+            ++mem;
+        else {
+            ++io;
+            io_time_sum += c.accessTime;
+        }
+    }
+    double frac = static_cast<double>(mem) / (mem + io);
+    // I/O accesses occasionally draw accessTime == tmem; tolerate.
+    EXPECT_NEAR(frac, spec.alpha, 0.05);
+    EXPECT_NEAR(io_time_sum / io, spec.meanIo, 0.8);
+}
+
+TEST(LoadProcess, NoRequestsWhenMeanReqZero)
+{
+    LoadProcess p(standardLoad(3), 23);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_FALSE(p.next().external);
+}
+
+TEST(LoadProcess, ParameterValidation)
+{
+    LoadSpec bad = standardLoad(1);
+    bad.alpha = 1.5;
+    EXPECT_THROW(LoadProcess(bad, 1), FatalError);
+    bad = standardLoad(1);
+    bad.alJmp = -0.1;
+    EXPECT_THROW(LoadProcess(bad, 1), FatalError);
+}
+
+TEST(LoadProcess, DeterministicForSeed)
+{
+    LoadProcess a(standardLoad(4), 99), b(standardLoad(4), 99);
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_EQ(a.active(), b.active());
+        if (a.active()) {
+            InstrClass ca = a.next(), cb = b.next();
+            ASSERT_EQ(ca.jump, cb.jump);
+            ASSERT_EQ(ca.external, cb.external);
+            ASSERT_EQ(ca.accessTime, cb.accessTime);
+        } else {
+            a.tickIdle();
+            b.tickIdle();
+        }
+    }
+}
+
+TEST(CombinedSourceTest, ActiveWhenEitherActive)
+{
+    // Combine an always-active load with a bursty one: always active.
+    auto a = std::make_unique<LoadProcess>(standardLoad(1), 1);
+    auto b = std::make_unique<LoadProcess>(standardLoad(4), 2);
+    CombinedSource comb(std::move(a), std::move(b));
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(comb.active());
+        comb.next();
+    }
+    EXPECT_EQ(comb.name(), "load1:load4");
+}
+
+TEST(CombinedSourceTest, BurstyPairHasHigherDutyThanEither)
+{
+    auto duty = [](WorkSource &src) {
+        std::uint64_t on = 0;
+        const int n = 200000;
+        for (int i = 0; i < n; ++i) {
+            if (src.active()) {
+                src.next();
+                ++on;
+            } else {
+                src.tickIdle();
+            }
+        }
+        return static_cast<double>(on) / n;
+    };
+    LoadProcess solo(standardLoad(4), 5);
+    double duty_solo = duty(solo);
+    CombinedSource comb(
+        std::make_unique<LoadProcess>(standardLoad(4), 6),
+        std::make_unique<LoadProcess>(standardLoad(4), 7));
+    double duty_comb = duty(comb);
+    EXPECT_GT(duty_comb, duty_solo * 1.3);
+}
+
+// ---- Model accounting ----
+
+StochasticConfig
+quickConfig()
+{
+    StochasticConfig cfg;
+    cfg.warmup = 1000;
+    cfg.horizon = 50000;
+    return cfg;
+}
+
+TEST(StochasticModelTest, PerfectLoadSaturates)
+{
+    // No jumps, no I/O, always active: PD == 1 for any stream count.
+    LoadSpec perfect{"perfect", 0, 0, 0, 0, 0, 0, 0};
+    for (unsigned k = 1; k <= 4; ++k) {
+        auto r = runPartitioned(quickConfig(), perfect, k, 2);
+        EXPECT_NEAR(r.pd.mean(), 1.0, 1e-9) << "k=" << k;
+        EXPECT_NEAR(r.ps.mean(), 1.0, 1e-9);
+    }
+}
+
+TEST(StochasticModelTest, JumpOnlySingleStreamMatchesAnalytic)
+{
+    // Jump-only load, one stream: every jump flushes (depth-1) slots,
+    // identical to the standard processor, so PD ~= Ps and delta ~= 0.
+    LoadSpec jumpy{"jumpy", 0, 0, 0, 0, 0, 0, 0.2};
+    auto r = runPartitioned(quickConfig(), jumpy, 1, 3);
+    double analytic = 1.0 / (1.0 + 0.2 * 3); // depth 4
+    EXPECT_NEAR(r.ps.mean(), analytic, 0.01);
+    EXPECT_NEAR(r.delta.mean(), 0.0, 6.0);
+}
+
+TEST(StochasticModelTest, JumpOnlyFourStreamsHideFlushes)
+{
+    // With four streams, flushed slots belong to other streams'
+    // instructions only rarely; utilisation approaches 1.
+    LoadSpec jumpy{"jumpy", 0, 0, 0, 0, 0, 0, 0.2};
+    auto r = runPartitioned(quickConfig(), jumpy, 4, 3);
+    EXPECT_GT(r.pd.mean(), 0.9);
+    EXPECT_GT(r.delta.mean(), 40.0);
+}
+
+TEST(StochasticModelTest, IoOnlySingleStreamWorseThanStandard)
+{
+    // I/O-only, one stream: DISC flushes and refetches around every
+    // wait while the standard pipe just stalls -> negative delta.
+    LoadSpec io{"io", 0, 0, /*meanReq=*/10, /*alpha=*/0.0, /*tmem=*/0,
+                /*meanIo=*/8, /*alJmp=*/0.0};
+    auto r = runPartitioned(quickConfig(), io, 1, 3);
+    EXPECT_LT(r.delta.mean(), 0.0);
+}
+
+TEST(StochasticModelTest, IoOnlyMultiStreamOverlapsWaits)
+{
+    LoadSpec io{"io", 0, 0, 10, 0.0, 0, 8, 0.0};
+    auto r1 = runPartitioned(quickConfig(), io, 1, 3);
+    auto r4 = runPartitioned(quickConfig(), io, 4, 3);
+    EXPECT_GT(r4.pd.mean(), r1.pd.mean() + 0.15);
+    EXPECT_GT(r4.delta.mean(), 20.0);
+}
+
+TEST(StochasticModelTest, BusSaturationBoundsUtilisation)
+{
+    // With very frequent long accesses the shared bus is the
+    // bottleneck: utilisation cannot exceed what the bus admits.
+    LoadSpec hog{"hog", 0, 0, /*meanReq=*/2, 0.0, 0, /*meanIo=*/20, 0.0};
+    auto r = runPartitioned(quickConfig(), hog, 4, 2);
+    // Each access occupies ~20 cycles of bus per ~2 instructions.
+    EXPECT_LT(r.pd.mean(), 0.25);
+}
+
+TEST(StochasticModelTest, ResultFieldsConsistent)
+{
+    StochasticConfig cfg = quickConfig();
+    std::vector<std::unique_ptr<WorkSource>> sources;
+    sources.push_back(
+        std::make_unique<LoadProcess>(standardLoad(1), 42));
+    StochasticModel model(cfg, std::move(sources));
+    RunTotals t = model.run();
+    EXPECT_EQ(t.cycles, cfg.horizon);
+    EXPECT_LE(t.busyCycles, t.cycles);
+    EXPECT_LE(t.executed, t.cycles);
+    EXPECT_LE(t.jumps, t.executed);
+    EXPECT_EQ(t.perStreamExecuted.size(), 1u);
+    EXPECT_EQ(t.perStreamExecuted[0], t.executed);
+    EXPECT_GT(t.pd(), 0.0);
+    EXPECT_LE(t.pd(), 1.0);
+}
+
+TEST(StochasticModelTest, ActivationLatencyBoundedBySlotSpacing)
+{
+    // A 1/16-share bursty stream against three always-ready
+    // interferers: the first issue after activation can wait at most
+    // 15 slots (and at least sometimes does).
+    StochasticConfig cfg = quickConfig();
+    cfg.shares = {1, 5, 5, 5};
+    std::vector<std::unique_ptr<WorkSource>> sources;
+    sources.push_back(std::make_unique<LoadProcess>(
+        LoadSpec{"evt", 15, 150, 0, 0, 0, 0, 0.0}, 3));
+    for (unsigned s = 0; s < 3; ++s) {
+        sources.push_back(std::make_unique<LoadProcess>(
+            LoadSpec{"bg", 0, 0, 0, 0, 0, 0, 0.0}, 50 + s));
+    }
+    StochasticModel model(cfg, std::move(sources));
+    RunTotals t = model.run();
+    ASSERT_GT(t.activationLatency.count(), 50u);
+    EXPECT_LE(t.activationLatency.maxValue(), 15u);
+    EXPECT_GT(t.activationLatency.mean(), 2.0);
+}
+
+TEST(StochasticModelTest, ActivationLatencyZeroWhenAlone)
+{
+    StochasticConfig cfg = quickConfig();
+    std::vector<std::unique_ptr<WorkSource>> sources;
+    sources.push_back(std::make_unique<LoadProcess>(
+        LoadSpec{"evt", 20, 100, 0, 0, 0, 0, 0.0}, 9));
+    StochasticModel model(cfg, std::move(sources));
+    RunTotals t = model.run();
+    ASSERT_GT(t.activationLatency.count(), 100u);
+    EXPECT_EQ(t.activationLatency.maxValue(), 0u);
+}
+
+TEST(StochasticModelTest, RejectsBadConfig)
+{
+    StochasticConfig cfg;
+    std::vector<std::unique_ptr<WorkSource>> none;
+    EXPECT_THROW(StochasticModel(cfg, std::move(none)), FatalError);
+    EXPECT_THROW(runPartitioned(cfg, standardLoad(1), 5, 1), FatalError);
+    EXPECT_THROW(runPartitioned(cfg, standardLoad(1), 0, 1), FatalError);
+}
+
+TEST(StochasticModelTest, DeterministicForSeeds)
+{
+    auto a = runPartitioned(quickConfig(), standardLoad(2), 2, 2, 777);
+    auto b = runPartitioned(quickConfig(), standardLoad(2), 2, 2, 777);
+    EXPECT_DOUBLE_EQ(a.pd.mean(), b.pd.mean());
+    EXPECT_DOUBLE_EQ(a.delta.mean(), b.delta.mean());
+}
+
+// ---- The paper's headline shapes (section 4.2) ----
+
+class PartitioningShape : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PartitioningShape, UtilisationRisesWithStreamCount)
+{
+    // Table 4.2a: "as the degree of partitioning increases, so does
+    // the utilization."
+    unsigned load_no = GetParam();
+    StochasticConfig cfg = quickConfig();
+    double prev = 0.0;
+    for (unsigned k = 1; k <= 4; ++k) {
+        auto r = runPartitioned(cfg, standardLoad(load_no), k, 3);
+        EXPECT_GE(r.pd.mean(), prev - 0.02)
+            << "load " << load_no << " k=" << k;
+        prev = r.pd.mean();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, PartitioningShape,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(PaperShapes, TwoStreamsSignificantlyOutperformOne)
+{
+    // Conclusion: "even a system with two instruction streams
+    // significantly outperforms a single instruction stream system."
+    auto r1 = runPartitioned(quickConfig(), standardLoad(1), 1, 3);
+    auto r2 = runPartitioned(quickConfig(), standardLoad(1), 2, 3);
+    EXPECT_GT(r2.delta.mean(), r1.delta.mean() + 20.0);
+    EXPECT_GT(r2.delta.mean(), 25.0);
+}
+
+TEST(PaperShapes, SingleStreamDeltaNearZeroOrNegative)
+{
+    // Section 4.1: the flush assumptions make single-stream DISC no
+    // better than (and for I/O-bound loads worse than) the standard
+    // machine.
+    for (unsigned load_no : {2u, 4u}) {
+        auto r = runPartitioned(quickConfig(), standardLoad(load_no), 1,
+                                3);
+        EXPECT_LT(r.delta.mean(), 5.0) << "load " << load_no;
+    }
+}
+
+TEST(PaperShapes, HighUtilisationLoadGainsLittle)
+{
+    // "in applications where single stream processor utilization is
+    // very high, the advantages of DISC are not significant."
+    auto r1 = runPartitioned(quickConfig(), standardLoad(3), 1, 3);
+    auto r4 = runPartitioned(quickConfig(), standardLoad(3), 4, 3);
+    EXPECT_GT(r1.ps.mean(), 0.8);
+    EXPECT_LT(r4.delta.mean(), 25.0);
+    EXPECT_GT(r4.delta.mean(), 0.0); // "there are still some gains"
+}
+
+TEST(PaperShapes, SeparatedLoadsBeatCombinedSingleStream)
+{
+    // Table 4.3: running load 1 and load x in separate streams beats
+    // the statistical combination in one stream, for every x.
+    StochasticConfig cfg = quickConfig();
+    LoadSpec l1 = standardLoad(1);
+    for (unsigned x = 2; x <= 4; ++x) {
+        LoadSpec lx = standardLoad(x);
+        auto comb =
+            runExperiment(cfg, {makeCombinedFactory(l1, lx)}, 3);
+        auto sep = runExperiment(
+            cfg, {makeLoadFactory(l1), makeLoadFactory(lx)}, 3);
+        EXPECT_GT(sep.pd.mean(), comb.pd.mean() + 0.05) << "x=" << x;
+        EXPECT_GT(sep.delta.mean(), comb.delta.mean() + 10.0);
+    }
+}
+
+TEST(PaperShapes, FurtherPartitioningKeepsHelping)
+{
+    // Table 4.3's "Three ISs" (load 1 split in two) and "Four ISs"
+    // (both split) columns improve on the separated pair.
+    StochasticConfig cfg = quickConfig();
+    LoadSpec l1 = standardLoad(1);
+    LoadSpec l4 = standardLoad(4);
+    auto sep = runExperiment(
+        cfg, {makeLoadFactory(l1), makeLoadFactory(l4)}, 3);
+    auto three = runExperiment(cfg,
+                               {makeLoadFactory(l1), makeLoadFactory(l1),
+                                makeLoadFactory(l4)},
+                               3);
+    auto four = runExperiment(cfg,
+                              {makeLoadFactory(l1), makeLoadFactory(l1),
+                               makeLoadFactory(l4), makeLoadFactory(l4)},
+                              3);
+    EXPECT_GT(three.pd.mean(), sep.pd.mean());
+    EXPECT_GT(four.delta.mean(), sep.delta.mean() + 10.0);
+}
+
+TEST(PaperShapes, StaticSchedulingUnderperformsDynamic)
+{
+    // The ablation the DISC concept motivates: strict static slots
+    // waste stalled streams' bandwidth.
+    StochasticConfig dynamic_cfg = quickConfig();
+    StochasticConfig static_cfg = quickConfig();
+    static_cfg.schedMode = Scheduler::Mode::Static;
+    auto dyn = runPartitioned(dynamic_cfg, standardLoad(2), 4, 3);
+    auto sta = runPartitioned(static_cfg, standardLoad(2), 4, 3);
+    EXPECT_GT(dyn.pd.mean(), sta.pd.mean() + 0.05);
+}
+
+TEST(PaperShapes, DeeperPipesHurtSingleStreamMore)
+{
+    // Section 4.2 varied pipeline length: jump flushes cost more in a
+    // deeper pipe, and interleaving recovers the loss.
+    LoadSpec l1 = standardLoad(1);
+    StochasticConfig shallow = quickConfig();
+    shallow.pipeDepth = 3;
+    StochasticConfig deep = quickConfig();
+    deep.pipeDepth = 8;
+    auto s1 = runPartitioned(shallow, l1, 1, 3);
+    auto d1 = runPartitioned(deep, l1, 1, 3);
+    EXPECT_GT(s1.pd.mean(), d1.pd.mean() + 0.1);
+    auto d4 = runPartitioned(deep, l1, 4, 3);
+    EXPECT_GT(d4.pd.mean(), d1.pd.mean() + 0.2);
+}
+
+} // namespace
+} // namespace disc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * disc-cc: compile a DCC source file to DISC1 assembly, optionally
+ * assembling and running it in one step.
+ *
+ * Usage:
+ *   disc-cc FILE.dc [options]
+ *     -S             print the generated assembly and exit
+ *     --run          assemble and run; print main's return value
+ *     --cycles N     cycle budget for --run (default 1000000)
+ *     --dump ADDR[:N]  dump internal-memory words after --run
+ *
+ * Default behaviour (no options) is -S.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "dcc/dcc.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+
+using namespace disc;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            fatal("usage: disc-cc FILE.dc [-S | --run] [--cycles N]");
+        std::ifstream in(argv[1]);
+        if (!in)
+            fatal("cannot open '%s'", argv[1]);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+
+        bool run = false;
+        Cycle budget = 1000000;
+        std::vector<std::pair<Addr, unsigned>> dumps;
+        for (int i = 2; i < argc; ++i) {
+            const char *a = argv[i];
+            auto value = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    fatal("option %s needs a value", a);
+                return argv[++i];
+            };
+            if (!std::strcmp(a, "-S"))
+                run = false;
+            else if (!std::strcmp(a, "--run"))
+                run = true;
+            else if (!std::strcmp(a, "--cycles"))
+                budget = std::strtoull(value(), nullptr, 0);
+            else if (!std::strcmp(a, "--dump")) {
+                unsigned addr, n = 8;
+                if (std::sscanf(value(), "%i:%i", &addr, &n) < 1)
+                    fatal("--dump wants ADDR[:N]");
+                dumps.emplace_back(static_cast<Addr>(addr), n);
+            } else {
+                fatal("unknown option '%s'", a);
+            }
+        }
+
+        std::string asm_text = dcc::compile(ss.str());
+        if (!run) {
+            std::fputs(asm_text.c_str(), stdout);
+            return 0;
+        }
+
+        Program prog = assemble(asm_text);
+        Machine m;
+        m.load(prog);
+        m.startStream(0, prog.symbol("__start"));
+        Cycle ran = m.run(budget);
+        std::printf("cycles=%llu idle=%s main() = %d (0x%04x)\n",
+                    static_cast<unsigned long long>(ran),
+                    m.idle() ? "yes" : "no",
+                    static_cast<SWord>(m.readReg(0, reg::G0)),
+                    m.readReg(0, reg::G0));
+        for (auto [addr, n] : dumps) {
+            std::printf("mem[0x%03x]:", addr);
+            for (unsigned k = 0; k < n; ++k)
+                std::printf(" %04x",
+                            m.internalMemory().read(
+                                static_cast<Addr>(addr + k)));
+            std::printf("\n");
+        }
+        return 0;
+    } catch (const FatalError &) {
+        return 1;
+    }
+}
