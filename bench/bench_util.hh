@@ -40,7 +40,8 @@ banner(const std::string &title)
 inline std::string
 meanErr(const RunningStat &s, int precision = 3)
 {
-    return strprintf("%.*f", precision, s.mean());
+    return strprintf("%.*f +- %.*f", precision, s.mean(), precision,
+                     s.stderror());
 }
 
 } // namespace disc::bench

@@ -28,23 +28,40 @@ main()
     dt.setHeader({"loads", "combined", "separated", "three ISs",
                   "four ISs"});
 
-    for (unsigned x = 2; x <= 4; ++x) {
+    // 3 mixes x 4 stream configurations = 12 independent cells; run
+    // them across the global pool.
+    std::vector<std::vector<ExperimentResult>> cells(
+        3, std::vector<ExperimentResult>(4));
+    ThreadPool::global().parallelFor(12, [&](std::size_t cell) {
+        unsigned x = 2 + static_cast<unsigned>(cell / 4);
+        unsigned cfg_no = static_cast<unsigned>(cell % 4);
         LoadSpec lx = standardLoad(x);
-        ExperimentResult combined = runExperiment(
-            cfg, {makeCombinedFactory(l1, lx)}, bench::kReplications);
-        ExperimentResult separated = runExperiment(
-            cfg, {makeLoadFactory(l1), makeLoadFactory(lx)},
-            bench::kReplications);
-        ExperimentResult three = runExperiment(
-            cfg,
-            {makeLoadFactory(l1), makeLoadFactory(l1),
-             makeLoadFactory(lx)},
-            bench::kReplications);
-        ExperimentResult four = runExperiment(
-            cfg,
-            {makeLoadFactory(l1), makeLoadFactory(l1),
-             makeLoadFactory(lx), makeLoadFactory(lx)},
-            bench::kReplications);
+        std::vector<SourceFactory> streams;
+        switch (cfg_no) {
+          case 0:
+            streams = {makeCombinedFactory(l1, lx)};
+            break;
+          case 1:
+            streams = {makeLoadFactory(l1), makeLoadFactory(lx)};
+            break;
+          case 2:
+            streams = {makeLoadFactory(l1), makeLoadFactory(l1),
+                       makeLoadFactory(lx)};
+            break;
+          default:
+            streams = {makeLoadFactory(l1), makeLoadFactory(l1),
+                       makeLoadFactory(lx), makeLoadFactory(lx)};
+            break;
+        }
+        cells[x - 2][cfg_no] =
+            runExperiment(cfg, streams, bench::kReplications);
+    });
+
+    for (unsigned x = 2; x <= 4; ++x) {
+        const ExperimentResult &combined = cells[x - 2][0];
+        const ExperimentResult &separated = cells[x - 2][1];
+        const ExperimentResult &three = cells[x - 2][2];
+        const ExperimentResult &four = cells[x - 2][3];
 
         std::string label = strprintf("1 & %u", x);
         pd.addRow({label, bench::meanErr(combined.pd),

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Host-throughput tracker: how fast the simulators run on this
+ * machine, written to BENCH_throughput.json so the performance
+ * trajectory of the repo is recorded PR over PR.
+ *
+ * Measured quantities:
+ *  - cycle-accurate Machine: simulated cycles/sec and simulated MIPS
+ *    (retired instructions/sec) for a single-stream compute loop, a
+ *    four-stream compute loop and a four-stream external-bus workload;
+ *  - stochastic model: simulated cycles/sec (events) for a four-stream
+ *    standard-load run;
+ *  - experiment harness: wall-clock for the same replicated experiment
+ *    on a one-thread pool vs the global pool, and the speedup.
+ *
+ * Usage: throughput [--out FILE] [--budget SECONDS-PER-MEASUREMENT]
+ * The default output path is BENCH_throughput.json in the current
+ * directory (CI runs benches from the repo root).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "arch/devices.hh"
+#include "bench_util.hh"
+#include "common/threadpool.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "stochastic/experiment.hh"
+
+using namespace disc;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One machine workload measurement. */
+struct MachineRate
+{
+    double cyclesPerSec = 0;
+    double mips = 0; ///< retired instructions per second / 1e6
+};
+
+/**
+ * Step a machine in chunks until the time budget elapses and report
+ * simulated cycles/sec and MIPS over the whole run.
+ */
+MachineRate
+measureMachine(Machine &m, double budget_sec)
+{
+    constexpr Cycle kChunk = 100000;
+    m.run(kChunk, false); // warm the caches before timing
+    Cycle cycles0 = m.stats().cycles;
+    std::uint64_t retired0 = m.stats().totalRetired;
+    auto start = Clock::now();
+    double elapsed = 0;
+    do {
+        m.run(kChunk, false);
+        elapsed = secondsSince(start);
+    } while (elapsed < budget_sec);
+    MachineRate r;
+    r.cyclesPerSec =
+        static_cast<double>(m.stats().cycles - cycles0) / elapsed;
+    r.mips = static_cast<double>(m.stats().totalRetired - retired0) /
+             elapsed / 1e6;
+    return r;
+}
+
+MachineRate
+measureComputeLoop(unsigned streams, double budget_sec)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi r1, 1
+            ldi r2, 2
+            add r3, r1, r2
+            add r4, r3, r2
+            sub r5, r4, r1
+            jmp entry
+    )");
+    Machine m;
+    m.load(p);
+    for (StreamId s = 0; s < streams; ++s)
+        m.startStream(s, p.symbol("entry"));
+    return measureMachine(m, budget_sec);
+}
+
+MachineRate
+measureBusTraffic(double budget_sec, ExternalMemoryDevice &dev)
+{
+    Program p = assemble(R"(
+        .org 0x20
+        entry:
+            ldi  g0, 0x00
+            ldih g0, 0x10
+        loop:
+            ld   r1, [g0]
+            addi r2, r2, 1
+            st   r2, [g0+1]
+            jmp  loop
+    )");
+    Machine m;
+    m.attachDevice(0x1000, 64, &dev);
+    m.load(p);
+    for (StreamId s = 0; s < kNumStreams; ++s)
+        m.startStream(s, p.symbol("entry"));
+    return measureMachine(m, budget_sec);
+}
+
+double
+measureStochastic(double budget_sec)
+{
+    StochasticConfig cfg;
+    cfg.warmup = 0;
+    cfg.horizon = 100000;
+    std::uint64_t runs = 0;
+    auto start = Clock::now();
+    double elapsed = 0;
+    do {
+        std::vector<std::unique_ptr<WorkSource>> sources;
+        for (unsigned s = 0; s < kNumStreams; ++s) {
+            sources.push_back(std::make_unique<LoadProcess>(
+                standardLoad(1), 1000 + runs * kNumStreams + s));
+        }
+        StochasticModel model(cfg, std::move(sources));
+        model.run();
+        ++runs;
+        elapsed = secondsSince(start);
+    } while (elapsed < budget_sec);
+    return static_cast<double>(runs) *
+           static_cast<double>(cfg.horizon) / elapsed;
+}
+
+double
+timeExperiment(ThreadPool &pool)
+{
+    StochasticConfig cfg;
+    cfg.warmup = 1000;
+    cfg.horizon = 100000;
+    auto start = Clock::now();
+    runPartitioned(cfg, standardLoad(1), kNumStreams, 8, 1, &pool);
+    return secondsSince(start);
+}
+
+void
+printRate(const char *label, const MachineRate &r)
+{
+    std::printf("  %-22s %10.2f Mcycles/s  %8.2f MIPS\n", label,
+                r.cyclesPerSec / 1e6, r.mips);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_throughput.json";
+    double budget = 0.3;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc) {
+            budget = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: throughput [--out FILE] [--budget S]\n");
+            return 1;
+        }
+    }
+
+    bench::banner("Simulator throughput on this host");
+
+    MachineRate single = measureComputeLoop(1, budget);
+    printRate("machine 1 stream", single);
+    MachineRate four = measureComputeLoop(kNumStreams, budget);
+    printRate("machine 4 streams", four);
+    ExternalMemoryDevice dev(64, 5);
+    MachineRate bus = measureBusTraffic(budget, dev);
+    printRate("machine 4 streams+bus", bus);
+
+    double stochastic = measureStochastic(budget);
+    std::printf("  %-22s %10.2f Mcycles/s\n", "stochastic model",
+                stochastic / 1e6);
+
+    ThreadPool serial_pool(1);
+    double serial_sec = timeExperiment(serial_pool);
+    double parallel_sec = timeExperiment(ThreadPool::global());
+    double speedup = parallel_sec > 0 ? serial_sec / parallel_sec : 0;
+    std::printf("  %-22s serial %.3fs  pool(%u) %.3fs  speedup %.2fx\n",
+                "experiment harness", serial_sec,
+                ThreadPool::global().size(), parallel_sec, speedup);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    out << "{\n"
+        << "  \"schema\": 1,\n"
+        << "  \"pool_threads\": " << ThreadPool::global().size() << ",\n"
+        << "  \"machine\": {\n";
+    auto emit = [&out](const char *key, const MachineRate &r,
+                       bool last) {
+        out << "    \"" << key << "\": {\"cycles_per_sec\": "
+            << r.cyclesPerSec << ", \"mips\": " << r.mips << "}"
+            << (last ? "\n" : ",\n");
+    };
+    emit("single_stream", single, false);
+    emit("four_stream", four, false);
+    emit("four_stream_bus", bus, true);
+    out << "  },\n"
+        << "  \"stochastic\": {\"model_cycles_per_sec\": " << stochastic
+        << "},\n"
+        << "  \"experiment\": {\"serial_sec\": " << serial_sec
+        << ", \"parallel_sec\": " << parallel_sec
+        << ", \"speedup\": " << speedup << "}\n"
+        << "}\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -72,6 +72,8 @@ InterruptUnit::pendingVector(StreamId s) const
 {
     const StreamState &st = state(s);
     unsigned pending = st.ir & st.mr;
+    if ((pending & ~1u) == 0)
+        return std::nullopt; // only the background level is pending
     unsigned running = runningLevel(s);
     for (unsigned lvl = kNumIntLevels - 1; lvl >= 1; --lvl) {
         if (pending & (1u << lvl)) {

@@ -1,0 +1,127 @@
+#include "common/threadpool.hh"
+
+#include <cstdlib>
+
+namespace disc
+{
+
+namespace
+{
+
+/**
+ * True while the current thread is executing pool work (a worker, or
+ * a caller participating in its own parallelFor). Nested parallelFor
+ * calls from such a thread run inline.
+ */
+thread_local bool tls_in_pool = false;
+
+unsigned
+globalPoolSize()
+{
+    if (const char *env = std::getenv("DISC_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        return v > 0 ? static_cast<unsigned>(v) : 1;
+    }
+    return 0; // hardware_concurrency
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    size_ = threads;
+    // The caller participates in its own jobs, so it counts as one of
+    // the size_ threads; spawn the rest.
+    workers_.reserve(size_ - 1);
+    for (unsigned t = 1; t < size_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return tls_in_pool;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_in_pool = true;
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+        workCv_.wait(lk, [this] {
+            return stop_ || (job_ && job_->next < job_->n);
+        });
+        if (stop_)
+            return;
+        Job *j = job_;
+        while (job_ == j && j->next < j->n) {
+            std::size_t i = j->next++;
+            lk.unlock();
+            (*j->body)(i);
+            lk.lock();
+            if (++j->done == j->n)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (size_ <= 1 || n == 1 || insideWorker()) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> caller(callerMutex_);
+    Job job;
+    job.n = n;
+    job.body = &body;
+
+    tls_in_pool = true;
+    std::unique_lock<std::mutex> lk(mutex_);
+    job_ = &job;
+    workCv_.notify_all();
+    // Participate: claim indices alongside the workers.
+    while (job.next < job.n) {
+        std::size_t i = job.next++;
+        lk.unlock();
+        body(i);
+        lk.lock();
+        ++job.done;
+    }
+    doneCv_.wait(lk, [&job] { return job.done == job.n; });
+    job_ = nullptr;
+    lk.unlock();
+    tls_in_pool = false;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(globalPoolSize());
+    return pool;
+}
+
+} // namespace disc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A small fixed-size worker pool for embarrassingly parallel jobs:
+ * experiment replications and bench-table cells.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Determinism. parallelFor() only distributes *independent* index
+ *     ranges; callers must write results into per-index slots and
+ *     reduce sequentially afterwards, so the outcome is bit-identical
+ *     for any pool size (including 1).
+ *  2. Re-entrancy. A parallelFor() issued from inside a worker thread
+ *     (e.g. runExperiment() called from a parallel bench cell) runs
+ *     inline on the calling thread instead of deadlocking on the
+ *     already-occupied pool.
+ *  3. Simplicity. One mutex, one condition variable, an atomic index
+ *     cursor per job. No futures, no task graph.
+ *
+ * The global() pool is sized from the DISC_THREADS environment
+ * variable when set (0 or 1 disables parallelism), otherwise from
+ * std::thread::hardware_concurrency().
+ */
+
+#ifndef DISC_COMMON_THREADPOOL_HH
+#define DISC_COMMON_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace disc
+{
+
+/** Fixed-size worker pool; see file comment for the usage contract. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means hardware_concurrency().
+     *        A pool of size 1 runs every job inline on the caller.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers (pending jobs finish first). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of threads this pool schedules onto (>= 1). */
+    unsigned size() const { return size_; }
+
+    /**
+     * Run body(i) for every i in [0, n), distributed over the pool,
+     * and return when all indices completed. Calls from inside a
+     * worker thread execute serially inline (see file comment).
+     * body must not throw.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** The process-wide shared pool (sized per DISC_THREADS). */
+    static ThreadPool &global();
+
+  private:
+    struct Job
+    {
+        std::size_t n = 0;
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t next = 0;    ///< next index to claim
+        std::size_t done = 0;    ///< indices completed
+    };
+
+    unsigned size_ = 1;
+    std::vector<std::thread> workers_;
+    std::mutex callerMutex_; ///< serialises concurrent parallelFor calls
+    std::mutex mutex_;
+    std::condition_variable workCv_;  ///< signalled when a job arrives
+    std::condition_variable doneCv_;  ///< signalled when a job finishes
+    Job *job_ = nullptr;              ///< current job, if any
+    bool stop_ = false;
+
+    void workerLoop();
+    static bool insideWorker();
+};
+
+} // namespace disc
+
+#endif // DISC_COMMON_THREADPOOL_HH

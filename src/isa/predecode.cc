@@ -1,0 +1,90 @@
+#include "isa/predecode.hh"
+
+namespace disc
+{
+
+std::uint32_t
+depRegBit(unsigned r)
+{
+    std::uint32_t mask = 1u << r;
+    if (reg::isWindow(r))
+        mask |= kDepAwp; // window names remap when the AWP moves
+    if (r == reg::SR)
+        mask |= kDepFlags;
+    if (r == reg::AWP)
+        mask |= kDepAwp;
+    return mask;
+}
+
+void
+depMasks(const Instruction &inst, std::uint32_t &reads,
+         std::uint32_t &writes)
+{
+    reads = 0;
+    writes = 0;
+    const OpInfo &oi = inst.info();
+    if (oi.readsRa)
+        reads |= depRegBit(inst.ra);
+    if (oi.readsRb)
+        reads |= depRegBit(inst.rb);
+    if (oi.readsRd)
+        reads |= depRegBit(inst.rd);
+    if (oi.writesRd) {
+        writes |= depRegBit(inst.rd) & ~kDepAwp;
+        if (reg::isWindow(inst.rd))
+            reads |= kDepAwp; // write-port addressing depends on AWP
+    }
+    if (oi.setsFlags)
+        writes |= kDepFlags;
+    if (oi.movesWindow || inst.wctl != WCtl::None) {
+        writes |= kDepAwp;
+        reads |= kDepAwp;
+    }
+
+    switch (inst.op) {
+      case Opcode::ADC:
+      case Opcode::SBC:
+        reads |= kDepFlags;
+        break;
+      case Opcode::BR:
+        reads |= kDepFlags;
+        break;
+      case Opcode::MUL:
+        writes |= kDepMulHigh;
+        break;
+      case Opcode::MULH:
+        reads |= kDepMulHigh;
+        break;
+      case Opcode::CALL:
+      case Opcode::CALLR:
+        writes |= depRegBit(0); // return address lands in the new R0
+        break;
+      case Opcode::RET:
+      case Opcode::RETI:
+        reads |= depRegBit(0);
+        break;
+      default:
+        break;
+    }
+}
+
+PredecodedInst
+predecode(InstWord word)
+{
+    PredecodedInst pd;
+    pd.legal = isLegal(word);
+    pd.inst = decode(word);
+    depMasks(pd.inst, pd.readsMask, pd.writesMask);
+    return pd;
+}
+
+void
+PredecodeTable::load(const Program &prog)
+{
+    table_.clear();
+    table_.reserve(prog.code.size());
+    for (InstWord word : prog.code)
+        table_.push_back(predecode(word));
+}
+
+} // namespace disc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Load-time instruction predecoding.
+ *
+ * DISC's program memory is a fixed Harvard store of 24-bit words, so
+ * the decoded form, the legality check and the dependency masks of
+ * every instruction are pure functions of the program word. The
+ * cycle-accurate machine used to re-derive all three for every
+ * candidate stream on every cycle; instead we derive them once at
+ * Machine::load() / Interp::load() into a per-address table and the
+ * per-cycle loop only indexes it.
+ *
+ * The dependency masks name the 16 architected registers in bits
+ * 0..15 plus three pseudo-resources (flags, AWP, MULH latch) the
+ * interlock must also order: see kDepFlags/kDepAwp/kDepMulHigh.
+ */
+
+#ifndef DISC_ISA_PREDECODE_HH
+#define DISC_ISA_PREDECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace disc
+{
+
+/** Dependency-mask pseudo-resource bits beyond the 16 register names. */
+constexpr std::uint32_t kDepFlags = 1u << 16;   ///< ZNCV flags
+constexpr std::uint32_t kDepAwp = 1u << 17;     ///< active window pointer
+constexpr std::uint32_t kDepMulHigh = 1u << 18; ///< MUL high-half latch
+
+/** Dependency bit(s) contributed by naming register @p r. */
+std::uint32_t depRegBit(unsigned r);
+
+/**
+ * Read/write dependency masks of a decoded instruction, as consumed
+ * by the machine's issue interlock.
+ */
+void depMasks(const Instruction &inst, std::uint32_t &reads,
+              std::uint32_t &writes);
+
+/** Everything the issue path needs to know about one program word. */
+struct PredecodedInst
+{
+    Instruction inst;              ///< decoded form (NOP when !legal)
+    std::uint32_t readsMask = 0;   ///< source dependency mask
+    std::uint32_t writesMask = 0;  ///< destination dependency mask
+    bool legal = false;            ///< isLegal(word)
+};
+
+/** Predecode one instruction word (decode + legality + dep masks). */
+PredecodedInst predecode(InstWord word);
+
+/**
+ * Per-address predecode table over a program image. Out-of-image
+ * addresses yield the predecoded NOP, mirroring ProgramMemory::fetch.
+ */
+class PredecodeTable
+{
+  public:
+    /** Build the table for a program (replaces the current contents). */
+    void load(const Program &prog);
+
+    /** Predecoded entry at an address; NOP beyond the image. */
+    const PredecodedInst &at(PAddr addr) const
+    {
+        return addr < table_.size() ? table_[addr] : nop_;
+    }
+
+    /** Number of predecoded words. */
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    std::vector<PredecodedInst> table_;
+    PredecodedInst nop_ = predecode(0);
+};
+
+} // namespace disc
+
+#endif // DISC_ISA_PREDECODE_HH

@@ -13,6 +13,7 @@ void
 Interp::load(const Program &prog)
 {
     pmem_.load(prog);
+    pdec_.load(prog);
     reset();
     imem_.load(prog);
 }
@@ -125,13 +126,13 @@ Interp::step()
     if (halted_)
         return false;
 
-    InstWord word = pmem_.fetch(pc_);
-    if (!isLegal(word)) {
+    const PredecodedInst &pd = pdec_.at(pc_);
+    if (!pd.legal) {
         ++illegal_;
         ++pc_;
         return true;
     }
-    Instruction inst = decode(word);
+    const Instruction &inst = pd.inst;
     PAddr this_pc = pc_;
     PAddr next = static_cast<PAddr>(pc_ + 1);
     StackWindow &win = window_;

@@ -28,6 +28,7 @@
 #include "arch/stack_window.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
+#include "isa/predecode.hh"
 #include "isa/program.hh"
 
 namespace disc
@@ -92,6 +93,7 @@ class Interp
   private:
     InternalMemory imem_;
     ProgramMemory pmem_;
+    PredecodeTable pdec_; ///< shared predecode path with the Machine
     Bus bus_;
     StackWindow window_;
     std::array<Word, kNumGlobalRegs> globals_{};

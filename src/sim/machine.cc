@@ -6,16 +6,6 @@
 namespace disc
 {
 
-namespace
-{
-
-/** Dependency-mask pseudo-resource bits beyond the 16 register names. */
-constexpr std::uint32_t kDepFlags = 1u << 16;
-constexpr std::uint32_t kDepAwp = 1u << 17;
-constexpr std::uint32_t kDepMulHigh = 1u << 18;
-
-} // namespace
-
 double
 MachineStats::utilization() const
 {
@@ -55,6 +45,7 @@ void
 Machine::load(const Program &prog)
 {
     pmem_.load(prog);
+    pdec_.load(prog);
     reset();
     imem_.load(prog);
 }
@@ -226,72 +217,6 @@ Machine::writeReg(StreamId s, unsigned r, Word value)
     }
 }
 
-std::uint32_t
-Machine::regBit(StreamId s, unsigned r) const
-{
-    (void)s;
-    std::uint32_t mask = 1u << r;
-    if (reg::isWindow(r))
-        mask |= kDepAwp; // window names remap when the AWP moves
-    if (r == reg::SR)
-        mask |= kDepFlags;
-    if (r == reg::AWP)
-        mask |= kDepAwp;
-    return mask;
-}
-
-void
-Machine::depMasks(const Instruction &inst, std::uint32_t &reads,
-                  std::uint32_t &writes) const
-{
-    reads = 0;
-    writes = 0;
-    const OpInfo &oi = inst.info();
-    if (oi.readsRa)
-        reads |= regBit(0, inst.ra);
-    if (oi.readsRb)
-        reads |= regBit(0, inst.rb);
-    if (oi.readsRd)
-        reads |= regBit(0, inst.rd);
-    if (oi.writesRd) {
-        writes |= regBit(0, inst.rd) & ~kDepAwp;
-        if (reg::isWindow(inst.rd))
-            reads |= kDepAwp; // write-port addressing depends on AWP
-    }
-    if (oi.setsFlags)
-        writes |= kDepFlags;
-    if (oi.movesWindow || inst.wctl != WCtl::None) {
-        writes |= kDepAwp;
-        reads |= kDepAwp;
-    }
-
-    switch (inst.op) {
-      case Opcode::ADC:
-      case Opcode::SBC:
-        reads |= kDepFlags;
-        break;
-      case Opcode::BR:
-        reads |= kDepFlags;
-        break;
-      case Opcode::MUL:
-        writes |= kDepMulHigh;
-        break;
-      case Opcode::MULH:
-        reads |= kDepMulHigh;
-        break;
-      case Opcode::CALL:
-      case Opcode::CALLR:
-        writes |= regBit(0, 0); // return address lands in the new R0
-        break;
-      case Opcode::RET:
-      case Opcode::RETI:
-        reads |= regBit(0, 0);
-        break;
-      default:
-        break;
-    }
-}
-
 bool
 Machine::interlocked(StreamId s, std::uint32_t reads,
                      std::uint32_t writes) const
@@ -323,7 +248,7 @@ Machine::readyMask()
 {
     unsigned ready = 0;
     for (StreamId s = 0; s < kNumStreams; ++s) {
-        const StreamCtx &c = ctx(s);
+        const StreamCtx &c = streams_[s];
         if (c.wait != WaitState::Ready)
             continue;
         if (!intUnit_.isActive(s))
@@ -332,14 +257,12 @@ Machine::readyMask()
         if (vec && hasInFlight(s))
             continue; // vector entry serialises against the pipe
         PAddr fetch_pc = vec ? vectorAddress(s, *vec) : c.pc;
-        InstWord word = pmem_.fetch(fetch_pc);
-        if (!isLegal(word)) {
+        const PredecodedInst &pd = pdec_.at(fetch_pc);
+        if (!pd.legal) {
             ready |= 1u << s; // issue consumes it and raises the trap
             continue;
         }
-        std::uint32_t reads = 0, writes = 0;
-        depMasks(decode(word), reads, writes);
-        if (!vec && interlocked(s, reads, writes))
+        if (!vec && interlocked(s, pd.readsMask, pd.writesMask))
             continue;
         ready |= 1u << s;
     }
@@ -378,8 +301,8 @@ Machine::issue()
     if (auto vec = intUnit_.pendingVector(s))
         takeVector(s, *vec);
 
-    InstWord word = pmem_.fetch(c.pc);
-    if (!isLegal(word)) {
+    const PredecodedInst &pd = pdec_.at(c.pc);
+    if (!pd.legal) {
         ++stats_.illegalInstructions;
         raiseInternal(s, kIllegalInstBit);
         ++c.pc;
@@ -392,8 +315,9 @@ Machine::issue()
     slot.executed = false;
     slot.stream = s;
     slot.pc = c.pc;
-    slot.inst = decode(word);
-    depMasks(slot.inst, slot.readsMask, slot.writesMask);
+    slot.inst = pd.inst;
+    slot.readsMask = pd.readsMask;
+    slot.writesMask = pd.writesMask;
     slot.tag = nextTag_;
     nextTag_ = nextTag_ == 'z' ? 'a' : static_cast<char>(nextTag_ + 1);
     ++c.pc;
@@ -887,12 +811,13 @@ Machine::recordTrace()
 {
     if (!trace_)
         return;
-    std::vector<PipeTrace::StageEntry> stages(cfg_.pipeDepth);
+    traceScratch_.resize(cfg_.pipeDepth);
     for (unsigned i = 0; i < cfg_.pipeDepth; ++i) {
         const Slot &slot = pipe_[i];
-        stages[i] = {slot.valid, slot.squashed, slot.stream, slot.tag};
+        traceScratch_[i] = {slot.valid, slot.squashed, slot.stream,
+                            slot.tag};
     }
-    trace_->record(stats_.cycles, stages);
+    trace_->record(stats_.cycles, traceScratch_);
 }
 
 void

@@ -50,13 +50,12 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
+#include "isa/predecode.hh"
 #include "isa/program.hh"
+#include "sim/trace.hh"
 
 namespace disc
 {
-
-class ExecTrace;
-class PipeTrace;
 
 /** Machine construction parameters. */
 struct MachineConfig
@@ -265,6 +264,7 @@ class Machine
     MachineConfig cfg_;
     InternalMemory imem_;
     ProgramMemory pmem_;
+    PredecodeTable pdec_; ///< per-address decode + dep masks, built at load()
     Bus bus_;
     AsyncBusInterface abi_;
     InterruptUnit intUnit_;
@@ -277,6 +277,7 @@ class Machine
     Histogram latency_;
     PipeTrace *trace_ = nullptr;
     ExecTrace *execTrace_ = nullptr;
+    std::vector<PipeTrace::StageEntry> traceScratch_;
     char nextTag_ = 'a';
     Cycle haltedUntilBusDone_ = 0; ///< baseline mode flag (bool-ish)
 
@@ -287,9 +288,6 @@ class Machine
     const StackWindow &win(StreamId s) const;
 
     void raiseInternal(StreamId s, unsigned bit);
-    std::uint32_t regBit(StreamId s, unsigned r) const;
-    void depMasks(const Instruction &inst, std::uint32_t &reads,
-                  std::uint32_t &writes) const;
     bool interlocked(StreamId s, std::uint32_t reads,
                      std::uint32_t writes) const;
     bool hasInFlight(StreamId s) const;

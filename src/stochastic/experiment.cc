@@ -42,15 +42,21 @@ makeCombinedFactory(const LoadSpec &a, const LoadSpec &b)
 ExperimentResult
 runExperiment(const StochasticConfig &cfg,
               const std::vector<SourceFactory> &streams,
-              unsigned replications, std::uint64_t base_seed)
+              unsigned replications, std::uint64_t base_seed,
+              ThreadPool *pool)
 {
     if (streams.empty())
         fatal("experiment needs at least one stream");
     if (replications == 0)
         fatal("experiment needs at least one replication");
+    if (!pool)
+        pool = &ThreadPool::global();
 
-    ExperimentResult result;
-    for (unsigned rep = 0; rep < replications; ++rep) {
+    // One single-sample result per replication, produced in parallel;
+    // the reduction below merges them in replication order so the
+    // aggregate does not depend on the pool size.
+    std::vector<ExperimentResult> reps(replications);
+    pool->parallelFor(replications, [&](std::size_t rep) {
         std::vector<std::unique_ptr<WorkSource>> sources;
         sources.reserve(streams.size());
         for (std::size_t s = 0; s < streams.size(); ++s)
@@ -58,25 +64,35 @@ runExperiment(const StochasticConfig &cfg,
                 streams[s](mixSeed(base_seed + rep, s)));
         StochasticModel model(cfg, std::move(sources));
         RunTotals t = model.run();
-        result.pd.add(t.pd());
-        result.ps.add(t.ps(cfg.pipeDepth));
-        result.delta.add(t.delta(cfg.pipeDepth));
-        result.busyFraction.add(
+        ExperimentResult &r = reps[rep];
+        r.pd.add(t.pd());
+        r.ps.add(t.ps(cfg.pipeDepth));
+        r.delta.add(t.delta(cfg.pipeDepth));
+        r.busyFraction.add(
             t.cycles ? static_cast<double>(t.busyCycles) /
                            static_cast<double>(t.cycles)
                      : 0.0);
+    });
+
+    ExperimentResult result;
+    for (const ExperimentResult &r : reps) {
+        result.pd.merge(r.pd);
+        result.ps.merge(r.ps);
+        result.delta.merge(r.delta);
+        result.busyFraction.merge(r.busyFraction);
     }
     return result;
 }
 
 ExperimentResult
 runPartitioned(const StochasticConfig &cfg, const LoadSpec &spec,
-               unsigned k, unsigned replications, std::uint64_t base_seed)
+               unsigned k, unsigned replications, std::uint64_t base_seed,
+               ThreadPool *pool)
 {
     if (k == 0 || k > kNumStreams)
         fatal("cannot partition into %u streams", k);
     std::vector<SourceFactory> streams(k, makeLoadFactory(spec));
-    return runExperiment(cfg, streams, replications, base_seed);
+    return runExperiment(cfg, streams, replications, base_seed, pool);
 }
 
 } // namespace disc

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/threadpool.hh"
 #include "stochastic/model.hh"
 
 namespace disc
@@ -40,11 +41,19 @@ SourceFactory makeCombinedFactory(const LoadSpec &a, const LoadSpec &b);
 /**
  * Run the model with one stream per factory, @p replications times
  * with distinct seeds, and aggregate the measures.
+ *
+ * Replications run in parallel on @p pool (the global pool when
+ * nullptr). Each replication's seeds depend only on (base_seed, rep,
+ * stream) and per-replication results merge in replication order, so
+ * the aggregate is bit-identical for every pool size. Factories are
+ * invoked concurrently and must be thread-safe (the stock factories
+ * are: they only copy value-captured specs).
  */
 ExperimentResult runExperiment(const StochasticConfig &cfg,
                                const std::vector<SourceFactory> &streams,
                                unsigned replications,
-                               std::uint64_t base_seed = 1);
+                               std::uint64_t base_seed = 1,
+                               ThreadPool *pool = nullptr);
 
 /**
  * Table 4.2 helper: partition @p spec into @p k iid streams and run.
@@ -52,7 +61,8 @@ ExperimentResult runExperiment(const StochasticConfig &cfg,
 ExperimentResult runPartitioned(const StochasticConfig &cfg,
                                 const LoadSpec &spec, unsigned k,
                                 unsigned replications,
-                                std::uint64_t base_seed = 1);
+                                std::uint64_t base_seed = 1,
+                                ThreadPool *pool = nullptr);
 
 } // namespace disc
 

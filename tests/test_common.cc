@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 
@@ -13,6 +14,7 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/threadpool.hh"
 
 namespace disc
 {
@@ -238,6 +240,57 @@ TEST(Table, RowWidthMismatchPanics)
     Table t("x");
     t.setHeader({"a", "b"});
     EXPECT_THROW(t.addRow({"only one"}), PanicError);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::atomic<unsigned>> hits(1000);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    unsigned sum = 0; // safe: no workers, body runs on this thread
+    pool.parallelFor(10, [&](std::size_t i) {
+        sum += static_cast<unsigned>(i);
+    });
+    EXPECT_EQ(sum, 45u);
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoop)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<unsigned> count{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        // Inner calls from pool threads must not deadlock; they run
+        // serially on the calling thread.
+        pool.parallelFor(8, [&](std::size_t) { count.fetch_add(1); });
+    });
+    EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<unsigned> count{0};
+        pool.parallelFor(round + 1,
+                         [&](std::size_t) { count.fetch_add(1); });
+        EXPECT_EQ(count.load(), static_cast<unsigned>(round + 1));
+    }
 }
 
 } // namespace

@@ -14,8 +14,10 @@
 #include <gtest/gtest.h>
 
 #include "arch/devices.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "isa/assembler.hh"
+#include "isa/predecode.hh"
 #include "sim/interp.hh"
 #include "sim/machine.hh"
 
@@ -330,6 +332,93 @@ TEST(Interpreter, HaltStopsExecution)
     EXPECT_EQ(ref.run(100), 1u);
     EXPECT_TRUE(ref.halted());
     EXPECT_FALSE(ref.step());
+}
+
+/**
+ * A corpus covering every (opcode, wctl) word class, including the
+ * undefined opcode space, crossed with operand patterns that put every
+ * value in every 4-bit field plus the wide-immediate corner patterns.
+ */
+std::vector<InstWord>
+predecodeCorpus()
+{
+    std::vector<std::uint32_t> lows;
+    for (unsigned nib = 0; nib < 4; ++nib)
+        for (std::uint32_t v = 0; v < 16; ++v)
+            lows.push_back(v << (4 * nib));
+    for (std::uint32_t extra : {0xffffu, 0x0fffu, 0x01ffu, 0x1234u,
+                                0x8765u, 0xf0f0u, 0x0f0fu, 0xaaaau})
+        lows.push_back(extra);
+
+    std::vector<InstWord> words;
+    words.reserve(64 * 4 * lows.size());
+    for (std::uint32_t op = 0; op < 64; ++op)
+        for (std::uint32_t wctl = 0; wctl < 4; ++wctl)
+            for (std::uint32_t low : lows)
+                words.push_back((op << 18) | (wctl << 16) | low);
+    return words;
+}
+
+TEST(Predecode, TableMatchesPerWordFunctionsForEveryWordClass)
+{
+    Program p;
+    p.code = predecodeCorpus();
+    PredecodeTable table;
+    table.load(p);
+    ASSERT_EQ(table.size(), p.code.size());
+
+    for (PAddr addr = 0; addr < p.code.size(); ++addr) {
+        InstWord word = p.code[addr];
+        const PredecodedInst &pd = table.at(addr);
+        ASSERT_EQ(pd.legal, isLegal(word)) << strprintf("word %06x", word);
+        ASSERT_TRUE(pd.inst == decode(word))
+            << strprintf("word %06x", word);
+        std::uint32_t reads = 0, writes = 0;
+        depMasks(decode(word), reads, writes);
+        ASSERT_EQ(pd.readsMask, reads) << strprintf("word %06x", word);
+        ASSERT_EQ(pd.writesMask, writes) << strprintf("word %06x", word);
+    }
+
+    // Beyond the image the table yields the predecoded NOP, mirroring
+    // ProgramMemory::fetch.
+    const PredecodedInst &past = table.at(
+        static_cast<PAddr>(p.code.size()) + 100);
+    EXPECT_TRUE(past.legal);
+    EXPECT_TRUE(past.inst == decode(0));
+}
+
+TEST(Predecode, DependencyMaskSemantics)
+{
+    // Window-register operands pick up the AWP pseudo-dependency;
+    // globals do not. Flag writers mark kDepFlags.
+    PredecodedInst add = predecode(encode(makeR3(Opcode::ADD, 3, 1, 2)));
+    ASSERT_TRUE(add.legal);
+    EXPECT_EQ(add.readsMask, (1u << 1) | (1u << 2) | kDepAwp);
+    EXPECT_EQ(add.writesMask, (1u << 3) | kDepFlags);
+
+    PredecodedInst gadd = predecode(
+        encode(makeR3(Opcode::ADD, reg::G0, reg::G1, reg::G2)));
+    EXPECT_EQ(gadd.readsMask, (1u << reg::G1) | (1u << reg::G2));
+    EXPECT_EQ(gadd.writesMask, (1u << reg::G0) | kDepFlags);
+
+    // The MUL high-half latch is a pseudo-resource ordered between
+    // MUL (producer) and MULH (consumer).
+    PredecodedInst mul = predecode(encode(makeR3(Opcode::MUL, 3, 1, 2)));
+    EXPECT_NE(mul.writesMask & kDepMulHigh, 0u);
+    Instruction mulh;
+    mulh.op = Opcode::MULH;
+    mulh.rd = 4;
+    EXPECT_NE(predecode(encode(mulh)).readsMask & kDepMulHigh, 0u);
+
+    // Window motion (explicit or via wctl) orders on the AWP.
+    PredecodedInst winc = predecode(encode(makeOp(Opcode::WINC)));
+    EXPECT_NE(winc.writesMask & kDepAwp, 0u);
+    PredecodedInst addw = predecode(
+        encode(makeR3(Opcode::ADD, reg::G0, reg::G1, reg::G2, WCtl::Inc)));
+    EXPECT_NE(addw.writesMask & kDepAwp, 0u);
+
+    // Undefined opcodes predecode as illegal.
+    EXPECT_FALSE(predecode(static_cast<InstWord>(60) << 18).legal);
 }
 
 TEST(Interpreter, IllegalInstructionSkipsAndCounts)

@@ -413,6 +413,58 @@ TEST(PaperShapes, StaticSchedulingUnderperformsDynamic)
     EXPECT_GT(dyn.pd.mean(), sta.pd.mean() + 0.05);
 }
 
+// ---- Parallel experiment harness ----
+
+/** All aggregate fields of two experiment results, compared bitwise. */
+void
+expectBitIdentical(const ExperimentResult &a, const ExperimentResult &b)
+{
+    auto same = [](const RunningStat &x, const RunningStat &y) {
+        EXPECT_EQ(x.count(), y.count());
+        EXPECT_EQ(x.mean(), y.mean());
+        EXPECT_EQ(x.variance(), y.variance());
+        EXPECT_EQ(x.stderror(), y.stderror());
+    };
+    same(a.pd, b.pd);
+    same(a.ps, b.ps);
+    same(a.delta, b.delta);
+    same(a.busyFraction, b.busyFraction);
+}
+
+TEST(ExperimentPool, ResultsIdenticalAcrossPoolSizes)
+{
+    // Replication seeds depend only on (base_seed, rep, stream) and
+    // per-replication samples merge in replication order, so the
+    // result must not depend on how many threads ran the job.
+    StochasticConfig cfg = quickConfig();
+    std::vector<SourceFactory> streams(4,
+                                       makeLoadFactory(standardLoad(1)));
+    ThreadPool p1(1), p2(2), p8(8);
+    ExperimentResult r1 = runExperiment(cfg, streams, 8, 1, &p1);
+    ExperimentResult r2 = runExperiment(cfg, streams, 8, 1, &p2);
+    ExperimentResult r8 = runExperiment(cfg, streams, 8, 1, &p8);
+    EXPECT_GT(r1.pd.mean(), 0.0);
+    expectBitIdentical(r1, r2);
+    expectBitIdentical(r1, r8);
+}
+
+TEST(ExperimentPool, PartitionedIdenticalAcrossPoolSizes)
+{
+    StochasticConfig cfg = quickConfig();
+    ThreadPool p1(1), p8(8);
+    expectBitIdentical(runPartitioned(cfg, standardLoad(2), 3, 6, 7, &p1),
+                       runPartitioned(cfg, standardLoad(2), 3, 6, 7, &p8));
+}
+
+TEST(ExperimentPool, BaseSeedChangesResults)
+{
+    StochasticConfig cfg = quickConfig();
+    ThreadPool p1(1);
+    auto a = runPartitioned(cfg, standardLoad(1), 2, 4, 1, &p1);
+    auto b = runPartitioned(cfg, standardLoad(1), 2, 4, 2, &p1);
+    EXPECT_NE(a.pd.mean(), b.pd.mean());
+}
+
 TEST(PaperShapes, DeeperPipesHurtSingleStreamMore)
 {
     // Section 4.2 varied pipeline length: jump flushes cost more in a

@@ -20,6 +20,7 @@
  * Exit status: 0 on success, 1 on assembly/usage errors.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -155,6 +156,7 @@ main(int argc, char **argv)
             m.startStream(s.stream, prog.symbol(s.label));
 
         Cycle ran;
+        auto wall_start = std::chrono::steady_clock::now();
         if (vcd_path) {
             VcdWriter vcd;
             for (ran = 0; ran < budget; ++ran) {
@@ -172,16 +174,24 @@ main(int argc, char **argv)
         } else {
             ran = m.run(budget, !free_run);
         }
+        double wall_sec = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              wall_start)
+                              .count();
 
         const MachineStats &st = m.stats();
+        // Simulated MIPS: retired instructions per wall-clock second.
+        double mips = wall_sec > 0 ? static_cast<double>(st.totalRetired) /
+                                         wall_sec / 1e6
+                                   : 0;
         std::printf("cycles=%llu idle=%s retired=%llu util=%.3f "
-                    "redirects=%llu bubbles=%llu\n",
+                    "redirects=%llu bubbles=%llu mips=%.2f\n",
                     static_cast<unsigned long long>(ran),
                     m.idle() ? "yes" : "no",
                     static_cast<unsigned long long>(st.totalRetired),
                     st.utilization(),
                     static_cast<unsigned long long>(st.redirects),
-                    static_cast<unsigned long long>(st.bubbles));
+                    static_cast<unsigned long long>(st.bubbles), mips);
         for (StreamId s = 0; s < kNumStreams; ++s) {
             if (st.retired[s] == 0)
                 continue;
