@@ -75,6 +75,15 @@ InterruptUnit::pendingVector(StreamId s) const
     if ((pending & ~1u) == 0)
         return std::nullopt; // only the background level is pending
     unsigned running = runningLevel(s);
+    if (defectLowPriority_) {
+        // Injected bug: scan upward, vectoring the lowest eligible
+        // level — exactly the priority inversion the oracle must flag.
+        for (unsigned lvl = 1; lvl < kNumIntLevels; ++lvl) {
+            if ((pending & (1u << lvl)) && lvl > running)
+                return lvl;
+        }
+        return std::nullopt;
+    }
     for (unsigned lvl = kNumIntLevels - 1; lvl >= 1; --lvl) {
         if (pending & (1u << lvl)) {
             if (lvl > running)

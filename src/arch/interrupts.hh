@@ -96,6 +96,19 @@ class InterruptUnit
     /** Reset all streams: IR = 0, MR = 0xff, running level 0. */
     void reset();
 
+    /**
+     * Fault injection for verification: vector the LOWEST eligible
+     * pending level instead of the highest, inverting the paper's
+     * bit-7-highest priority rule. Exists so the invariant checker's
+     * priority oracle can be demonstrated to catch a real bug class
+     * (disc_fuzz --defect low-priority-vector). Configuration, not
+     * architectural state: reset() and save()/restore() ignore it.
+     */
+    void setDefectLowPriorityVector(bool on) { defectLowPriority_ = on; }
+
+    /** True while the priority-inversion defect is injected. */
+    bool defectLowPriorityVector() const { return defectLowPriority_; }
+
     /** Serialize all per-stream interrupt state. */
     void save(Serializer &out) const;
 
@@ -111,6 +124,7 @@ class InterruptUnit
     };
 
     std::array<StreamState, kNumStreams> streams_;
+    bool defectLowPriority_ = false;
 
     const StreamState &state(StreamId s) const;
     StreamState &state(StreamId s);

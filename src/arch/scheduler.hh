@@ -72,6 +72,13 @@ class Scheduler
     /** Slot cursor position (for tracing). */
     unsigned cursor() const { return cursor_; }
 
+    /**
+     * Static owner of the slot the next pick() will consume — the
+     * stream entitled to the upcoming issue cycle before any dynamic
+     * reallocation (verification oracles audit pick() against this).
+     */
+    StreamId nextOwner() const { return slots_[cursor_]; }
+
     /** Restore the reset partition (even) and rewind the cursor. */
     void reset();
 

@@ -103,6 +103,9 @@ class StackWindow
     /** Region base (the paper's Bottom Of Stack register). */
     Addr bos() const { return base_; }
 
+    /** One past the last word of the region (the AWP must stay below). */
+    Addr limit() const { return limit_; }
+
     /** Reset AWP to the empty-stack position. */
     void reset();
 

@@ -9,6 +9,10 @@ Interp::Interp()
     : window_(imem_, kStackRegionBase, kStackRegionWords)
 {}
 
+Interp::Interp(Addr stack_base, Addr stack_words, StreamId self)
+    : window_(imem_, stack_base, stack_words), self_(self)
+{}
+
 void
 Interp::load(const Program &prog)
 {
@@ -301,7 +305,7 @@ Interp::step()
         break;
       }
       case Opcode::SWI:
-        if (inst.stream == 0)
+        if (inst.stream == self_)
             ir_ |= static_cast<Word>(1u << inst.bit);
         break;
       case Opcode::CLRI:

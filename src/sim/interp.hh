@@ -40,6 +40,15 @@ class Interp
   public:
     Interp();
 
+    /**
+     * Golden model for one particular stream of a multi-stream
+     * program: the window lives over [stack_base, stack_base +
+     * stack_words) and SWI recognises @p self as "this stream" (so a
+     * self-signalling stream still posts to its own IR). Everything
+     * else is the usual sequential model.
+     */
+    Interp(Addr stack_base, Addr stack_words, StreamId self);
+
     /** Load a program (code + data preloads) and reset. */
     void load(const Program &prog);
 
@@ -102,6 +111,7 @@ class Interp
     Word mulHigh_ = 0;
     Word ir_ = 0;
     Word mr_ = 0xff;
+    StreamId self_ = 0;
     bool halted_ = false;
     std::uint64_t overflows_ = 0;
     std::uint64_t illegal_ = 0;

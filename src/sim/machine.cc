@@ -6,6 +6,27 @@
 namespace disc
 {
 
+const char *
+pipeEventName(PipeEvent ev)
+{
+    switch (ev) {
+      case PipeEvent::Issue: return "issue";
+      case PipeEvent::Retire: return "retire";
+      case PipeEvent::SquashJump: return "squash-jump";
+      case PipeEvent::SquashWait: return "squash-wait";
+      case PipeEvent::SquashDeact: return "squash-deact";
+      case PipeEvent::BusBusy: return "bus-busy";
+      case PipeEvent::WaitStart: return "wait-start";
+      case PipeEvent::Wake: return "wake";
+      case PipeEvent::Vector: return "vector";
+      case PipeEvent::TrapOverflow: return "trap-overflow";
+      case PipeEvent::TrapIllegal: return "trap-illegal";
+      case PipeEvent::TrapBusFault: return "trap-bus-fault";
+      case PipeEvent::NumEvents: break;
+    }
+    return "?";
+}
+
 double
 MachineStats::utilization() const
 {
@@ -143,6 +164,14 @@ Machine::raiseInternal(StreamId s, unsigned bit)
         c.lastRaise[bit] = stats_.cycles;
         c.latencyArmed[bit] = true;
     }
+    if (observer_) {
+        if (bit == kStackOverflowBit)
+            observer_->onEvent(s, Opcode::NOP, PipeEvent::TrapOverflow);
+        else if (bit == kIllegalInstBit)
+            observer_->onEvent(s, Opcode::NOP, PipeEvent::TrapIllegal);
+        else if (bit == kBusFaultBit)
+            observer_->onEvent(s, Opcode::NOP, PipeEvent::TrapBusFault);
+    }
 }
 
 PAddr
@@ -273,6 +302,12 @@ void
 Machine::takeVector(StreamId s, unsigned level)
 {
     StreamCtx &c = ctx(s);
+    if (observer_) {
+        // Before enterService so the observer can audit the pre-entry
+        // pending/mask/running-level state against the chosen level.
+        observer_->onVector(s, level);
+        observer_->onEvent(s, Opcode::NOP, PipeEvent::Vector);
+    }
     if (win(s).inc()) {
         ++stats_.stackOverflows;
         raiseInternal(s, kStackOverflowBit);
@@ -291,6 +326,7 @@ void
 Machine::issue()
 {
     unsigned ready = readyMask();
+    StreamId slot_owner = observer_ ? sched_.nextOwner() : kNoStream;
     StreamId s = sched_.pick(ready);
     if (s == kNoStream) {
         ++stats_.bubbles;
@@ -302,6 +338,11 @@ Machine::issue()
         takeVector(s, *vec);
 
     const PredecodedInst &pd = pdec_.at(c.pc);
+    if (observer_) {
+        observer_->onIssue(s, slot_owner, ready, c.pc, pd.inst);
+        if (pd.legal)
+            observer_->onEvent(s, pd.inst.op, PipeEvent::Issue);
+    }
     if (!pd.legal) {
         ++stats_.illegalInstructions;
         raiseInternal(s, kIllegalInstBit);
@@ -325,7 +366,7 @@ Machine::issue()
 
 void
 Machine::squashYounger(StreamId s, unsigned ex_stage,
-                       std::uint64_t *counter)
+                       std::uint64_t *counter, PipeEvent ev)
 {
     for (unsigned i = 0; i < ex_stage; ++i) {
         Slot &slot = pipe_[i];
@@ -333,6 +374,8 @@ Machine::squashYounger(StreamId s, unsigned ex_stage,
             slot.squashed = true;
             if (counter)
                 ++(*counter);
+            if (observer_)
+                observer_->onEvent(s, slot.inst.op, ev);
         }
     }
 }
@@ -343,7 +386,8 @@ Machine::redirect(StreamId s, PAddr target, unsigned ex_stage)
     ctx(s).pc = target;
     ++stats_.redirects;
     if (cfg_.branchDelaySlots == 0) {
-        squashYounger(s, ex_stage, &stats_.squashedJump);
+        squashYounger(s, ex_stage, &stats_.squashedJump,
+                      PipeEvent::SquashJump);
         return;
     }
     // Delayed branching: spare the first N younger same-stream
@@ -360,6 +404,8 @@ Machine::redirect(StreamId s, PAddr target, unsigned ex_stage)
         }
         slot.squashed = true;
         ++stats_.squashedJump;
+        if (observer_)
+            observer_->onEvent(s, slot.inst.op, PipeEvent::SquashJump);
     }
 }
 
@@ -406,6 +452,8 @@ Machine::externalAccess(Slot &slot, unsigned stage)
         ++stats_.retired[s];
         ++stats_.totalRetired;
         applyWctl(slot);
+        if (observer_)
+            observer_->onEvent(s, slot.inst.op, PipeEvent::Retire);
         return;
     }
 
@@ -415,7 +463,10 @@ Machine::externalAccess(Slot &slot, unsigned stage)
         ++stats_.busBusyRejections;
         slot.squashed = true;
         ++stats_.squashedWait;
-        squashYounger(s, stage, &stats_.squashedWait);
+        if (observer_)
+            observer_->onEvent(s, slot.inst.op, PipeEvent::BusBusy);
+        squashYounger(s, stage, &stats_.squashedWait,
+                      PipeEvent::SquashWait);
         c.wait = WaitState::BusFree;
         c.pc = slot.pc; // re-execute the access instruction
         return;
@@ -434,6 +485,8 @@ Machine::externalAccess(Slot &slot, unsigned stage)
         ++stats_.retired[s];
         ++stats_.totalRetired;
         applyWctl(slot);
+        if (observer_)
+            observer_->onEvent(s, slot.inst.op, PipeEvent::Retire);
         return;
     }
 
@@ -447,7 +500,10 @@ Machine::externalAccess(Slot &slot, unsigned stage)
     }
 
     // DISC: flush younger same-stream work and park the stream.
-    squashYounger(s, stage, &stats_.squashedWait);
+    if (observer_)
+        observer_->onEvent(s, slot.inst.op, PipeEvent::WaitStart);
+    squashYounger(s, stage, &stats_.squashedWait,
+                  PipeEvent::SquashWait);
     c.wait = WaitState::Access;
     c.pc = static_cast<PAddr>(slot.pc + 1);
     c.pendingWctl = slot.inst.wctl;
@@ -476,6 +532,10 @@ Machine::completeAccess(const AsyncBusInterface::Completion &comp)
         }
         c.pendingWctl = WCtl::None;
     }
+    if (observer_) {
+        observer_->onEvent(s, comp.isWrite ? Opcode::ST : Opcode::LD,
+                           PipeEvent::Retire);
+    }
     haltedUntilBusDone_ = 0;
     wakeWaiters();
 }
@@ -484,8 +544,11 @@ void
 Machine::wakeWaiters()
 {
     for (StreamId s = 0; s < kNumStreams; ++s) {
-        if (streams_[s].wait != WaitState::Ready)
+        if (streams_[s].wait != WaitState::Ready) {
             streams_[s].wait = WaitState::Ready;
+            if (observer_)
+                observer_->onEvent(s, Opcode::NOP, PipeEvent::Wake);
+        }
     }
 }
 
@@ -720,14 +783,16 @@ Machine::execute(Slot &slot)
             // Deactivation: drop the younger fetches and park the PC
             // right after this instruction so a later activation
             // resumes exactly where the stream stopped.
-            squashYounger(s, ex_stage, &stats_.squashedDeact);
+            squashYounger(s, ex_stage, &stats_.squashedDeact,
+                          PipeEvent::SquashDeact);
             c.pc = static_cast<PAddr>(slot.pc + 1);
         }
         break;
       case Opcode::HALT:
         intUnit_.clear(s, 0);
         if (!intUnit_.isActive(s)) {
-            squashYounger(s, ex_stage, &stats_.squashedDeact);
+            squashYounger(s, ex_stage, &stats_.squashedDeact,
+                          PipeEvent::SquashDeact);
             c.pc = static_cast<PAddr>(slot.pc + 1);
         }
         break;
@@ -739,7 +804,8 @@ Machine::execute(Slot &slot)
                           : readReg(s, inst.ra);
         // Restart semantics: discard whatever the target had in
         // flight and point it at the new entry.
-        squashYounger(t, cfg_.pipeDepth, &stats_.squashedDeact);
+        squashYounger(t, cfg_.pipeDepth, &stats_.squashedDeact,
+                      PipeEvent::SquashDeact);
         ctx(t).pc = entry;
         intUnit_.raise(t, 0);
         break;
@@ -774,6 +840,8 @@ Machine::execute(Slot &slot)
     ++stats_.totalRetired;
     if (oi.isJumpType)
         ++stats_.jumpTypeRetired;
+    if (observer_)
+        observer_->onEvent(s, inst.op, PipeEvent::Retire);
 }
 
 void
@@ -839,6 +907,8 @@ Machine::step()
         if (was_engaged || engaged())
             ++stats_.busyCycles;
         recordTrace();
+        if (observer_)
+            observer_->onCycleEnd();
         return;
     }
 
@@ -858,6 +928,8 @@ Machine::step()
     if (was_engaged || engaged())
         ++stats_.busyCycles;
     recordTrace();
+    if (observer_)
+        observer_->onCycleEnd();
 }
 
 bool

@@ -52,6 +52,7 @@
 #include "isa/instruction.hh"
 #include "isa/predecode.hh"
 #include "isa/program.hh"
+#include "sim/observer.hh"
 #include "sim/trace.hh"
 
 namespace disc
@@ -181,6 +182,7 @@ class Machine
 
     /** Stream scheduler. */
     Scheduler &scheduler() { return sched_; }
+    const Scheduler &scheduler() const { return sched_; }
 
     /** External bus (for decode tests). */
     Bus &bus() { return bus_; }
@@ -196,6 +198,13 @@ class Machine
 
     /** Attach a pipeline trace recorder (nullptr to detach). */
     void setTrace(PipeTrace *trace) { trace_ = trace; }
+
+    /**
+     * Attach a micro-architectural observer (nullptr to detach).
+     * Every hook site is guarded by a null check, so a detached
+     * machine pays one predictable branch per event at most.
+     */
+    void setObserver(MachineObserver *obs) { observer_ = obs; }
 
     /**
      * Attach an instruction-level execution trace (nullptr to
@@ -277,6 +286,7 @@ class Machine
     Histogram latency_;
     PipeTrace *trace_ = nullptr;
     ExecTrace *execTrace_ = nullptr;
+    MachineObserver *observer_ = nullptr;
     std::vector<PipeTrace::StageEntry> traceScratch_;
     char nextTag_ = 'a';
     Cycle haltedUntilBusDone_ = 0; ///< baseline mode flag (bool-ish)
@@ -298,7 +308,7 @@ class Machine
     void applyWctl(Slot &slot);
     void redirect(StreamId s, PAddr target, unsigned ex_stage);
     void squashYounger(StreamId s, unsigned ex_stage,
-                       std::uint64_t *counter);
+                       std::uint64_t *counter, PipeEvent ev);
     void setAluFlags(StreamId s, Word result, bool carry, bool overflow);
     Word aluOp(Slot &slot, bool &is_redirect, PAddr &target);
     void externalAccess(Slot &slot, unsigned stage);

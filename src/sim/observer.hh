@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-cycle observation interface for the cycle-accurate machine.
+ *
+ * The machine optionally reports its micro-architectural events —
+ * issue decisions with their scheduling context, vector entries,
+ * squashes, wait-state transitions, traps and retirements — to an
+ * attached MachineObserver. The hooks exist so a correctness oracle
+ * (src/verify/invariants.hh) and a fuzzing coverage map
+ * (src/verify/coverage.hh) can watch the machine without the machine
+ * depending on them; when no observer is attached every hook site is
+ * a single predictable branch on a null pointer (zero overhead).
+ */
+
+#ifndef DISC_SIM_OBSERVER_HH
+#define DISC_SIM_OBSERVER_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace disc
+{
+
+/** Micro-architectural event classes reported to an observer. */
+enum class PipeEvent : std::uint8_t
+{
+    Issue,        ///< instruction entered the pipe
+    Retire,       ///< instruction completed architecturally
+    SquashJump,   ///< flushed by a control redirect
+    SquashWait,   ///< flushed by an external-access wait
+    SquashDeact,  ///< flushed by HALT/CLRI deactivation or FORK restart
+    BusBusy,      ///< external access rejected, stream waits for the bus
+    WaitStart,    ///< access started with latency, stream parks
+    Wake,         ///< stream re-activated by an access completion
+    Vector,       ///< interrupt vector entry
+    TrapOverflow, ///< stack window bound violation
+    TrapIllegal,  ///< illegal instruction
+    TrapBusFault, ///< external access decoded to no device
+
+    NumEvents
+};
+
+/** Number of pipe-event classes (coverage-map dimensioning). */
+constexpr unsigned kNumPipeEvents =
+    static_cast<unsigned>(PipeEvent::NumEvents);
+
+/** Printable name of a pipe event. */
+const char *pipeEventName(PipeEvent ev);
+
+/**
+ * Passive observer of machine events. All hooks default to no-ops so
+ * implementations override only what they need. The machine calls the
+ * hooks synchronously from step(); observers must not mutate the
+ * machine.
+ */
+class MachineObserver
+{
+  public:
+    virtual ~MachineObserver() = default;
+
+    /**
+     * An instruction was issued (including ones that will trap as
+     * illegal at issue).
+     * @param s          the issuing stream.
+     * @param slot_owner static owner of the scheduler slot consumed.
+     * @param ready_mask the ready mask the scheduler picked from.
+     * @param pc         fetch address of the instruction.
+     * @param inst       predecoded instruction at @p pc.
+     */
+    virtual void onIssue(StreamId s, StreamId slot_owner,
+                         unsigned ready_mask, PAddr pc,
+                         const Instruction &inst)
+    {
+        (void)s; (void)slot_owner; (void)ready_mask; (void)pc;
+        (void)inst;
+    }
+
+    /**
+     * Stream @p s is about to enter the vector for @p level. Called
+     * before the in-service stack is pushed, so the observer sees the
+     * pre-entry IR/MR/running-level state.
+     */
+    virtual void onVector(StreamId s, unsigned level)
+    {
+        (void)s; (void)level;
+    }
+
+    /** A classified event happened to @p op of stream @p s. */
+    virtual void onEvent(StreamId s, Opcode op, PipeEvent ev)
+    {
+        (void)s; (void)op; (void)ev;
+    }
+
+    /** End of one machine cycle (state is consistent for checking). */
+    virtual void onCycleEnd() {}
+};
+
+} // namespace disc
+
+#endif // DISC_SIM_OBSERVER_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Behavioural coverage map for the coverage-guided fuzzer.
+ *
+ * A coverage point is the triple (opcode, pipeline event, number of
+ * active streams at the time): "an ST was squashed by a bus wait while
+ * three streams were live" is a different point from the same squash
+ * with one stream live. The fuzzer keeps a generated program in its
+ * corpus exactly when running it lights up at least one point no
+ * earlier input has reached, which steers the random search toward
+ * the interleaving-dependent corners the DISC paper's claims live in.
+ */
+
+#ifndef DISC_VERIFY_COVERAGE_HH
+#define DISC_VERIFY_COVERAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+#include "sim/observer.hh"
+
+namespace disc
+{
+
+/** Dense hit-count map over (opcode × pipe event × active streams). */
+class CoverageMap
+{
+  public:
+    CoverageMap();
+
+    /** Record one event with @p active streams live (0..kNumStreams). */
+    void record(Opcode op, PipeEvent ev, unsigned active);
+
+    /** Number of distinct points hit at least once. */
+    std::size_t pointsHit() const;
+
+    /** Total number of representable points. */
+    std::size_t pointsTotal() const { return hits_.size(); }
+
+    /** Points hit in @p other that this map has never seen. */
+    std::size_t countNew(const CoverageMap &other) const;
+
+    /** Fold @p other's hits into this map. */
+    void merge(const CoverageMap &other);
+
+    /** Clear all hit counts. */
+    void clear();
+
+  private:
+    // Indexed [op][event][active]; one 32-bit saturating counter each.
+    std::vector<std::uint32_t> hits_;
+
+    static std::size_t index(Opcode op, PipeEvent ev, unsigned active);
+};
+
+} // namespace disc
+
+#endif // DISC_VERIFY_COVERAGE_HH

@@ -1,0 +1,158 @@
+#include "verify/differential.hh"
+
+#include "common/logging.hh"
+#include "sim/interp.hh"
+
+namespace disc
+{
+
+MachineRig::MachineRig(const MultiStreamProgram &msp) : msp_(msp)
+{
+    if (msp_.opts.useDevices) {
+        for (StreamId s = 0; s < msp_.streams; ++s) {
+            devices_[s] = std::make_unique<ExternalMemoryDevice>(
+                kFuzzDeviceWords, fuzzDeviceLatency(msp_.opts, s));
+            machine_.attachDevice(
+                static_cast<Addr>(kFuzzDeviceBase +
+                                  s * kFuzzDeviceStride),
+                kFuzzDeviceWords, devices_[s].get());
+        }
+    }
+    machine_.load(msp_.program);
+}
+
+ExternalMemoryDevice *
+MachineRig::device(StreamId s)
+{
+    return s < kNumStreams ? devices_[s].get() : nullptr;
+}
+
+void
+MachineRig::start()
+{
+    machine_.startStream(0, msp_.entry[0]);
+}
+
+Cycle
+MachineRig::cycleBudget() const
+{
+    // Worst case per body op is a handful of cycles even under full
+    // bus contention and burst nesting; the constant covers spawn and
+    // drain tails with a wide margin.
+    return 20000 + static_cast<Cycle>(msp_.opts.length) *
+                       msp_.streams * 600;
+}
+
+std::vector<std::string>
+compareWithReference(MachineRig &rig)
+{
+    const MultiStreamProgram &msp = rig.workload();
+    Machine &m = rig.machine();
+    std::vector<std::string> diffs;
+
+    for (StreamId s = 0; s < msp.streams; ++s) {
+        Interp ref(stackBaseFor(s), kStackRegionWords, s);
+        ExternalMemoryDevice ref_dev(kFuzzDeviceWords, 0);
+        if (msp.opts.useDevices) {
+            ref.attachDevice(static_cast<Addr>(kFuzzDeviceBase +
+                                               s * kFuzzDeviceStride),
+                             kFuzzDeviceWords, &ref_dev);
+        }
+        ref.load(msp.program);
+        ref.setPc(msp.entry[s]);
+        ref.run(1000000);
+        if (!ref.halted()) {
+            diffs.push_back(strprintf(
+                "stream %u: sequential reference did not halt "
+                "(pc stuck near %u)",
+                s, ref.pc()));
+            continue;
+        }
+
+        for (unsigned r = 0; r < kNumWindowRegs; ++r) {
+            Word mv = m.readReg(s, r);
+            Word iv = ref.readReg(r);
+            if (mv != iv) {
+                diffs.push_back(strprintf(
+                    "stream %u: r%u is 0x%04x, reference says 0x%04x",
+                    s, r, mv, iv));
+            }
+        }
+
+        Word mflags = m.readReg(s, reg::SR) & 0xf;
+        Word iflags = ref.readReg(reg::SR) & 0xf;
+        if (mflags != iflags) {
+            diffs.push_back(strprintf(
+                "stream %u: flags are 0x%x, reference says 0x%x", s,
+                mflags, iflags));
+        }
+
+        // A vector-spawned stream carries the spawn vector's frame
+        // push, so its window sits exactly one word above the model's.
+        Addr expect_awp = static_cast<Addr>(ref.window().awp() +
+                                            (msp.vectored[s] ? 1 : 0));
+        if (m.window(s).awp() != expect_awp) {
+            diffs.push_back(strprintf(
+                "stream %u: AWP is %u, reference says %u", s,
+                m.window(s).awp(), expect_awp));
+        }
+
+        Addr scratch = static_cast<Addr>(s * kFuzzScratchWords);
+        for (Addr a = scratch; a < scratch + kFuzzScratchWords; ++a) {
+            Word mv = m.internalMemory().read(a);
+            Word iv = ref.internalMemory().read(a);
+            if (mv != iv) {
+                diffs.push_back(strprintf(
+                    "stream %u: imem[0x%03x] is 0x%04x, reference "
+                    "says 0x%04x",
+                    s, a, mv, iv));
+            }
+        }
+
+        if (ExternalMemoryDevice *dev = rig.device(s)) {
+            for (Addr w = 0; w < kFuzzDeviceWords; ++w) {
+                Word mv = dev->peek(w);
+                Word iv = ref_dev.peek(w);
+                if (mv != iv) {
+                    diffs.push_back(strprintf(
+                        "stream %u: device[0x%02x] is 0x%04x, "
+                        "reference says 0x%04x",
+                        s, w, mv, iv));
+                }
+            }
+        }
+    }
+    return diffs;
+}
+
+std::string
+DiffOutcome::summary() const
+{
+    if (ok())
+        return "";
+    std::string out;
+    if (!machineIdle)
+        out += "machine did not reach quiescence in budget\n";
+    for (const std::string &d : divergences)
+        out += d + "\n";
+    return out;
+}
+
+DiffOutcome
+runDifferential(const MultiStreamProgram &msp, MachineObserver *observer,
+                Cycle max_cycles)
+{
+    MachineRig rig(msp);
+    if (observer)
+        rig.machine().setObserver(observer);
+    rig.start();
+    rig.machine().run(max_cycles ? max_cycles : rig.cycleBudget());
+
+    DiffOutcome out;
+    out.machineIdle = rig.machine().idle();
+    out.divergences = compareWithReference(rig);
+    rig.machine().setObserver(nullptr);
+    return out;
+}
+
+} // namespace disc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Multi-stream differential engine: pipelined Machine vs per-stream
+ * sequential Interp references.
+ *
+ * The generator (verify/generator.hh) emits workloads whose per-stream
+ * final state is interleaving-independent, so each stream of the
+ * four-stream pipelined run can be checked against its own
+ * single-stream golden model. The comparison covers the window
+ * registers, the user flags, the window position, the stream's
+ * internal scratch region, and its private external device — i.e.
+ * every architected effect the stream's own code can have.
+ */
+
+#ifndef DISC_VERIFY_DIFFERENTIAL_HH
+#define DISC_VERIFY_DIFFERENTIAL_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/devices.hh"
+#include "sim/machine.hh"
+#include "verify/generator.hh"
+
+namespace disc
+{
+
+/**
+ * A Machine loaded with a generated workload plus the per-stream
+ * devices it needs, with lifetimes managed together. The rig does not
+ * start the workload — call start() (or drive the machine by hand, as
+ * the checkpoint tests do).
+ */
+class MachineRig
+{
+  public:
+    explicit MachineRig(const MultiStreamProgram &msp);
+
+    Machine &machine() { return machine_; }
+    const MultiStreamProgram &workload() const { return msp_; }
+
+    /** Stream @p s's private device (nullptr when devices are off). */
+    ExternalMemoryDevice *device(StreamId s);
+
+    /** Kick off stream 0 (which spawns the others from code). */
+    void start();
+
+    /** A cycle budget that any healthy run finishes well inside. */
+    Cycle cycleBudget() const;
+
+  private:
+    MultiStreamProgram msp_;
+    Machine machine_;
+    std::array<std::unique_ptr<ExternalMemoryDevice>, kNumStreams>
+        devices_;
+};
+
+/**
+ * Run each stream's sequential reference and compare it against the
+ * machine state in @p rig (which must have finished running the
+ * workload). Returns one message per mismatch; empty means the
+ * differential passed.
+ */
+std::vector<std::string> compareWithReference(MachineRig &rig);
+
+/** Outcome of a full differential run. */
+struct DiffOutcome
+{
+    /** Machine reached quiescence inside the cycle budget. */
+    bool machineIdle = false;
+
+    /** Mismatch/termination problems; empty when the run verified. */
+    std::vector<std::string> divergences;
+
+    bool ok() const { return machineIdle && divergences.empty(); }
+
+    /** One-line-per-problem summary ("" when ok). */
+    std::string summary() const;
+};
+
+/**
+ * Generate-free driver: build a rig for @p msp, run the machine to
+ * idle (optionally observed by @p observer, e.g. an InvariantChecker)
+ * and compare every stream against its reference.
+ */
+DiffOutcome runDifferential(const MultiStreamProgram &msp,
+                            MachineObserver *observer = nullptr,
+                            Cycle max_cycles = 0);
+
+} // namespace disc
+
+#endif // DISC_VERIFY_DIFFERENTIAL_HH

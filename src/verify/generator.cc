@@ -1,0 +1,376 @@
+#include "verify/generator.hh"
+
+#include <algorithm>
+
+#include "arch/interrupts.hh"
+#include "arch/stack_window.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/instruction.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+/** Growable program image with emit/patch primitives. */
+class Emitter
+{
+  public:
+    Emitter() : code_(kVectorTableEnd, encode(makeOp(Opcode::NOP))) {}
+
+    PAddr here() const { return static_cast<PAddr>(code_.size()); }
+
+    PAddr emit(const Instruction &inst)
+    {
+        code_.push_back(encode(inst));
+        return static_cast<PAddr>(code_.size() - 1);
+    }
+
+    void patch(PAddr addr, const Instruction &inst)
+    {
+        code_[addr] = encode(inst);
+    }
+
+    std::vector<InstWord> take() { return std::move(code_); }
+
+  private:
+    std::vector<InstWord> code_;
+};
+
+/** Per-stream body generation state. */
+struct BodyGen
+{
+    Emitter &em;
+    Rng &rng;
+    StreamId s;
+    const GenOptions &opts;
+    unsigned depth = 0; ///< net upward window motion from the entry
+
+    /**
+     * Depths (net AWP motion from the body entry) holding a live CALL
+     * return address. Window frames overlap, so a write to register k
+     * at depth d lands on the cell at depth d-k — possibly an
+     * *ancestor* callee's return slot. Destinations must avoid every
+     * live slot, or RET sends both models into the NOP wilderness
+     * beyond the image.
+     */
+    std::vector<unsigned> retDepths = {};
+
+    // Keep well clear of the 120-word region headroom: vector frames
+    // (spawn + three nested burst levels) and clamping margins ride on
+    // top of whatever the body allocates.
+    static constexpr unsigned kMaxDepth = 40;
+
+    unsigned scratchReg() { return static_cast<unsigned>(rng.below(6)); }
+
+    bool aliasesRetAddr(unsigned r) const
+    {
+        for (unsigned a : retDepths)
+            if (depth >= a && depth - a == r)
+                return true;
+        return false;
+    }
+
+    /** A random register safe to *write* (reads may use any). */
+    unsigned destReg()
+    {
+        unsigned r;
+        do {
+            r = static_cast<unsigned>(rng.below(6));
+        } while (aliasesRetAddr(r));
+        return r;
+    }
+
+    void emitRandomAlu()
+    {
+        switch (rng.below(5)) {
+          case 0: {
+            static const Opcode ops[] = {
+                Opcode::ADD, Opcode::ADC, Opcode::SUB, Opcode::SBC,
+                Opcode::AND, Opcode::OR,  Opcode::XOR, Opcode::SHL,
+                Opcode::SHR, Opcode::ASR, Opcode::MUL};
+            em.emit(makeR3(ops[rng.below(11)], destReg(),
+                           scratchReg(), scratchReg()));
+            break;
+          }
+          case 1: {
+            static const Opcode ops[] = {Opcode::ADDI, Opcode::SUBI,
+                                         Opcode::ANDI, Opcode::ORI,
+                                         Opcode::XORI, Opcode::CMPI};
+            em.emit(makeRI(ops[rng.below(6)], destReg(),
+                           scratchReg(),
+                           static_cast<int>(rng.below(128))));
+            break;
+          }
+          case 2: {
+            static const Opcode ops[] = {Opcode::MOV, Opcode::NOT,
+                                         Opcode::NEG};
+            em.emit(makeR2(ops[rng.below(3)], destReg(),
+                           scratchReg()));
+            break;
+          }
+          case 3:
+            em.emit(makeLdi(destReg(),
+                            static_cast<int>(rng.below(4096)) - 2048));
+            break;
+          default: {
+            Instruction i;
+            i.op = rng.chance(0.5) ? Opcode::CMP : Opcode::TST;
+            i.ra = scratchReg();
+            i.rb = scratchReg();
+            em.emit(i);
+            break;
+          }
+        }
+    }
+
+    /** LDM/STM/LDMD/STMD confined to this stream's scratch region. */
+    void emitInternalMem()
+    {
+        Addr base = static_cast<Addr>(s * kFuzzScratchWords);
+        int off = static_cast<int>(rng.below(kFuzzScratchWords));
+        if (rng.chance(0.5)) {
+            Instruction i;
+            i.op = rng.chance(0.5) ? Opcode::LDMD : Opcode::STMD;
+            i.rd = destReg();
+            i.imm = static_cast<int>(base) + off;
+            em.emit(i);
+        } else {
+            em.emit(makeLdi(6, static_cast<int>(base)));
+            Opcode op = rng.chance(0.5) ? Opcode::LDM : Opcode::STM;
+            em.emit(makeRI(op, destReg(), 6, off));
+        }
+    }
+
+    /** External LD/ST to this stream's private device via the ABI. */
+    void emitExternalMem()
+    {
+        // r7 = kFuzzDeviceBase + s * kFuzzDeviceStride (both multiples
+        // of 0x100, so LDI 0 + LDIH of the high byte composes it).
+        em.emit(makeLdi(7, 0));
+        em.emit(makeLdih(
+            7, static_cast<unsigned>(
+                   (kFuzzDeviceBase + s * kFuzzDeviceStride) >> 8)));
+        Opcode op = rng.chance(0.5) ? Opcode::LD : Opcode::ST;
+        em.emit(makeRI(op, destReg(), 7,
+                       static_cast<int>(rng.below(kFuzzDeviceWords))));
+    }
+
+    /**
+     * Raise 2-3 of this stream's own interrupt bits back to back so
+     * several levels are pending at once when the vector decision is
+     * made — the scenario where priority ordering matters. Bits 2..4
+     * only: they sit above both spawn levels (0 and 1) and below the
+     * trap levels.
+     */
+    void emitBurst()
+    {
+        unsigned mask = 0;
+        unsigned count = 2 + static_cast<unsigned>(rng.below(2));
+        while (__builtin_popcount(mask) <
+               static_cast<int>(count))
+            mask |= 1u << (2 + rng.below(3));
+        for (unsigned bit = 2; bit <= 4; ++bit) {
+            if (mask & (1u << bit))
+                em.emit(makeSwi(s, bit));
+        }
+    }
+
+    /** CMPI; Bcc +2; one ALU op the branch may or may not skip. */
+    void emitBranchSkip()
+    {
+        em.emit(makeRI(Opcode::CMPI, scratchReg(), scratchReg(),
+                       static_cast<int>(rng.below(64))));
+        em.emit(makeBranch(static_cast<Cond>(rng.below(8)), 2));
+        emitRandomAlu();
+    }
+
+    /** WINC immediately defined: the fresh R0 is written before use. */
+    void emitWinc()
+    {
+        if (depth + 1 >= kMaxDepth)
+            return;
+        ++depth;
+        em.emit(makeOp(Opcode::WINC));
+        em.emit(makeLdi(0, static_cast<int>(rng.below(256))));
+    }
+
+    void emitWdec()
+    {
+        if (depth == 0)
+            return;
+        --depth;
+        em.emit(makeOp(Opcode::WDEC));
+    }
+
+    /**
+     * A balanced call/return nest:
+     *
+     *   A:   call A+2
+     *   A+1: jmp after        ; the return lands here
+     *   A+2: ...callee: ALU ops and WINC allocations...
+     *        ret n            ; unwind the n locals
+     *   after:
+     */
+    void emitCallNest(unsigned nest)
+    {
+        if (depth + 4 >= kMaxDepth)
+            return;
+        ++depth; // the CALL frame push
+        PAddr call_at = em.emit(makeJump(Opcode::CALL, 0));
+        PAddr jmp_at = em.emit(makeJump(Opcode::JMP, 0));
+        em.patch(call_at,
+                 makeJump(Opcode::CALL,
+                          static_cast<PAddr>(jmp_at + 1)));
+
+        retDepths.push_back(depth); // the pushed return address lives
+                                    // at the post-CALL depth
+        unsigned locals = 0;
+        unsigned ops = 2 + static_cast<unsigned>(rng.below(5));
+        for (unsigned i = 0; i < ops; ++i) {
+            unsigned kind = static_cast<unsigned>(rng.below(8));
+            if (kind == 0 && locals < 2 && depth + 1 < kMaxDepth) {
+                ++locals;
+                ++depth;
+                em.emit(makeOp(Opcode::WINC));
+                em.emit(makeLdi(0, static_cast<int>(rng.below(256))));
+            } else if (kind == 1 && nest > 0) {
+                emitCallNest(nest - 1);
+            } else {
+                emitRandomAlu();
+            }
+        }
+        em.emit(makeRet(locals));
+        depth -= locals + 1;
+        retDepths.pop_back();
+        em.patch(jmp_at, makeJump(Opcode::JMP, em.here()));
+    }
+
+    /** Emit a whole stream body (prologue, random ops, epilogue). */
+    void emitBody(bool is_vectored)
+    {
+        // Deterministic starting registers: every scratch register is
+        // written before the random ops can read it.
+        for (unsigned r = 0; r < 6; ++r)
+            em.emit(makeLdi(r, static_cast<int>(rng.below(4096)) -
+                                   2048));
+
+        for (unsigned i = 0; i < opts.length; ++i) {
+            switch (rng.below(10)) {
+              case 0:
+                emitInternalMem();
+                break;
+              case 1:
+                if (opts.useDevices)
+                    emitExternalMem();
+                else
+                    emitInternalMem();
+                break;
+              case 2:
+                if (opts.useInterrupts)
+                    emitBurst();
+                else
+                    emitRandomAlu();
+                break;
+              case 3:
+                emitBranchSkip();
+                break;
+              case 4:
+                emitCallNest(1);
+                break;
+              case 5:
+                emitWinc();
+                break;
+              case 6:
+                emitWdec();
+                break;
+              default:
+                emitRandomAlu();
+                break;
+            }
+        }
+
+        if (opts.useInterrupts) {
+            // Guarantee at least one multi-level burst per stream so
+            // every seed can expose a priority-ordering bug.
+            emitBurst();
+            // Drain pad: the epilogue must not already be in flight
+            // when the burst's bits post, or the last handler's CLRI
+            // becomes the deactivation point and its vector frame is
+            // never popped (a one-word window skew the golden model
+            // cannot predict).
+            for (unsigned i = 0; i < kDisc1PipeDepth; ++i)
+                em.emit(makeOp(Opcode::NOP));
+        }
+
+        if (is_vectored) {
+            // Clearing the spawn bit deactivates the stream on the
+            // machine; the sequential model falls through to HALT.
+            em.emit(makeClri(1));
+        }
+        em.emit(makeOp(Opcode::HALT));
+    }
+};
+
+} // namespace
+
+MultiStreamProgram
+generateMultiStream(std::uint64_t seed, const GenOptions &opts_in)
+{
+    MultiStreamProgram out;
+    out.opts = opts_in;
+    out.opts.streams = std::clamp(opts_in.streams, 1u, kNumStreams);
+    // Bound the image so FORK's 12-bit entry field always reaches.
+    out.opts.length = std::clamp(opts_in.length, 1u, 220u);
+    out.seed = seed;
+    out.streams = out.opts.streams;
+
+    Rng rng(seed ^ 0xd15cf0cc5eedULL);
+    Emitter em;
+
+    // Streams 1..N-1 first, so stream 0 knows every entry address.
+    for (StreamId s = 1; s < out.streams; ++s) {
+        out.vectored[s] = out.opts.useInterrupts && rng.chance(0.6);
+        out.entry[s] = em.here();
+        BodyGen{em, rng, s, out.opts}.emitBody(out.vectored[s]);
+    }
+
+    out.entry[0] = em.here();
+    for (StreamId s = 1; s < out.streams; ++s) {
+        if (out.vectored[s])
+            em.emit(makeSwi(s, 1));
+        else
+            em.emit(makeFork(s, out.entry[s]));
+    }
+    BodyGen{em, rng, 0, out.opts}.emitBody(false);
+
+    if (out.opts.useInterrupts) {
+        // One shared handler per burst level; CLRI acts on the
+        // executing stream, so all streams can vector to the same one.
+        for (unsigned bit = 2; bit <= 4; ++bit) {
+            PAddr handler = em.emit(makeClri(bit));
+            em.emit(makeOp(Opcode::RETI));
+            for (StreamId s = 0; s < out.streams; ++s) {
+                em.patch(vectorAddress(s, bit),
+                         makeJump(Opcode::JMP, handler));
+            }
+        }
+        for (StreamId s = 1; s < out.streams; ++s) {
+            if (out.vectored[s]) {
+                em.patch(vectorAddress(s, 1),
+                         makeJump(Opcode::JMP, out.entry[s]));
+            }
+        }
+    }
+
+    out.program.code = em.take();
+    for (StreamId s = 0; s < out.streams; ++s) {
+        out.program.symbols["entry" + std::to_string(s)] =
+            out.entry[s];
+    }
+    return out;
+}
+
+} // namespace disc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Random multi-stream workload generator for differential testing.
+ *
+ * generateMultiStream() emits a complete DISC1 program image exercising
+ * up to four concurrent streams: interrupt-spawned and FORK-spawned
+ * streams, ABI loads/stores to per-stream slow devices, window
+ * call/return nests, self-raised interrupt bursts with nested handler
+ * entry, and forward branch skips. Programs are constructed so that
+ * each stream's final architectural state is a pure function of its
+ * own instruction sequence, independent of how the scheduler
+ * interleaves the streams:
+ *
+ *  - streams share no global registers and touch disjoint internal
+ *    scratch regions ([s*64, s*64+64)) and disjoint external devices
+ *    (0x1000 + s*0x100);
+ *  - every fresh window cell exposed by an upward window move is
+ *    written before it can be read, so vector-entry frame residue
+ *    cannot leak into results;
+ *  - control flow is forward-only plus balanced call/ret, so every
+ *    stream terminates;
+ *  - interrupt-burst handlers (CLRI b; RETI) are architecturally
+ *    net-zero, so the sequential golden model — which takes no
+ *    vectors — still predicts the final state.
+ *
+ * That makes the per-stream Interp an exact oracle for the final
+ * registers, flags, window position, scratch memory and device
+ * contents of the pipelined multi-stream Machine (see
+ * verify/differential.hh), while the program still drives the machine
+ * through bus contention, wait states, vector nesting and dynamic
+ * slot reallocation.
+ *
+ * Everything is a deterministic function of (seed, options): the
+ * fuzzer's shrinker re-generates from reduced options instead of
+ * editing instruction bytes, and a repro file is just the pair.
+ */
+
+#ifndef DISC_VERIFY_GENERATOR_HH
+#define DISC_VERIFY_GENERATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace disc
+{
+
+/** Knobs of the multi-stream generator (all deterministic). */
+struct GenOptions
+{
+    /** Concurrent streams to generate (1..kNumStreams). */
+    unsigned streams = 4;
+
+    /** Operation budget per stream body. */
+    unsigned length = 40;
+
+    /**
+     * Spawn streams through SWI-raised vectors (else FORK) and emit
+     * self-interrupt bursts whose handlers nest at levels 2..4.
+     */
+    bool useInterrupts = true;
+
+    /** Emit external LD/ST packets to the per-stream devices. */
+    bool useDevices = true;
+
+    /**
+     * Base access time of the per-stream devices; stream s's device
+     * gets (deviceLatency + s) % 7 wait cycles, so zero-wait-state
+     * and slow paths are both exercised.
+     */
+    unsigned deviceLatency = 3;
+};
+
+/** External-bus base address of stream @p s's private device. */
+constexpr Addr kFuzzDeviceBase = 0x1000;
+/** Address stride between per-stream devices. */
+constexpr Addr kFuzzDeviceStride = 0x100;
+/** Words in each per-stream device. */
+constexpr Addr kFuzzDeviceWords = 64;
+/** Internal-memory scratch words per stream, at [s*64, s*64+64). */
+constexpr Addr kFuzzScratchWords = 64;
+
+/** Per-stream device access time implied by the options. */
+constexpr unsigned
+fuzzDeviceLatency(const GenOptions &opts, StreamId s)
+{
+    return (opts.deviceLatency + s) % 7;
+}
+
+/** A generated workload plus the metadata needed to run and check it. */
+struct MultiStreamProgram
+{
+    Program program;
+    GenOptions opts;
+    std::uint64_t seed = 0;
+
+    /** Streams actually in use (== opts.streams clamped to 1..4). */
+    unsigned streams = 1;
+
+    /** Entry address of each stream in use. */
+    std::array<PAddr, kNumStreams> entry{};
+
+    /**
+     * True when the stream is spawned through an interrupt vector
+     * (its window is one frame deeper than the golden model's).
+     */
+    std::array<bool, kNumStreams> vectored{};
+};
+
+/** Generate a workload; pure function of (seed, opts). */
+MultiStreamProgram generateMultiStream(std::uint64_t seed,
+                                       const GenOptions &opts);
+
+} // namespace disc
+
+#endif // DISC_VERIFY_GENERATOR_HH

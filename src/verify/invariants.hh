@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-cycle architectural invariant oracle for the DISC1 machine.
+ *
+ * The checker attaches to a Machine through the MachineObserver hooks
+ * and audits, every cycle, the properties the paper asserts of the
+ * hardware rather than of any one program:
+ *
+ *  - the Active Window Pointer of every stream stays inside that
+ *    stream's stack region (section 3.5);
+ *  - the scheduler never issues from a stream that is waiting on the
+ *    ABI or inactive, and the issued stream was in the ready mask;
+ *  - static throughput partitions are honoured: whenever the slot's
+ *    owning stream is ready, that stream (and no other) gets the
+ *    cycle (section 3.4);
+ *  - interrupt vectoring always takes the highest unmasked pending
+ *    level strictly above the running level — bit 7 beats everything
+ *    (section 3.6.3);
+ *  - the ABI wait-state protocol transitions legally: a stream goes
+ *    Ready -> Waiting only on a bus-busy rejection or an access with
+ *    wait states, Waiting -> Ready only on a completion wake, and
+ *    never issues while the event log says it waits.
+ *
+ * Violations are collected (with the cycle number) rather than thrown,
+ * so a fuzzer can shrink a failing input; ok() and report() summarise.
+ * The checker is independent of program semantics — it can watch any
+ * workload, generated or hand-written — and costs nothing when not
+ * attached (see sim/observer.hh).
+ */
+
+#ifndef DISC_VERIFY_INVARIANTS_HH
+#define DISC_VERIFY_INVARIANTS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/observer.hh"
+#include "verify/coverage.hh"
+
+namespace disc
+{
+
+/** One invariant violation, timestamped with the machine cycle. */
+struct Violation
+{
+    Cycle cycle = 0;
+    std::string message;
+};
+
+/** MachineObserver that audits architectural invariants every cycle. */
+class InvariantChecker : public MachineObserver
+{
+  public:
+    /** Attachable to @p m only; also call m.setObserver(&checker). */
+    explicit InvariantChecker(const Machine &m);
+
+    /**
+     * Also record every event into @p cov (with the live-stream count
+     * at event time). Pass nullptr to stop recording.
+     */
+    void setCoverage(CoverageMap *cov) { cov_ = cov; }
+
+    /** True while no invariant has been violated. */
+    bool ok() const { return totalViolations_ == 0; }
+
+    /** Number of violations seen (including any beyond the cap). */
+    std::uint64_t totalViolations() const { return totalViolations_; }
+
+    /** The first violations (capped; enough for any repro). */
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Multi-line human-readable summary ("" when ok). */
+    std::string report() const;
+
+    /**
+     * Re-derive the shadow wait states from the machine (use after
+     * restoreState() or when attaching mid-run) and clear violations.
+     */
+    void resync();
+
+    // -- MachineObserver --
+    void onIssue(StreamId s, StreamId slot_owner, unsigned ready_mask,
+                 PAddr pc, const Instruction &inst) override;
+    void onVector(StreamId s, unsigned level) override;
+    void onEvent(StreamId s, Opcode op, PipeEvent ev) override;
+    void onCycleEnd() override;
+
+  private:
+    /** Independent record of each stream's ABI protocol position. */
+    enum class ShadowWait : std::uint8_t { Ready, Waiting };
+
+    const Machine &m_;
+    CoverageMap *cov_ = nullptr;
+    std::array<ShadowWait, kNumStreams> shadow_{};
+    std::vector<Violation> violations_;
+    std::uint64_t totalViolations_ = 0;
+
+    void fail(std::string message);
+    unsigned activeStreams() const;
+};
+
+} // namespace disc
+
+#endif // DISC_VERIFY_INVARIANTS_HH

@@ -476,6 +476,98 @@ TEST(SchedulerTest, SchedInstructionUpdatesSlot)
     EXPECT_EQ(sched.slot(5), 3);
 }
 
+TEST(SchedulerTest, AllStreamsWaitingWholeFrameBubbles)
+{
+    // Every stream parked on a bus access: a full frame of bubbles in
+    // both modes, with the cursor still advancing so the partition
+    // resumes in place once someone wakes.
+    for (Scheduler::Mode mode :
+         {Scheduler::Mode::Dynamic, Scheduler::Mode::Static}) {
+        Scheduler sched;
+        sched.setShares({8, 4, 2, 2});
+        sched.setMode(mode);
+        for (unsigned i = 0; i < kScheduleSlots; ++i) {
+            EXPECT_EQ(sched.pick(0), kNoStream);
+            EXPECT_EQ(sched.cursor(), (i + 1) % kScheduleSlots);
+        }
+        // Wrapped exactly once; the next frame honours the partition.
+        std::array<unsigned, kNumStreams> counts{};
+        for (unsigned i = 0; i < kScheduleSlots; ++i)
+            ++counts[sched.pick(0xf)];
+        EXPECT_EQ(counts[0], 8u);
+        EXPECT_EQ(counts[1], 4u);
+        EXPECT_EQ(counts[2], 2u);
+        EXPECT_EQ(counts[3], 2u);
+    }
+}
+
+TEST(SchedulerTest, PartitionSumBelowSixteenRejected)
+{
+    Scheduler sched;
+    EXPECT_THROW(sched.setShares({8, 4, 2, 1}), FatalError); // 15
+    EXPECT_THROW(sched.setShares({0, 0, 0, 0}), FatalError);
+    EXPECT_THROW(sched.setShares({15, 0, 0, 0}), FatalError);
+}
+
+TEST(SchedulerTest, PartitionSumExactlySixteenAccepted)
+{
+    // Degenerate but legal splits must be honoured exactly.
+    Scheduler sched;
+    sched.setShares({13, 1, 1, 1});
+    std::array<unsigned, kNumStreams> counts{};
+    for (unsigned i = 0; i < 1600; ++i)
+        ++counts[sched.pick(0xf)];
+    EXPECT_EQ(counts[0], 1300u);
+    EXPECT_EQ(counts[1], 100u);
+    EXPECT_EQ(counts[2], 100u);
+    EXPECT_EQ(counts[3], 100u);
+
+    sched.setShares({16, 0, 0, 0});
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(sched.pick(0xf), 0u);
+}
+
+TEST(SchedulerTest, StalledPartitionedStreamSlotsReclaimed)
+{
+    // A stream with the dominant share stalls (e.g. parked on a slow
+    // bus access): dynamic reallocation must donate all its slots with
+    // no bubbles, and give them back the moment it is ready again.
+    Scheduler sched;
+    sched.setShares({8, 4, 2, 2});
+
+    std::array<unsigned, kNumStreams> counts{};
+    for (unsigned i = 0; i < 1600; ++i) {
+        StreamId s = sched.pick(0xe); // stream 0 stalled
+        ASSERT_NE(s, kNoStream);
+        ASSERT_NE(s, 0u);
+        ++counts[s];
+    }
+    // Everyone keeps at least its own entitlement and the stalled
+    // stream's 800 slots are fully absorbed.
+    EXPECT_GE(counts[1], 400u);
+    EXPECT_GE(counts[2], 200u);
+    EXPECT_GE(counts[3], 200u);
+    EXPECT_EQ(counts[1] + counts[2] + counts[3], 1600u);
+
+    // Reclaim: once ready again, stream 0 gets its full share back.
+    counts = {};
+    for (unsigned i = 0; i < 1600; ++i)
+        ++counts[sched.pick(0xf)];
+    EXPECT_EQ(counts[0], 800u);
+}
+
+TEST(SchedulerTest, NextOwnerReportsStaticEntitlement)
+{
+    Scheduler sched;
+    sched.setShares({8, 4, 2, 2});
+    for (unsigned i = 0; i < 2 * kScheduleSlots; ++i) {
+        StreamId owner = sched.nextOwner();
+        EXPECT_EQ(owner, sched.slot(sched.cursor()));
+        // With every stream ready, pick() must match the entitlement.
+        EXPECT_EQ(sched.pick(0xf), owner);
+    }
+}
+
 /** Property: dynamic mode never starves a ready stream. */
 class SchedulerStarvationTest
     : public ::testing::TestWithParam<unsigned>

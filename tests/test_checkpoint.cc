@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include "arch/devices.hh"
+#include "arch/interrupts.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
+#include "verify/differential.hh"
+#include "verify/generator.hh"
 
 namespace disc
 {
@@ -253,6 +256,146 @@ TEST(Checkpoint, UartAndDmaSurvive)
     EXPECT_EQ(dma_b.transfersDone(), dma_a.transfersDone());
     for (Addr i = 0; i < 8; ++i)
         EXPECT_EQ(ext_b.peek(32 + i), ext_a.peek(32 + i)) << i;
+}
+
+// ---- Fuzz-generated multi-stream workloads ----
+
+/** Observable state of a rig running a generated workload. */
+std::string
+fuzzFingerprint(MachineRig &rig)
+{
+    const Machine &m = rig.machine();
+    const MultiStreamProgram &msp = rig.workload();
+    std::string fp;
+    fp += strprintf("c=%llu ret=%llu ",
+                    (unsigned long long)m.stats().cycles,
+                    (unsigned long long)m.stats().totalRetired);
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        fp += strprintf("s%u:pc=%04x awp=%u ir=%02x d=%u w=%d ", s,
+                        m.pc(s), m.window(s).awp(),
+                        m.interrupts().ir(s),
+                        m.interrupts().serviceDepth(s),
+                        m.isWaiting(s) ? 1 : 0);
+        for (unsigned r = 0; r < kNumWindowRegs; ++r)
+            fp += strprintf("%04x ", m.readReg(s, r));
+    }
+    for (Addr a = 0; a < msp.streams * kFuzzScratchWords; ++a)
+        fp += strprintf("%04x", m.internalMemory().read(a));
+    for (StreamId s = 0; s < msp.streams; ++s) {
+        if (ExternalMemoryDevice *dev = rig.device(s))
+            for (Addr w = 0; w < kFuzzDeviceWords; ++w)
+                fp += strprintf("%04x", dev->peek(w));
+    }
+    return fp;
+}
+
+/**
+ * Step @p rig until @p stop(machine) holds (or the budget runs out;
+ * returns whether the condition was reached).
+ */
+template <typename Pred>
+bool
+runUntil(MachineRig &rig, Pred stop)
+{
+    for (Cycle c = 0; c < rig.cycleBudget(); ++c) {
+        if (rig.machine().idle())
+            return false;
+        rig.machine().step();
+        if (stop(rig.machine()))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Split a generated workload's run at the cycle where @p stop first
+ * holds and prove restore-and-continue equals straight-through.
+ */
+template <typename Pred>
+void
+checkSplitAt(std::uint64_t seed, Pred stop, const char *what)
+{
+    GenOptions opts;
+    MultiStreamProgram msp = generateMultiStream(seed, opts);
+
+    // Straight through.
+    MachineRig a(msp);
+    a.start();
+    a.machine().run(a.cycleBudget());
+    ASSERT_TRUE(a.machine().idle()) << what << " seed " << seed;
+    std::string want = fuzzFingerprint(a);
+
+    // Run to the split condition, snapshot there.
+    MachineRig b(msp);
+    b.start();
+    if (!runUntil(b, stop))
+        GTEST_SKIP() << what << ": condition not reached on seed "
+                     << seed;
+    std::vector<std::uint8_t> snap = b.machine().saveState();
+
+    // Fresh rig, restore mid-flight, run to completion.
+    MachineRig c(msp);
+    c.machine().restoreState(snap);
+    c.machine().run(c.cycleBudget());
+    ASSERT_TRUE(c.machine().idle());
+    EXPECT_EQ(fuzzFingerprint(c), want) << what << " seed " << seed;
+}
+
+class FuzzCheckpointSeed
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FuzzCheckpointSeed, RoundTripMidAbiWait)
+{
+    // Snapshot taken while some stream is parked on an asynchronous
+    // bus access (the ABI wait state).
+    checkSplitAt(GetParam(),
+                 [](const Machine &m) {
+                     for (StreamId s = 0; s < kNumStreams; ++s)
+                         if (m.isWaiting(s))
+                             return true;
+                     return false;
+                 },
+                 "mid-ABI-wait");
+}
+
+TEST_P(FuzzCheckpointSeed, RoundTripMidInterrupt)
+{
+    // Snapshot taken while some stream is inside an interrupt service
+    // (vector frame live, running level elevated).
+    checkSplitAt(GetParam(),
+                 [](const Machine &m) {
+                     for (StreamId s = 0; s < kNumStreams; ++s)
+                         if (m.interrupts().serviceDepth(s) > 0)
+                             return true;
+                     return false;
+                 },
+                 "mid-interrupt");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCheckpointSeed,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(FuzzCheckpoint, DeepSplitStillDifferentiallyCorrect)
+{
+    // After a restore the machine must not only continue identically,
+    // it must still pass the per-stream differential against the
+    // sequential golden model.
+    GenOptions opts;
+    MultiStreamProgram msp = generateMultiStream(23, opts);
+
+    MachineRig b(msp);
+    b.start();
+    b.machine().run(200);
+    std::vector<std::uint8_t> snap = b.machine().saveState();
+
+    MachineRig c(msp);
+    c.machine().restoreState(snap);
+    c.machine().run(c.cycleBudget());
+    ASSERT_TRUE(c.machine().idle());
+    std::vector<std::string> diffs = compareWithReference(c);
+    EXPECT_TRUE(diffs.empty())
+        << (diffs.empty() ? "" : diffs.front());
 }
 
 } // namespace

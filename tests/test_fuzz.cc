@@ -14,6 +14,7 @@
 #include "common/random.hh"
 #include "dcc/dcc.hh"
 #include "isa/assembler.hh"
+#include "sim/interp.hh"
 #include "sim/machine.hh"
 
 namespace disc
@@ -143,6 +144,19 @@ TEST_P(FuzzSeed, MachineSurvivesArbitraryLegalCode)
         m.startStream(s, static_cast<PAddr>(rng.below(512)));
     m.run(20000, false);
     EXPECT_EQ(m.stats().cycles, 20000u);
+
+    // The sequential golden model gets the same robustness bar: the
+    // same arbitrary code must never panic or hang it either. Its
+    // step loop must come back — by halting or by exhausting the
+    // budget — with the PC still a sane program address.
+    for (int run = 0; run < 4; ++run) {
+        Interp ref;
+        ref.load(p);
+        ref.setPc(static_cast<PAddr>(rng.below(512)));
+        std::uint64_t steps = ref.run(20000);
+        EXPECT_LE(steps, 20000u);
+        EXPECT_TRUE(ref.halted() || steps == 20000u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * disc-fuzz: coverage-guided differential fuzzer for the DISC1
+ * pipeline model.
+ *
+ * Each fuzz case is a (seed, options) pair fed to the multi-stream
+ * workload generator; the resulting program runs on the pipelined
+ * Machine under the invariant checker and is then compared, stream by
+ * stream, against the sequential golden model. Coverage is the set of
+ * (opcode x pipeline event x active-stream-count) points the run
+ * touched; cases that reach new points join the corpus and later cases
+ * mutate corpus entries instead of starting fresh.
+ *
+ * Usage:
+ *   disc-fuzz [options]
+ *     --seeds N         number of fuzz cases to run (default 100)
+ *     --base-seed S     first seed value (default 1)
+ *     --out DIR         where to write repro files (default ".")
+ *     --max-cycles N    override the per-case cycle budget
+ *     --defect NAME     seed a known machine defect; NAME is
+ *                       "low-priority-vector"
+ *     --expect-failure  exit 0 iff at least one failure was found
+ *                       (for exercising the defect path in CI)
+ *     --replay FILE     re-run one repro file and report the outcome
+ *
+ * On failure the case is shrunk — fewer streams, features dropped,
+ * shorter body — while the failure persists, and the minimal repro is
+ * written to DIR/repro-<seed>.txt as replayable key=value lines with
+ * the failure and disassembly attached as comments.
+ *
+ * Exit status: 0 when no failures were found (or, under
+ * --expect-failure, when one was); 1 otherwise. --replay exits 1 when
+ * the failure reproduces.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/assembler.hh"
+#include "verify/differential.hh"
+#include "verify/invariants.hh"
+
+using namespace disc;
+
+namespace
+{
+
+struct FuzzCase
+{
+    std::uint64_t seed = 1;
+    GenOptions opts;
+    bool defect = false;
+};
+
+struct RunResult
+{
+    bool failed = false;
+    std::string detail;
+};
+
+Cycle g_max_cycles = 0;
+
+RunResult
+runCase(const FuzzCase &c, CoverageMap *cov)
+{
+    MultiStreamProgram msp = generateMultiStream(c.seed, c.opts);
+    MachineRig rig(msp);
+    if (c.defect)
+        rig.machine().interrupts().setDefectLowPriorityVector(true);
+
+    InvariantChecker chk(rig.machine());
+    if (cov)
+        chk.setCoverage(cov);
+    rig.machine().setObserver(&chk);
+    rig.start();
+    rig.machine().run(g_max_cycles ? g_max_cycles : rig.cycleBudget());
+
+    DiffOutcome out;
+    out.machineIdle = rig.machine().idle();
+    out.divergences = compareWithReference(rig);
+
+    RunResult res;
+    res.failed = !out.ok() || !chk.ok();
+    if (res.failed)
+        res.detail = out.summary() + chk.report();
+    return res;
+}
+
+bool
+stillFails(const FuzzCase &c)
+{
+    return runCase(c, nullptr).failed;
+}
+
+/** Body size of a case's program, excluding the vector table. */
+std::size_t
+caseInstructions(const FuzzCase &c)
+{
+    return generateMultiStream(c.seed, c.opts).program.code.size() -
+           kVectorTableEnd;
+}
+
+/**
+ * Greedy shrink: every reduction step regenerates the whole program
+ * (cases are pure functions of seed+options) and is kept only while
+ * the failure persists.
+ */
+FuzzCase
+shrinkCase(FuzzCase c)
+{
+    while (c.opts.streams > 1) {
+        FuzzCase t = c;
+        --t.opts.streams;
+        if (!stillFails(t))
+            break;
+        c = t;
+    }
+    for (bool GenOptions::*feature :
+         {&GenOptions::useDevices, &GenOptions::useInterrupts}) {
+        if (c.opts.*feature) {
+            FuzzCase t = c;
+            t.opts.*feature = false;
+            if (stillFails(t))
+                c = t;
+        }
+    }
+    bool progress = true;
+    while (progress && c.opts.length > 1) {
+        progress = false;
+        for (unsigned cand :
+             {c.opts.length / 2, c.opts.length - 1}) {
+            if (cand < 1 || cand >= c.opts.length)
+                continue;
+            FuzzCase t = c;
+            t.opts.length = cand;
+            if (stillFails(t)) {
+                c = t;
+                progress = true;
+                break;
+            }
+        }
+    }
+    return c;
+}
+
+std::string
+reproText(const FuzzCase &c, const std::string &detail)
+{
+    MultiStreamProgram msp = generateMultiStream(c.seed, c.opts);
+    std::ostringstream out;
+    out << "# disc-fuzz repro (replay with: disc-fuzz --replay FILE)\n";
+    out << "seed=" << c.seed << "\n";
+    out << "streams=" << c.opts.streams << "\n";
+    out << "length=" << c.opts.length << "\n";
+    out << "interrupts=" << (c.opts.useInterrupts ? 1 : 0) << "\n";
+    out << "devices=" << (c.opts.useDevices ? 1 : 0) << "\n";
+    out << "latency=" << c.opts.deviceLatency << "\n";
+    out << "defect=" << (c.defect ? 1 : 0) << "\n";
+    out << "# instructions="
+        << msp.program.code.size() - kVectorTableEnd << "\n";
+    out << "# failure:\n";
+    std::istringstream lines(detail);
+    for (std::string line; std::getline(lines, line);)
+        out << "#   " << line << "\n";
+    out << "# disassembly:\n";
+    std::istringstream dis(disassemble(msp.program));
+    for (std::string line; std::getline(dis, line);)
+        out << "#   " << line << "\n";
+    return out.str();
+}
+
+FuzzCase
+parseRepro(const char *path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path);
+    FuzzCase c;
+    for (std::string line; std::getline(in, line);) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("bad repro line '%s'", line.c_str());
+        std::string key = line.substr(0, eq);
+        std::uint64_t val =
+            std::strtoull(line.c_str() + eq + 1, nullptr, 0);
+        if (key == "seed")
+            c.seed = val;
+        else if (key == "streams")
+            c.opts.streams = static_cast<unsigned>(val);
+        else if (key == "length")
+            c.opts.length = static_cast<unsigned>(val);
+        else if (key == "interrupts")
+            c.opts.useInterrupts = val != 0;
+        else if (key == "devices")
+            c.opts.useDevices = val != 0;
+        else if (key == "latency")
+            c.opts.deviceLatency = static_cast<unsigned>(val);
+        else if (key == "defect")
+            c.defect = val != 0;
+        else
+            fatal("unknown repro key '%s'", key.c_str());
+    }
+    return c;
+}
+
+/** Derive deterministic option variation for a fresh seed. */
+FuzzCase
+freshCase(std::uint64_t seed, bool defect)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    FuzzCase c;
+    c.seed = seed;
+    c.defect = defect;
+    c.opts.streams = 1 + static_cast<unsigned>(rng.below(kNumStreams));
+    c.opts.length = 5 + static_cast<unsigned>(rng.below(200));
+    c.opts.useInterrupts = !rng.chance(0.15);
+    c.opts.useDevices = !rng.chance(0.15);
+    c.opts.deviceLatency = static_cast<unsigned>(rng.below(7));
+    return c;
+}
+
+/** Mutate a corpus entry: jitter one knob, keep the rest. */
+FuzzCase
+mutateCase(const FuzzCase &base, Rng &rng)
+{
+    FuzzCase c = base;
+    switch (rng.below(5)) {
+      case 0:
+        c.seed = rng.next64();
+        break;
+      case 1:
+        c.opts.streams =
+            1 + static_cast<unsigned>(rng.below(kNumStreams));
+        break;
+      case 2:
+        c.opts.length =
+            1 + static_cast<unsigned>(rng.below(220));
+        break;
+      case 3:
+        c.opts.deviceLatency = static_cast<unsigned>(rng.below(7));
+        break;
+      default:
+        c.opts.useInterrupts = !c.opts.useInterrupts;
+        break;
+    }
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        unsigned seeds = 100;
+        std::uint64_t base_seed = 1;
+        const char *out_dir = ".";
+        const char *replay = nullptr;
+        bool defect = false;
+        bool expect_failure = false;
+
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            auto value = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    fatal("option %s needs a value", a);
+                return argv[++i];
+            };
+            if (!std::strcmp(a, "--seeds")) {
+                seeds = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--base-seed")) {
+                base_seed = std::strtoull(value(), nullptr, 0);
+            } else if (!std::strcmp(a, "--out")) {
+                out_dir = value();
+            } else if (!std::strcmp(a, "--max-cycles")) {
+                g_max_cycles = std::strtoull(value(), nullptr, 0);
+            } else if (!std::strcmp(a, "--defect")) {
+                const char *name = value();
+                if (std::strcmp(name, "low-priority-vector"))
+                    fatal("unknown defect '%s'", name);
+                defect = true;
+            } else if (!std::strcmp(a, "--expect-failure")) {
+                expect_failure = true;
+            } else if (!std::strcmp(a, "--replay")) {
+                replay = value();
+            } else {
+                fatal("unknown option '%s'", a);
+            }
+        }
+
+        if (replay) {
+            FuzzCase c = parseRepro(replay);
+            CoverageMap cov;
+            RunResult res = runCase(c, &cov);
+            if (res.failed) {
+                std::printf("repro REPRODUCES:\n%s",
+                            res.detail.c_str());
+                return 1;
+            }
+            std::printf("repro does not reproduce (machine clean)\n");
+            return 0;
+        }
+
+        CoverageMap coverage;
+        std::vector<FuzzCase> corpus;
+        unsigned failures = 0;
+        Rng mut_rng(base_seed ^ 0xf0220edULL);
+
+        for (unsigned i = 0; i < seeds; ++i) {
+            FuzzCase c;
+            // Once a corpus exists, alternate fresh seeds with
+            // mutations of coverage-increasing ancestors.
+            if (!corpus.empty() && i % 2) {
+                c = mutateCase(
+                    corpus[mut_rng.below(corpus.size())], mut_rng);
+                c.defect = defect;
+            } else {
+                c = freshCase(base_seed + i, defect);
+            }
+
+            CoverageMap local;
+            RunResult res = runCase(c, &local);
+            if (coverage.countNew(local) > 0) {
+                coverage.merge(local);
+                corpus.push_back(c);
+            }
+
+            if (!res.failed)
+                continue;
+            ++failures;
+            std::printf("case %u (seed %llu) FAILED:\n%s", i,
+                        static_cast<unsigned long long>(c.seed),
+                        res.detail.c_str());
+
+            FuzzCase small = shrinkCase(c);
+            RunResult small_res = runCase(small, nullptr);
+            std::size_t insts = caseInstructions(small);
+            std::printf("shrunk to %zu instructions "
+                        "(streams=%u length=%u)\n",
+                        insts, small.opts.streams, small.opts.length);
+            if (insts <= 32)
+                std::printf("shrink target met "
+                            "(%zu <= 32 instructions)\n",
+                            insts);
+
+            std::filesystem::create_directories(out_dir);
+            std::string path =
+                std::string(out_dir) + "/repro-" +
+                std::to_string(small.seed) + ".txt";
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot write '%s'", path.c_str());
+            out << reproText(small, small_res.detail);
+            std::printf("wrote %s\n", path.c_str());
+        }
+
+        std::printf("FUZZ: %u cases, %u failures, coverage %zu/%zu "
+                    "points, corpus %zu\n",
+                    seeds, failures, coverage.pointsHit(),
+                    coverage.pointsTotal(), corpus.size());
+        if (expect_failure)
+            return failures > 0 ? 0 : 1;
+        return failures > 0 ? 1 : 0;
+    } catch (const FatalError &) {
+        return 1;
+    }
+}
