@@ -40,17 +40,6 @@ Bus::decode(Addr addr, Addr &offset) const
     return nullptr;
 }
 
-std::vector<IntRequest>
-Bus::tickDevices()
-{
-    std::vector<IntRequest> reqs;
-    for (const auto &r : ranges_) {
-        if (auto req = r.device->tick())
-            reqs.push_back(*req);
-    }
-    return reqs;
-}
-
 AsyncBusInterface::AsyncBusInterface(Bus &bus)
     : bus_(bus)
 {}
@@ -117,12 +106,16 @@ AsyncBusInterface::finish()
 }
 
 std::optional<AsyncBusInterface::Completion>
-AsyncBusInterface::tick()
+AsyncBusInterface::advance(Cycle cycles)
 {
-    if (!busy_)
+    if (!busy_ || cycles == 0)
         return std::nullopt;
-    ++busyCycles_;
-    if (--remaining_ == 0)
+    if (cycles > remaining_)
+        panic("ABI advanced %llu cycles past its completion",
+              static_cast<unsigned long long>(cycles - remaining_));
+    busyCycles_ += cycles;
+    remaining_ -= static_cast<unsigned>(cycles);
+    if (remaining_ == 0)
         return finish();
     return std::nullopt;
 }

@@ -30,17 +30,43 @@ namespace disc
 
 class InterruptUnit;
 
-/** Request a device can make when ticked. */
+/** Request a device can make when its event fires. */
 struct IntRequest
 {
     StreamId stream;
     unsigned bit;
 };
 
+/** "No pending expiry" sentinel for Device::nextEventIn(). */
+constexpr Cycle kNoDeviceEvent = ~static_cast<Cycle>(0);
+
+class Device;
+
+/**
+ * Callback a device uses to tell its timing kernel that the schedule
+ * it last reported via nextEventIn() changed for a reason other than
+ * a bus access or an event firing (e.g. the host scripted new UART
+ * traffic mid-run). The kernel re-queries nextEventIn() in response.
+ */
+class DeviceScheduleListener
+{
+  public:
+    virtual ~DeviceScheduleListener() = default;
+    virtual void deviceScheduleChanged(Device &dev) = 0;
+};
+
 /**
  * Abstract bus peripheral. Devices decode an offset within their
  * mapped range, report a per-access latency in bus cycles, and may
- * raise stream interrupts when ticked.
+ * raise stream interrupts when their scheduled event expires.
+ *
+ * Timing model: each device keeps device-local time. Instead of being
+ * polled every machine cycle, it reports how many local cycles remain
+ * until something observable happens (nextEventIn) and the timing
+ * kernel advances it in one jump (onEvent) when that moment — or an
+ * intervening bus access — arrives. The kernel never advances a
+ * device past its reported expiry, so at most one expiry fires per
+ * onEvent call.
  */
 class Device
 {
@@ -63,10 +89,30 @@ class Device
     virtual void write(Addr offset, Word value) = 0;
 
     /**
-     * Advance one machine cycle. Devices that generate interrupts
-     * (timers, sensors signalling data-ready) return a request.
+     * Device-local cycles until the next observable expiry (sample
+     * ready, timer fire, RX word, DMA word copied), or kNoDeviceEvent
+     * when the device is quiescent. Must be >= 1 when not quiescent.
      */
-    virtual std::optional<IntRequest> tick() { return std::nullopt; }
+    virtual Cycle nextEventIn() const { return kNoDeviceEvent; }
+
+    /**
+     * Advance device-local time by @p cycles. The caller guarantees
+     * cycles >= 1 and cycles <= nextEventIn(), so at most one expiry
+     * fires; the expiry's interrupt request (if any) is returned.
+     * Semantically equivalent to the legacy per-cycle tick() applied
+     * @p cycles times.
+     */
+    virtual std::optional<IntRequest> onEvent(Cycle cycles)
+    {
+        (void)cycles;
+        return std::nullopt;
+    }
+
+    /** Register the timing kernel's reschedule callback. */
+    void setScheduleListener(DeviceScheduleListener *listener)
+    {
+        listener_ = listener;
+    }
 
     /**
      * Serialize device-local mutable state (configuration such as
@@ -78,6 +124,17 @@ class Device
 
     /** Restore state written by save(). */
     virtual void restore(Deserializer &in) { (void)in; }
+
+  protected:
+    /** Tell the kernel the nextEventIn() answer changed out-of-band. */
+    void notifyScheduleChanged()
+    {
+        if (listener_)
+            listener_->deviceScheduleChanged(*this);
+    }
+
+  private:
+    DeviceScheduleListener *listener_ = nullptr;
 };
 
 /** Address decoder over the external 16-bit data space. */
@@ -98,8 +155,8 @@ class Bus
      */
     Device *decode(Addr addr, Addr &offset) const;
 
-    /** Tick every attached device, collecting interrupt requests. */
-    std::vector<IntRequest> tickDevices();
+    /** Device at attach index @p i (the timing kernel's source id). */
+    Device *deviceAt(std::size_t i) const { return ranges_[i].device; }
 
     /** Serialize every attached device, in attach order. */
     void saveDevices(Serializer &out) const;
@@ -171,11 +228,21 @@ class AsyncBusInterface
     std::optional<Completion> takeImmediate();
 
     /**
-     * Advance one bus cycle.
+     * Advance @p cycles bus cycles at once (the timing kernel calls
+     * this at the scheduled completion moment, or when lazily syncing
+     * to a boundary). @p cycles must not exceed the remaining access
+     * time; semantically equivalent to that many legacy single-cycle
+     * ticks.
      * @return the completion record when the in-flight access finishes
-     *         this cycle.
+     *         at the end of the advanced span.
      */
-    std::optional<Completion> tick();
+    std::optional<Completion> advance(Cycle cycles);
+
+    /** Cycles left on the in-flight access (0 when the bus is idle). */
+    unsigned remainingCycles() const { return busy_ ? remaining_ : 0; }
+
+    /** Address of the in-flight access (valid only while busy()). */
+    Addr pendingAddr() const { return pending_.addr; }
 
     /** Total cycles the bus spent busy (paper's "data bus busy"). */
     Cycle busyCycles() const { return busyCycles_; }

@@ -86,16 +86,23 @@ SensorDevice::write(Addr offset, Word value)
     // Sensors are read-only; a real device would ignore the cycle.
 }
 
-std::optional<IntRequest>
-SensorDevice::tick()
+Cycle
+SensorDevice::nextEventIn() const
 {
-    if (--countdown_ == 0) {
-        countdown_ = period_;
-        latest_ = gen_(samples_);
-        ++samples_;
-        if (intEnabled_)
-            return intReq_;
-    }
+    return countdown_;
+}
+
+std::optional<IntRequest>
+SensorDevice::onEvent(Cycle cycles)
+{
+    countdown_ -= static_cast<unsigned>(cycles);
+    if (countdown_ != 0)
+        return std::nullopt;
+    countdown_ = period_;
+    latest_ = gen_(samples_);
+    ++samples_;
+    if (intEnabled_)
+        return intReq_;
     return std::nullopt;
 }
 
@@ -125,9 +132,9 @@ ActuatorDevice::write(Addr offset, Word value)
 }
 
 std::optional<IntRequest>
-ActuatorDevice::tick()
+ActuatorDevice::onEvent(Cycle cycles)
 {
-    ++now_;
+    now_ += cycles;
     return std::nullopt;
 }
 
@@ -173,15 +180,21 @@ TimerDevice::write(Addr offset, Word value)
     countdown_ = value;
 }
 
-std::optional<IntRequest>
-TimerDevice::tick()
+Cycle
+TimerDevice::nextEventIn() const
 {
-    if (--countdown_ == 0) {
-        countdown_ = period_;
-        ++fired_;
-        return intReq_;
-    }
-    return std::nullopt;
+    return countdown_;
+}
+
+std::optional<IntRequest>
+TimerDevice::onEvent(Cycle cycles)
+{
+    countdown_ -= static_cast<unsigned>(cycles);
+    if (countdown_ != 0)
+        return std::nullopt;
+    countdown_ = period_;
+    ++fired_;
+    return intReq_;
 }
 
 UartDevice::UartDevice(unsigned rx_period, unsigned latency)
@@ -194,8 +207,14 @@ UartDevice::UartDevice(unsigned rx_period, unsigned latency)
 void
 UartDevice::scriptRx(std::vector<Word> words)
 {
+    bool was_idle = script_.empty();
     for (Word w : words)
         script_.push_back(w);
+    // While idle the RX cadence is frozen (countdown_ == period_), so
+    // the skipped time was event-free; tell the timing kernel to
+    // restart the schedule from here.
+    if (was_idle && !script_.empty())
+        notifyScheduleChanged();
 }
 
 void
@@ -234,12 +253,19 @@ UartDevice::write(Addr offset, Word value)
         tx_.push_back(value);
 }
 
+Cycle
+UartDevice::nextEventIn() const
+{
+    return script_.empty() ? kNoDeviceEvent : countdown_;
+}
+
 std::optional<IntRequest>
-UartDevice::tick()
+UartDevice::onEvent(Cycle cycles)
 {
     if (script_.empty())
         return std::nullopt;
-    if (--countdown_ != 0)
+    countdown_ -= static_cast<unsigned>(cycles);
+    if (countdown_ != 0)
         return std::nullopt;
     countdown_ = period_;
     if (rxReady_)
@@ -308,12 +334,19 @@ DmaDevice::write(Addr offset, Word value)
     }
 }
 
+Cycle
+DmaDevice::nextEventIn() const
+{
+    return remaining_ == 0 ? kNoDeviceEvent : countdown_;
+}
+
 std::optional<IntRequest>
-DmaDevice::tick()
+DmaDevice::onEvent(Cycle cycles)
 {
     if (remaining_ == 0)
         return std::nullopt;
-    if (--countdown_ != 0)
+    countdown_ -= static_cast<unsigned>(cycles);
+    if (countdown_ != 0)
         return std::nullopt;
     countdown_ = cyclesPerWord_;
     target_.poke(dst_, target_.peek(src_));

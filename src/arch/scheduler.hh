@@ -73,6 +73,13 @@ class Scheduler
     unsigned cursor() const { return cursor_; }
 
     /**
+     * Consume @p n slots without issuing (bulk bubbles): exactly what
+     * n pick() calls with an empty ready mask would do to the cursor.
+     * Used by the fast-forward path when whole spans are dead.
+     */
+    void skipSlots(unsigned n) { cursor_ = (cursor_ + n) % kScheduleSlots; }
+
+    /**
      * Static owner of the slot the next pick() will consume — the
      * stream entitled to the upcoming issue cycle before any dynamic
      * reallocation (verification oracles audit pick() against this).

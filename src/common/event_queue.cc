@@ -1,0 +1,133 @@
+#include "common/event_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+const EventQueue::SourceState *
+EventQueue::stateOf(std::uint32_t source) const
+{
+    if (source < kDenseSources) {
+        if (source >= states_.size())
+            return nullptr;
+        return &states_[source];
+    }
+    for (std::size_t i = 0; i < sparseIds_.size(); ++i) {
+        if (sparseIds_[i] == source)
+            return &sparse_[i];
+    }
+    return nullptr;
+}
+
+EventQueue::SourceState &
+EventQueue::stateFor(std::uint32_t source)
+{
+    if (source < kDenseSources) {
+        if (source >= states_.size())
+            states_.resize(source + 1);
+        return states_[source];
+    }
+    for (std::size_t i = 0; i < sparseIds_.size(); ++i) {
+        if (sparseIds_[i] == source)
+            return sparse_[i];
+    }
+    sparseIds_.push_back(source);
+    sparse_.emplace_back();
+    return sparse_.back();
+}
+
+void
+EventQueue::schedule(std::uint32_t source, Cycle when)
+{
+    if (when == kNoEvent)
+        fatal("cannot schedule an event at kNoEvent");
+    SourceState &st = stateFor(source);
+    ++st.gen; // supersedes any heap entry for this source
+    if (!st.scheduled)
+        ++live_;
+    st.scheduled = true;
+    st.when = when;
+    heap_.push_back({when, nextSeq_++, source, st.gen});
+    std::push_heap(heap_.begin(), heap_.end());
+}
+
+void
+EventQueue::cancel(std::uint32_t source)
+{
+    SourceState &st = stateFor(source);
+    if (!st.scheduled)
+        return;
+    ++st.gen;
+    st.scheduled = false;
+    st.when = kNoEvent;
+    --live_;
+    dropStale();
+}
+
+bool
+EventQueue::pending(std::uint32_t source) const
+{
+    const SourceState *st = stateOf(source);
+    return st && st->scheduled;
+}
+
+Cycle
+EventQueue::scheduledAt(std::uint32_t source) const
+{
+    const SourceState *st = stateOf(source);
+    return st && st->scheduled ? st->when : kNoEvent;
+}
+
+void
+EventQueue::dropStale() const
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.front();
+        const SourceState *st = stateOf(top.source);
+        if (st && st->scheduled && st->gen == top.gen)
+            return;
+        std::pop_heap(heap_.begin(), heap_.end());
+        heap_.pop_back();
+    }
+}
+
+Cycle
+EventQueue::nextTime() const
+{
+    dropStale();
+    return heap_.empty() ? kNoEvent : heap_.front().when;
+}
+
+void
+EventQueue::popDue(Cycle now, std::vector<Event> &out)
+{
+    for (;;) {
+        dropStale();
+        if (heap_.empty() || heap_.front().when > now)
+            return;
+        Entry top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end());
+        heap_.pop_back();
+        SourceState &st = stateFor(top.source);
+        st.scheduled = false;
+        st.when = kNoEvent;
+        --live_;
+        out.push_back({top.when, top.source});
+    }
+}
+
+void
+EventQueue::clear()
+{
+    heap_.clear();
+    states_.clear();
+    sparseIds_.clear();
+    sparse_.clear();
+    nextSeq_ = 0;
+    live_ = 0;
+}
+
+} // namespace disc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Min-heap timing kernel for the event-scheduled simulator core.
+ *
+ * The queue holds at most one pending event per *source* (a small
+ * integer chosen by the client — the machine uses the device attach
+ * index and a reserved id for the ABI). Scheduling a source that
+ * already has an event replaces it; cancellation is lazy: stale heap
+ * entries are recognised by a per-source generation counter and
+ * discarded when they surface at the top.
+ *
+ * Determinism: events due on the same cycle pop in schedule order
+ * (FIFO, via a monotonic sequence number), independent of heap
+ * internals, so two runs that schedule identically dispatch
+ * identically.
+ */
+
+#ifndef DISC_COMMON_EVENT_QUEUE_HH
+#define DISC_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace disc
+{
+
+/** "No event pending" timestamp. */
+constexpr Cycle kNoEvent = ~static_cast<Cycle>(0);
+
+class EventQueue
+{
+  public:
+    /** An event popped by popDue(). */
+    struct Event
+    {
+        Cycle when;
+        std::uint32_t source;
+    };
+
+    /**
+     * Schedule (or reschedule) @p source's event at cycle @p when.
+     * Any previously scheduled event for the source is superseded.
+     */
+    void schedule(std::uint32_t source, Cycle when);
+
+    /** Drop @p source's pending event, if any. */
+    void cancel(std::uint32_t source);
+
+    /** True when @p source has an event pending. */
+    bool pending(std::uint32_t source) const;
+
+    /** Cycle of @p source's pending event (kNoEvent when none). */
+    Cycle scheduledAt(std::uint32_t source) const;
+
+    /** Cycle of the earliest pending event (kNoEvent when empty). */
+    Cycle nextTime() const;
+
+    /** True when no events are pending. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of pending events. */
+    std::size_t size() const { return live_; }
+
+    /**
+     * Pop every event with when <= @p now into @p out, ordered by
+     * (when, schedule order). Popped sources become unscheduled.
+     */
+    void popDue(Cycle now, std::vector<Event> &out);
+
+    /** Forget all events and reset the FIFO sequence. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::uint32_t source;
+        std::uint64_t gen;
+
+        /** Min-heap: earlier cycle first, then earlier schedule. */
+        bool operator<(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    struct SourceState
+    {
+        std::uint64_t gen = 0;
+        bool scheduled = false;
+        Cycle when = kNoEvent;
+    };
+
+    const SourceState *stateOf(std::uint32_t source) const;
+    SourceState &stateFor(std::uint32_t source);
+    void dropStale() const;
+
+    /** Mutable so stale-entry cleanup can run from const peeks. */
+    mutable std::vector<Entry> heap_;
+    std::vector<SourceState> states_;       ///< dense sources
+    std::vector<std::uint32_t> sparseIds_;  ///< sources >= kDenseSources
+    std::vector<SourceState> sparse_;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t live_ = 0;
+
+    static constexpr std::uint32_t kDenseSources = 64;
+};
+
+} // namespace disc
+
+#endif // DISC_COMMON_EVENT_QUEUE_HH

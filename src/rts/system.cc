@@ -177,6 +177,9 @@ RtsSystem::run()
     report.backgroundProgress =
         machine_.internalMemory().read(backgroundAddr());
     report.utilization = machine_.stats().utilization();
+    report.readyCycles = machine_.stats().readyCycles;
+    report.waitAbiCycles = machine_.stats().waitAbiCycles;
+    report.inactiveCycles = machine_.stats().inactiveCycles;
     report.meanVectorLatency = machine_.latencyHistogram().mean();
     report.worstVectorLatency = machine_.latencyHistogram().maxValue();
     return report;

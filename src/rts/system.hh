@@ -86,6 +86,15 @@ struct RtsReport
     double utilization = 0.0;
     double meanVectorLatency = 0.0;
     Cycle worstVectorLatency = 0;
+
+    /**
+     * Per-stream cycle breakdown over the horizon: able to issue,
+     * parked on an external access, or inactive. Sums to the horizon
+     * per stream; shows where a task set's slack actually went.
+     */
+    std::array<std::uint64_t, kNumStreams> readyCycles{};
+    std::array<std::uint64_t, kNumStreams> waitAbiCycles{};
+    std::array<std::uint64_t, kNumStreams> inactiveCycles{};
 };
 
 /** Builds and runs one RTS experiment. */

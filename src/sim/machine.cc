@@ -1,4 +1,16 @@
+/**
+ * @file
+ * Machine core: construction, architectural state access, the
+ * per-cycle step() skeleton and shared pipe helpers. Stage semantics
+ * live in stage_issue.cc / stage_execute.cc / stage_abi.cc, event
+ * scheduling and fast-forward in machine_events.cc, checkpointing in
+ * machine_ckpt.cc.
+ */
+
 #include "sim/machine.hh"
+
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "sim/trace.hh"
@@ -49,7 +61,9 @@ MachineStats::standardPs(Cycle bus_busy_cycles, unsigned pipe_depth) const
 }
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_(cfg), abi_(bus_), latency_(128)
+    : cfg_(cfg), abi_(bus_), latency_(128), vectorStage_(*this),
+      issueStage_(*this), executeStage_(*this), abiStage_(*this),
+      timing_(*this)
 {
     if (cfg_.pipeDepth < 3)
         fatal("pipe depth %u is below the minimum of 3", cfg_.pipeDepth);
@@ -60,6 +74,10 @@ Machine::Machine(MachineConfig cfg)
             cfg_.stackWords));
     }
     pipe_.resize(cfg_.pipeDepth);
+    ffEnabled_ = cfg_.fastForward;
+    if (const char *env = std::getenv("DISC_NO_FASTFORWARD");
+        env && *env && std::strcmp(env, "0") != 0)
+        ffEnabled_ = false;
 }
 
 void
@@ -84,20 +102,22 @@ Machine::reset()
     for (auto &c : streams_)
         c = StreamCtx{};
     globals_.fill(0);
-    std::fill(pipe_.begin(), pipe_.end(), Slot{});
+    std::fill(pipe_.begin(), pipe_.end(), PipeSlot{});
     stats_ = MachineStats{};
     latency_ = Histogram(128);
     nextTag_ = 'a';
     haltedUntilBusDone_ = 0;
+    timing_.rebuild();
 }
 
 void
 Machine::attachDevice(Addr base, Addr size, Device *device)
 {
     bus_.attach(base, size, device);
+    timing_.addDevice(device);
 }
 
-Machine::StreamCtx &
+StreamCtx &
 Machine::ctx(StreamId s)
 {
     if (s >= kNumStreams)
@@ -105,7 +125,7 @@ Machine::ctx(StreamId s)
     return streams_[s];
 }
 
-const Machine::StreamCtx &
+const StreamCtx &
 Machine::ctx(StreamId s) const
 {
     if (s >= kNumStreams)
@@ -246,130 +266,12 @@ Machine::writeReg(StreamId s, unsigned r, Word value)
     }
 }
 
-bool
-Machine::interlocked(StreamId s, std::uint32_t reads,
-                     std::uint32_t writes) const
-{
-    for (const Slot &slot : pipe_) {
-        if (!slot.valid || slot.squashed || slot.stream != s)
-            continue;
-        if (reads & slot.writesMask)
-            return true;
-        // Window moves must also wait for in-flight window users.
-        if ((writes & kDepAwp) && (slot.readsMask & kDepAwp))
-            return true;
-    }
-    return false;
-}
-
-bool
-Machine::hasInFlight(StreamId s) const
-{
-    for (const Slot &slot : pipe_) {
-        if (slot.valid && !slot.squashed && slot.stream == s)
-            return true;
-    }
-    return false;
-}
-
-unsigned
-Machine::readyMask()
-{
-    unsigned ready = 0;
-    for (StreamId s = 0; s < kNumStreams; ++s) {
-        const StreamCtx &c = streams_[s];
-        if (c.wait != WaitState::Ready)
-            continue;
-        if (!intUnit_.isActive(s))
-            continue;
-        auto vec = intUnit_.pendingVector(s);
-        if (vec && hasInFlight(s))
-            continue; // vector entry serialises against the pipe
-        PAddr fetch_pc = vec ? vectorAddress(s, *vec) : c.pc;
-        const PredecodedInst &pd = pdec_.at(fetch_pc);
-        if (!pd.legal) {
-            ready |= 1u << s; // issue consumes it and raises the trap
-            continue;
-        }
-        if (!vec && interlocked(s, pd.readsMask, pd.writesMask))
-            continue;
-        ready |= 1u << s;
-    }
-    return ready;
-}
-
-void
-Machine::takeVector(StreamId s, unsigned level)
-{
-    StreamCtx &c = ctx(s);
-    if (observer_) {
-        // Before enterService so the observer can audit the pre-entry
-        // pending/mask/running-level state against the chosen level.
-        observer_->onVector(s, level);
-        observer_->onEvent(s, Opcode::NOP, PipeEvent::Vector);
-    }
-    if (win(s).inc()) {
-        ++stats_.stackOverflows;
-        raiseInternal(s, kStackOverflowBit);
-    }
-    win(s).write(0, c.pc);
-    intUnit_.enterService(s, level);
-    c.pc = vectorAddress(s, level);
-    ++stats_.vectorsTaken;
-    if (c.latencyArmed[level]) {
-        latency_.add(stats_.cycles - c.lastRaise[level]);
-        c.latencyArmed[level] = false;
-    }
-}
-
-void
-Machine::issue()
-{
-    unsigned ready = readyMask();
-    StreamId slot_owner = observer_ ? sched_.nextOwner() : kNoStream;
-    StreamId s = sched_.pick(ready);
-    if (s == kNoStream) {
-        ++stats_.bubbles;
-        return;
-    }
-
-    StreamCtx &c = ctx(s);
-    if (auto vec = intUnit_.pendingVector(s))
-        takeVector(s, *vec);
-
-    const PredecodedInst &pd = pdec_.at(c.pc);
-    if (observer_) {
-        observer_->onIssue(s, slot_owner, ready, c.pc, pd.inst);
-        if (pd.legal)
-            observer_->onEvent(s, pd.inst.op, PipeEvent::Issue);
-    }
-    if (!pd.legal) {
-        ++stats_.illegalInstructions;
-        raiseInternal(s, kIllegalInstBit);
-        ++c.pc;
-        return;
-    }
-
-    Slot &slot = pipe_[0];
-    slot.valid = true;
-    slot.squashed = false;
-    slot.executed = false;
-    slot.stream = s;
-    slot.pc = c.pc;
-    slot.inst = pd.inst;
-    slot.readsMask = pd.readsMask;
-    slot.writesMask = pd.writesMask;
-    slot.tag = nextTag_;
-    nextTag_ = nextTag_ == 'z' ? 'a' : static_cast<char>(nextTag_ + 1);
-    ++c.pc;
-}
-
 void
 Machine::squashYounger(StreamId s, unsigned ex_stage,
                        std::uint64_t *counter, PipeEvent ev)
 {
     for (unsigned i = 0; i < ex_stage; ++i) {
-        Slot &slot = pipe_[i];
+        PipeSlot &slot = pipe_[i];
         if (slot.valid && !slot.squashed && slot.stream == s) {
             slot.squashed = true;
             if (counter)
@@ -377,484 +279,6 @@ Machine::squashYounger(StreamId s, unsigned ex_stage,
             if (observer_)
                 observer_->onEvent(s, slot.inst.op, ev);
         }
-    }
-}
-
-void
-Machine::redirect(StreamId s, PAddr target, unsigned ex_stage)
-{
-    ctx(s).pc = target;
-    ++stats_.redirects;
-    if (cfg_.branchDelaySlots == 0) {
-        squashYounger(s, ex_stage, &stats_.squashedJump,
-                      PipeEvent::SquashJump);
-        return;
-    }
-    // Delayed branching: spare the first N younger same-stream
-    // instructions in program order (they sit at the highest stages
-    // below EX), squash the rest.
-    unsigned spared = 0;
-    for (unsigned i = ex_stage; i-- > 0;) {
-        Slot &slot = pipe_[i];
-        if (!slot.valid || slot.squashed || slot.stream != s)
-            continue;
-        if (spared < cfg_.branchDelaySlots) {
-            ++spared;
-            continue;
-        }
-        slot.squashed = true;
-        ++stats_.squashedJump;
-        if (observer_)
-            observer_->onEvent(s, slot.inst.op, PipeEvent::SquashJump);
-    }
-}
-
-void
-Machine::setAluFlags(StreamId s, Word result, bool carry, bool overflow)
-{
-    StreamCtx &c = ctx(s);
-    c.z = result == 0;
-    c.n = (result & 0x8000) != 0;
-    c.c = carry;
-    c.v = overflow;
-}
-
-void
-Machine::applyWctl(Slot &slot)
-{
-    if (slot.inst.wctl == WCtl::None)
-        return;
-    bool bad = slot.inst.wctl == WCtl::Inc ? win(slot.stream).inc()
-                                           : win(slot.stream).dec();
-    if (bad) {
-        ++stats_.stackOverflows;
-        raiseInternal(slot.stream, kStackOverflowBit);
-    }
-}
-
-void
-Machine::externalAccess(Slot &slot, unsigned stage)
-{
-    StreamId s = slot.stream;
-    StreamCtx &c = ctx(s);
-    bool is_write = slot.inst.op == Opcode::ST;
-    Addr addr = static_cast<Addr>(readReg(s, slot.inst.ra) +
-                                  slot.inst.imm);
-    Word wdata = is_write ? readReg(s, slot.inst.rd) : 0;
-    int dest = is_write ? AsyncBusInterface::kNoDest : slot.inst.rd;
-
-    auto outcome = abi_.request(s, addr, is_write, wdata, dest);
-
-    if (outcome == AsyncBusInterface::Outcome::Fault) {
-        ++stats_.busFaults;
-        raiseInternal(s, kBusFaultBit);
-        // Faulting access retires as a no-op.
-        ++stats_.retired[s];
-        ++stats_.totalRetired;
-        applyWctl(slot);
-        if (observer_)
-            observer_->onEvent(s, slot.inst.op, PipeEvent::Retire);
-        return;
-    }
-
-    if (outcome == AsyncBusInterface::Outcome::Busy) {
-        // Paper: the instruction is flushed and re-requested once the
-        // stream leaves the wait state.
-        ++stats_.busBusyRejections;
-        slot.squashed = true;
-        ++stats_.squashedWait;
-        if (observer_)
-            observer_->onEvent(s, slot.inst.op, PipeEvent::BusBusy);
-        squashYounger(s, stage, &stats_.squashedWait,
-                      PipeEvent::SquashWait);
-        c.wait = WaitState::BusFree;
-        c.pc = slot.pc; // re-execute the access instruction
-        return;
-    }
-
-    // Started.
-    if (auto imm = abi_.takeImmediate()) {
-        // Zero-wait-state device: completes in the same cycle, the
-        // stream does not wait.
-        if (imm->destReg != AsyncBusInterface::kNoDest)
-            writeReg(s, static_cast<unsigned>(imm->destReg), imm->data);
-        if (is_write)
-            ++stats_.externalWrites;
-        else
-            ++stats_.externalReads;
-        ++stats_.retired[s];
-        ++stats_.totalRetired;
-        applyWctl(slot);
-        if (observer_)
-            observer_->onEvent(s, slot.inst.op, PipeEvent::Retire);
-        return;
-    }
-
-    if (cfg_.baselineHaltOnWait) {
-        // Standard-processor model: the whole pipe halts until the
-        // access completes; nothing is flushed.
-        haltedUntilBusDone_ = 1;
-        slot.executed = true;
-        c.pendingWctl = slot.inst.wctl;
-        return;
-    }
-
-    // DISC: flush younger same-stream work and park the stream.
-    if (observer_)
-        observer_->onEvent(s, slot.inst.op, PipeEvent::WaitStart);
-    squashYounger(s, stage, &stats_.squashedWait,
-                  PipeEvent::SquashWait);
-    c.wait = WaitState::Access;
-    c.pc = static_cast<PAddr>(slot.pc + 1);
-    c.pendingWctl = slot.inst.wctl;
-    slot.executed = true; // retires when the ABI completes
-}
-
-void
-Machine::completeAccess(const AsyncBusInterface::Completion &comp)
-{
-    StreamId s = comp.stream;
-    StreamCtx &c = ctx(s);
-    if (comp.destReg != AsyncBusInterface::kNoDest)
-        writeReg(s, static_cast<unsigned>(comp.destReg), comp.data);
-    if (comp.isWrite)
-        ++stats_.externalWrites;
-    else
-        ++stats_.externalReads;
-    ++stats_.retired[s];
-    ++stats_.totalRetired;
-    if (c.pendingWctl != WCtl::None) {
-        bool bad = c.pendingWctl == WCtl::Inc ? win(s).inc()
-                                              : win(s).dec();
-        if (bad) {
-            ++stats_.stackOverflows;
-            raiseInternal(s, kStackOverflowBit);
-        }
-        c.pendingWctl = WCtl::None;
-    }
-    if (observer_) {
-        observer_->onEvent(s, comp.isWrite ? Opcode::ST : Opcode::LD,
-                           PipeEvent::Retire);
-    }
-    haltedUntilBusDone_ = 0;
-    wakeWaiters();
-}
-
-void
-Machine::wakeWaiters()
-{
-    for (StreamId s = 0; s < kNumStreams; ++s) {
-        if (streams_[s].wait != WaitState::Ready) {
-            streams_[s].wait = WaitState::Ready;
-            if (observer_)
-                observer_->onEvent(s, Opcode::NOP, PipeEvent::Wake);
-        }
-    }
-}
-
-Word
-Machine::aluOp(Slot &slot, bool &is_redirect, PAddr &target)
-{
-    is_redirect = false;
-    target = 0;
-    StreamId s = slot.stream;
-    StreamCtx &c = ctx(s);
-    const Instruction &inst = slot.inst;
-
-    auto ra_v = [&] { return readReg(s, inst.ra); };
-    auto rb_v = [&] { return readReg(s, inst.rb); };
-    auto imm_v = [&] { return static_cast<Word>(inst.imm); };
-
-    auto add_like = [&](Word a, Word b, Word carry_in) {
-        DWord full = static_cast<DWord>(a) + b + carry_in;
-        Word r = static_cast<Word>(full);
-        bool carry = (full >> 16) != 0;
-        bool ovf = (~(a ^ b) & (a ^ r) & 0x8000) != 0;
-        setAluFlags(s, r, carry, ovf);
-        return r;
-    };
-    auto sub_like = [&](Word a, Word b, Word borrow_in) {
-        DWord full = static_cast<DWord>(a) - b - borrow_in;
-        Word r = static_cast<Word>(full);
-        bool borrow = (full >> 16) != 0; // wrapped below zero
-        bool ovf = ((a ^ b) & (a ^ r) & 0x8000) != 0;
-        setAluFlags(s, r, borrow, ovf);
-        return r;
-    };
-    auto logic_flags = [&](Word r) {
-        setAluFlags(s, r, false, false);
-        return r;
-    };
-
-    switch (inst.op) {
-      case Opcode::ADD:
-        return add_like(ra_v(), rb_v(), 0);
-      case Opcode::ADC:
-        return add_like(ra_v(), rb_v(), c.c ? 1 : 0);
-      case Opcode::SUB:
-        return sub_like(ra_v(), rb_v(), 0);
-      case Opcode::SBC:
-        return sub_like(ra_v(), rb_v(), c.c ? 1 : 0);
-      case Opcode::AND:
-        return logic_flags(ra_v() & rb_v());
-      case Opcode::OR:
-        return logic_flags(ra_v() | rb_v());
-      case Opcode::XOR:
-        return logic_flags(ra_v() ^ rb_v());
-      case Opcode::SHL: {
-        unsigned sh = rb_v() & 15u;
-        Word a = ra_v();
-        Word r = static_cast<Word>(a << sh);
-        bool carry = sh > 0 && ((a >> (16 - sh)) & 1);
-        setAluFlags(s, r, carry, false);
-        return r;
-      }
-      case Opcode::SHR: {
-        unsigned sh = rb_v() & 15u;
-        Word a = ra_v();
-        Word r = static_cast<Word>(a >> sh);
-        bool carry = sh > 0 && ((a >> (sh - 1)) & 1);
-        setAluFlags(s, r, carry, false);
-        return r;
-      }
-      case Opcode::ASR: {
-        unsigned sh = rb_v() & 15u;
-        SWord a = static_cast<SWord>(ra_v());
-        Word r = static_cast<Word>(a >> sh);
-        bool carry = sh > 0 && ((static_cast<Word>(a) >> (sh - 1)) & 1);
-        setAluFlags(s, r, carry, false);
-        return r;
-      }
-      case Opcode::MUL: {
-        DWord p = static_cast<DWord>(ra_v()) * rb_v();
-        c.mulHigh = static_cast<Word>(p >> 16);
-        Word r = static_cast<Word>(p);
-        setAluFlags(s, r, false, false);
-        return r;
-      }
-      case Opcode::MULH:
-        return c.mulHigh;
-      case Opcode::MOV:
-        return logic_flags(ra_v());
-      case Opcode::NOT:
-        return logic_flags(static_cast<Word>(~ra_v()));
-      case Opcode::NEG:
-        return sub_like(0, ra_v(), 0);
-      case Opcode::CMP:
-        sub_like(ra_v(), rb_v(), 0);
-        return 0;
-      case Opcode::TST:
-        logic_flags(ra_v() & rb_v());
-        return 0;
-      case Opcode::ADDI:
-        return add_like(ra_v(), imm_v(), 0);
-      case Opcode::SUBI:
-        return sub_like(ra_v(), imm_v(), 0);
-      case Opcode::ANDI:
-        return logic_flags(ra_v() & imm_v());
-      case Opcode::ORI:
-        return logic_flags(ra_v() | imm_v());
-      case Opcode::XORI:
-        return logic_flags(ra_v() ^ imm_v());
-      case Opcode::CMPI:
-        sub_like(ra_v(), imm_v(), 0);
-        return 0;
-      case Opcode::LDI:
-        return static_cast<Word>(inst.imm);
-      case Opcode::LDIH: {
-        Word old = readReg(s, inst.rd);
-        return static_cast<Word>((old & 0x00ff) |
-                                 (static_cast<Word>(inst.imm) << 8));
-      }
-      case Opcode::LDM: {
-        Addr a = static_cast<Addr>(ra_v() + inst.imm);
-        return imem_.read(a);
-      }
-      case Opcode::LDMD:
-        return imem_.read(static_cast<Addr>(inst.imm));
-      case Opcode::TAS: {
-        Word old = imem_.testAndSet(ra_v());
-        logic_flags(old);
-        return old;
-      }
-      case Opcode::JMP:
-        is_redirect = true;
-        target = static_cast<PAddr>(inst.imm);
-        return 0;
-      case Opcode::JR:
-        is_redirect = true;
-        target = ra_v();
-        return 0;
-      case Opcode::BR: {
-        bool take = false;
-        switch (inst.cond) {
-          case Cond::EQ: take = c.z; break;
-          case Cond::NE: take = !c.z; break;
-          case Cond::LT: take = c.n != c.v; break;
-          case Cond::GE: take = c.n == c.v; break;
-          case Cond::ULT: take = c.c; break;
-          case Cond::UGE: take = !c.c; break;
-          case Cond::MI: take = c.n; break;
-          case Cond::PL: take = !c.n; break;
-        }
-        if (take) {
-            is_redirect = true;
-            target = static_cast<PAddr>(
-                static_cast<int>(slot.pc) + inst.imm);
-        }
-        return 0;
-      }
-      default:
-        panic("aluOp called for %s",
-              std::string(opMnemonic(inst.op)).c_str());
-    }
-}
-
-void
-Machine::execute(Slot &slot)
-{
-    StreamId s = slot.stream;
-    StreamCtx &c = ctx(s);
-    const Instruction &inst = slot.inst;
-    const OpInfo &oi = inst.info();
-    unsigned ex_stage = cfg_.pipeDepth - 2;
-
-    switch (inst.op) {
-      case Opcode::NOP:
-        break;
-      case Opcode::LD:
-      case Opcode::ST:
-        // External accesses handle their own retirement/wctl.
-        externalAccess(slot, ex_stage);
-        return;
-      case Opcode::STM: {
-        Addr a = static_cast<Addr>(readReg(s, inst.ra) + inst.imm);
-        imem_.write(a, readReg(s, inst.rd));
-        break;
-      }
-      case Opcode::STMD:
-        imem_.write(static_cast<Addr>(inst.imm), readReg(s, inst.rd));
-        break;
-      case Opcode::CALL:
-      case Opcode::CALLR: {
-        PAddr target = inst.op == Opcode::CALL
-                           ? static_cast<PAddr>(inst.imm)
-                           : readReg(s, inst.ra);
-        if (win(s).inc()) {
-            ++stats_.stackOverflows;
-            raiseInternal(s, kStackOverflowBit);
-        }
-        win(s).write(0, static_cast<Word>(slot.pc + 1));
-        redirect(s, target, ex_stage);
-        break;
-      }
-      case Opcode::RET: {
-        bool bad = win(s).move(-inst.imm);
-        PAddr ra_val = win(s).read(0);
-        bad |= win(s).dec();
-        if (bad) {
-            ++stats_.stackOverflows;
-            raiseInternal(s, kStackOverflowBit);
-        }
-        redirect(s, ra_val, ex_stage);
-        break;
-      }
-      case Opcode::RETI: {
-        if (!intUnit_.exitService(s)) {
-            // RETI outside a handler is an illegal use.
-            ++stats_.illegalInstructions;
-            raiseInternal(s, kIllegalInstBit);
-            break;
-        }
-        PAddr ra_val = win(s).read(0);
-        if (win(s).dec()) {
-            ++stats_.stackOverflows;
-            raiseInternal(s, kStackOverflowBit);
-        }
-        redirect(s, ra_val, ex_stage);
-        break;
-      }
-      case Opcode::SWI:
-        raiseInternal(inst.stream, inst.bit);
-        break;
-      case Opcode::CLRI:
-        intUnit_.clear(s, inst.bit);
-        if (!intUnit_.isActive(s)) {
-            // Deactivation: drop the younger fetches and park the PC
-            // right after this instruction so a later activation
-            // resumes exactly where the stream stopped.
-            squashYounger(s, ex_stage, &stats_.squashedDeact,
-                          PipeEvent::SquashDeact);
-            c.pc = static_cast<PAddr>(slot.pc + 1);
-        }
-        break;
-      case Opcode::HALT:
-        intUnit_.clear(s, 0);
-        if (!intUnit_.isActive(s)) {
-            squashYounger(s, ex_stage, &stats_.squashedDeact,
-                          PipeEvent::SquashDeact);
-            c.pc = static_cast<PAddr>(slot.pc + 1);
-        }
-        break;
-      case Opcode::FORK:
-      case Opcode::FORKR: {
-        StreamId t = inst.stream;
-        PAddr entry = inst.op == Opcode::FORK
-                          ? static_cast<PAddr>(inst.imm)
-                          : readReg(s, inst.ra);
-        // Restart semantics: discard whatever the target had in
-        // flight and point it at the new entry.
-        squashYounger(t, cfg_.pipeDepth, &stats_.squashedDeact,
-                      PipeEvent::SquashDeact);
-        ctx(t).pc = entry;
-        intUnit_.raise(t, 0);
-        break;
-      }
-      case Opcode::SCHED:
-        sched_.setSlot(inst.slot, inst.stream);
-        break;
-      case Opcode::WINC:
-      case Opcode::WDEC: {
-        bool bad = inst.op == Opcode::WINC ? win(s).inc() : win(s).dec();
-        if (bad) {
-            ++stats_.stackOverflows;
-            raiseInternal(s, kStackOverflowBit);
-        }
-        break;
-      }
-      default: {
-        // ALU / load-immediate / internal-memory read path.
-        bool is_redirect = false;
-        PAddr target = 0;
-        Word result = aluOp(slot, is_redirect, target);
-        if (oi.writesRd)
-            writeReg(s, inst.rd, result);
-        if (is_redirect)
-            redirect(s, target, ex_stage);
-        break;
-      }
-    }
-
-    applyWctl(slot);
-    ++stats_.retired[s];
-    ++stats_.totalRetired;
-    if (oi.isJumpType)
-        ++stats_.jumpTypeRetired;
-    if (observer_)
-        observer_->onEvent(s, inst.op, PipeEvent::Retire);
-}
-
-void
-Machine::executeAt(unsigned stage)
-{
-    Slot &slot = pipe_[stage];
-    if (!slot.valid || slot.squashed || slot.executed)
-        return;
-    slot.executed = true;
-    execute(slot);
-    if (execTrace_ && !slot.squashed) {
-        execTrace_->record(stats_.cycles, slot.stream, slot.pc,
-                           slot.inst);
     }
 }
 
@@ -867,7 +291,7 @@ Machine::engaged() const
         if (intUnit_.isActive(s) || streams_[s].wait != WaitState::Ready)
             return true;
     }
-    for (const Slot &slot : pipe_) {
+    for (const PipeSlot &slot : pipe_) {
         if (slot.valid && !slot.squashed)
             return true;
     }
@@ -881,7 +305,7 @@ Machine::recordTrace()
         return;
     traceScratch_.resize(cfg_.pipeDepth);
     for (unsigned i = 0; i < cfg_.pipeDepth; ++i) {
-        const Slot &slot = pipe_[i];
+        const PipeSlot &slot = pipe_[i];
         traceScratch_[i] = {slot.valid, slot.squashed, slot.stream,
                             slot.tag};
     }
@@ -889,41 +313,25 @@ Machine::recordTrace()
 }
 
 void
-Machine::step()
+Machine::advancePipe()
 {
-    bool was_engaged = engaged();
-
-    // 1. Peripheral activity.
-    for (const IntRequest &req : bus_.tickDevices())
-        raiseInternal(req.stream, req.bit);
-
-    // 2. Asynchronous bus progress.
-    if (auto comp = abi_.tick())
-        completeAccess(*comp);
-
-    // 3. Standard-processor mode: the pipe is frozen during a wait.
-    if (haltedUntilBusDone_) {
-        ++stats_.cycles;
-        if (was_engaged || engaged())
-            ++stats_.busyCycles;
-        recordTrace();
-        if (observer_)
-            observer_->onCycleEnd();
-        return;
-    }
-
-    // 4. Advance the pipe: retire WR, age everything one stage.
+    // Retire WR implicitly, age everything one stage.
     for (unsigned i = cfg_.pipeDepth - 1; i > 0; --i)
         pipe_[i] = pipe_[i - 1];
-    pipe_[0] = Slot{};
+    pipe_[0] = PipeSlot{};
+}
 
-    // 5. Execute the instruction now at EX.
-    executeAt(cfg_.pipeDepth - 2);
-
-    // 6. Issue from the scheduled stream.
-    if (!haltedUntilBusDone_)
-        issue();
-
+void
+Machine::finishCycle(bool was_engaged)
+{
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        if (streams_[s].wait != WaitState::Ready)
+            ++stats_.waitAbiCycles[s];
+        else if (intUnit_.isActive(s))
+            ++stats_.readyCycles[s];
+        else
+            ++stats_.inactiveCycles[s];
+    }
     ++stats_.cycles;
     if (was_engaged || engaged())
         ++stats_.busyCycles;
@@ -932,168 +340,34 @@ Machine::step()
         observer_->onCycleEnd();
 }
 
+void
+Machine::step()
+{
+    bool was_engaged = engaged();
+
+    // 1. Timing kernel: fire due device expiries and ABI completions
+    //    (the legacy phase-1 device tick / phase-2 ABI tick pair).
+    timing_.dispatch();
+
+    // 2. Standard-processor mode: the pipe is frozen during a wait.
+    if (haltedUntilBusDone_) {
+        finishCycle(was_engaged);
+        return;
+    }
+
+    // 3. Pipe stages: age, execute at EX, issue into IF.
+    advancePipe();
+    executeStage_.tick();
+    if (!haltedUntilBusDone_)
+        issueStage_.tick();
+
+    finishCycle(was_engaged);
+}
+
 bool
 Machine::idle() const
 {
     return !engaged();
-}
-
-namespace
-{
-constexpr std::uint32_t kCheckpointMagic = 0x44495343; // "DISC"
-constexpr std::uint16_t kCheckpointVersion = 1;
-} // namespace
-
-std::vector<std::uint8_t>
-Machine::saveState() const
-{
-    Serializer out;
-    out.put(kCheckpointMagic);
-    out.put(kCheckpointVersion);
-    out.put<std::uint16_t>(static_cast<std::uint16_t>(cfg_.pipeDepth));
-
-    imem_.save(out);
-    for (Word g : globals_)
-        out.put(g);
-    for (const StreamCtx &c : streams_) {
-        out.put(c.pc);
-        out.putBool(c.z);
-        out.putBool(c.n);
-        out.putBool(c.c);
-        out.putBool(c.v);
-        out.put(c.mulHigh);
-        out.put<std::uint8_t>(static_cast<std::uint8_t>(c.wait));
-        out.put<std::uint8_t>(static_cast<std::uint8_t>(c.pendingWctl));
-        for (unsigned b = 0; b < kNumIntLevels; ++b) {
-            out.put<Cycle>(c.lastRaise[b]);
-            out.putBool(c.latencyArmed[b]);
-        }
-    }
-    for (const auto &w : windows_)
-        w->save(out);
-    intUnit_.save(out);
-    sched_.save(out);
-    abi_.save(out);
-
-    for (const Slot &slot : pipe_) {
-        out.putBool(slot.valid);
-        out.putBool(slot.squashed);
-        out.putBool(slot.executed);
-        out.put(slot.stream);
-        out.put(slot.pc);
-        out.put<std::uint32_t>(encode(slot.inst));
-        out.put<std::uint8_t>(static_cast<std::uint8_t>(slot.tag));
-    }
-
-    out.put<Cycle>(stats_.cycles);
-    out.put<Cycle>(stats_.busyCycles);
-    for (std::uint64_t r : stats_.retired)
-        out.put(r);
-    out.put(stats_.totalRetired);
-    out.put(stats_.squashedJump);
-    out.put(stats_.squashedWait);
-    out.put(stats_.squashedDeact);
-    out.put(stats_.bubbles);
-    out.put(stats_.redirects);
-    out.put(stats_.jumpTypeRetired);
-    out.put(stats_.externalReads);
-    out.put(stats_.externalWrites);
-    out.put(stats_.busBusyRejections);
-    out.put(stats_.vectorsTaken);
-    out.put(stats_.stackOverflows);
-    out.put(stats_.illegalInstructions);
-    out.put(stats_.busFaults);
-
-    out.put<std::uint8_t>(static_cast<std::uint8_t>(nextTag_));
-    out.put<Cycle>(haltedUntilBusDone_);
-
-    bus_.saveDevices(out);
-    return out.take();
-}
-
-void
-Machine::restoreState(const std::vector<std::uint8_t> &bytes)
-{
-    Deserializer in(bytes);
-    if (in.get<std::uint32_t>() != kCheckpointMagic)
-        fatal("not a DISC checkpoint");
-    if (in.get<std::uint16_t>() != kCheckpointVersion)
-        fatal("checkpoint version mismatch");
-    if (in.get<std::uint16_t>() != cfg_.pipeDepth)
-        fatal("checkpoint pipe depth mismatch");
-
-    imem_.restore(in);
-    for (Word &g : globals_)
-        g = in.get<Word>();
-    for (StreamCtx &c : streams_) {
-        c.pc = in.get<PAddr>();
-        c.z = in.getBool();
-        c.n = in.getBool();
-        c.c = in.getBool();
-        c.v = in.getBool();
-        c.mulHigh = in.get<Word>();
-        c.wait = static_cast<WaitState>(in.get<std::uint8_t>());
-        c.pendingWctl = static_cast<WCtl>(in.get<std::uint8_t>());
-        for (unsigned b = 0; b < kNumIntLevels; ++b) {
-            c.lastRaise[b] = in.get<Cycle>();
-            c.latencyArmed[b] = in.getBool();
-        }
-    }
-    for (auto &w : windows_)
-        w->restore(in);
-    intUnit_.restore(in);
-    sched_.restore(in);
-    abi_.restore(in);
-
-    for (Slot &slot : pipe_) {
-        slot.valid = in.getBool();
-        slot.squashed = in.getBool();
-        slot.executed = in.getBool();
-        slot.stream = in.get<StreamId>();
-        slot.pc = in.get<PAddr>();
-        slot.inst = decode(in.get<std::uint32_t>());
-        depMasks(slot.inst, slot.readsMask, slot.writesMask);
-        slot.tag = static_cast<char>(in.get<std::uint8_t>());
-    }
-
-    stats_.cycles = in.get<Cycle>();
-    stats_.busyCycles = in.get<Cycle>();
-    for (std::uint64_t &r : stats_.retired)
-        r = in.get<std::uint64_t>();
-    stats_.totalRetired = in.get<std::uint64_t>();
-    stats_.squashedJump = in.get<std::uint64_t>();
-    stats_.squashedWait = in.get<std::uint64_t>();
-    stats_.squashedDeact = in.get<std::uint64_t>();
-    stats_.bubbles = in.get<std::uint64_t>();
-    stats_.redirects = in.get<std::uint64_t>();
-    stats_.jumpTypeRetired = in.get<std::uint64_t>();
-    stats_.externalReads = in.get<std::uint64_t>();
-    stats_.externalWrites = in.get<std::uint64_t>();
-    stats_.busBusyRejections = in.get<std::uint64_t>();
-    stats_.vectorsTaken = in.get<std::uint64_t>();
-    stats_.stackOverflows = in.get<std::uint64_t>();
-    stats_.illegalInstructions = in.get<std::uint64_t>();
-    stats_.busFaults = in.get<std::uint64_t>();
-
-    nextTag_ = static_cast<char>(in.get<std::uint8_t>());
-    haltedUntilBusDone_ = in.get<Cycle>();
-
-    bus_.restoreDevices(in);
-    if (!in.exhausted())
-        fatal("checkpoint has %zu trailing bytes",
-              bytes.size() - in.position());
-}
-
-Cycle
-Machine::run(Cycle max_cycles, bool stop_when_idle)
-{
-    Cycle start = stats_.cycles;
-    while (stats_.cycles - start < max_cycles) {
-        if (stop_when_idle && idle())
-            break;
-        step();
-    }
-    return stats_.cycles - start;
 }
 
 } // namespace disc

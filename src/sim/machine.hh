@@ -33,6 +33,16 @@
  * A "standard processor" baseline mode is provided (single stream,
  * pipe halts during external waits instead of flushing) matching the
  * Ps model of section 4.1.
+ *
+ * Timing core
+ * -----------
+ * The cycle loop is event-scheduled (sim/stages.hh): devices and the
+ * ABI register completions/expiries with a min-heap event queue
+ * instead of being polled every cycle, step() delegates to per-stage
+ * modules, and run() fast-forwards across spans where every resident
+ * stream is waiting or inactive. Skipped cycles are still counted in
+ * MachineStats (the paper's tables are defined over architectural
+ * cycles), so both stepping modes produce bit-identical results.
  */
 
 #ifndef DISC_SIM_MACHINE_HH
@@ -53,6 +63,8 @@
 #include "isa/predecode.hh"
 #include "isa/program.hh"
 #include "sim/observer.hh"
+#include "sim/pipeline_state.hh"
+#include "sim/stages.hh"
 #include "sim/trace.hh"
 
 namespace disc
@@ -89,12 +101,21 @@ struct MachineConfig
 
     /** Words of stack region per stream. */
     Addr stackWords = kStackRegionWords;
+
+    /**
+     * Let run() jump over cycles where nothing observable can happen
+     * (all streams waiting/inactive, no event due). Semantics- and
+     * stats-preserving; disable to force per-cycle stepping. The
+     * DISC_NO_FASTFORWARD environment variable (set non-zero)
+     * overrides this to false.
+     */
+    bool fastForward = true;
 };
 
 /** Counters exposed by the machine. */
 struct MachineStats
 {
-    Cycle cycles = 0;          ///< total step() calls
+    Cycle cycles = 0;          ///< total cycles simulated
     Cycle busyCycles = 0;      ///< cycles with any stream engaged
     std::array<std::uint64_t, kNumStreams> retired{};
     std::uint64_t totalRetired = 0;
@@ -111,6 +132,25 @@ struct MachineStats
     std::uint64_t stackOverflows = 0;
     std::uint64_t illegalInstructions = 0;
     std::uint64_t busFaults = 0;
+
+    /**
+     * Per-stream wait-state breakdown: every simulated cycle each
+     * stream is counted as ready (active, may be scheduled), waiting
+     * on the ABI (bus-free retry or own access in flight), or
+     * inactive. The three sum to `cycles` per stream.
+     */
+    std::array<std::uint64_t, kNumStreams> readyCycles{};
+    std::array<std::uint64_t, kNumStreams> waitAbiCycles{};
+    std::array<std::uint64_t, kNumStreams> inactiveCycles{};
+
+    /**
+     * Fast-forward accounting: cycles covered by event-skip jumps
+     * (still included in `cycles` and every per-cycle counter above)
+     * and the number of jumps taken. These are the only counters that
+     * differ between stepping modes.
+     */
+    Cycle fastForwardedCycles = 0;
+    std::uint64_t fastForwards = 0;
 
     /** Utilisation: retired instructions per machine-busy cycle. */
     double utilization() const;
@@ -149,7 +189,8 @@ class Machine
 
     /**
      * Run until idle (all streams inactive, pipe drained, bus quiet)
-     * or until @p max_cycles elapse.
+     * or until @p max_cycles elapse. When fast-forward is enabled the
+     * kernel jumps over dead spans; results are identical either way.
      * @param stop_when_idle pass false to always run max_cycles.
      * @return cycles actually simulated.
      */
@@ -157,6 +198,12 @@ class Machine
 
     /** True when nothing can make progress without external input. */
     bool idle() const;
+
+    /** True when run() may skip dead cycles (config + environment). */
+    bool fastForwardEnabled() const { return ffEnabled_; }
+
+    /** Override the fast-forward setting (tests, tools). */
+    void setFastForward(bool on) { ffEnabled_ = on; }
 
     // --- Architectural state access (tests, examples, probes) ---
 
@@ -236,52 +283,26 @@ class Machine
     void restoreState(const std::vector<std::uint8_t> &bytes);
 
   private:
-    /** Why a stream is not running. */
-    enum class WaitState : std::uint8_t
-    {
-        Ready,       ///< may be scheduled
-        BusFree,     ///< retry the access when the bus frees
-        Access,      ///< own access in flight
-    };
-
-    /** One pipeline slot. */
-    struct Slot
-    {
-        bool valid = false;
-        bool squashed = false;
-        bool executed = false;    ///< baseline halt mode bookkeeping
-        StreamId stream = kNoStream;
-        PAddr pc = 0;
-        Instruction inst;
-        std::uint32_t readsMask = 0;
-        std::uint32_t writesMask = 0;
-        char tag = ' ';           ///< trace letter
-    };
-
-    /** Per-stream architectural and micro-architectural state. */
-    struct StreamCtx
-    {
-        PAddr pc = 0;
-        bool z = false, n = false, c = false, v = false;
-        Word mulHigh = 0;
-        WaitState wait = WaitState::Ready;
-        WCtl pendingWctl = WCtl::None; ///< applied when the access lands
-        Cycle lastRaise[kNumIntLevels] = {};
-        bool latencyArmed[kNumIntLevels] = {};
-    };
+    friend class VectorStage;
+    friend class IssueStage;
+    friend class ExecuteStage;
+    friend class AbiStage;
+    friend class TimingKernel;
 
     MachineConfig cfg_;
     InternalMemory imem_;
     ProgramMemory pmem_;
     PredecodeTable pdec_; ///< per-address decode + dep masks, built at load()
     Bus bus_;
-    AsyncBusInterface abi_;
+    /// Mutable: lazily-deferred bus time is materialized from const
+    /// snapshots (saveState) without changing observable behavior.
+    mutable AsyncBusInterface abi_;
     InterruptUnit intUnit_;
     Scheduler sched_;
     std::vector<std::unique_ptr<StackWindow>> windows_;
     std::array<StreamCtx, kNumStreams> streams_;
     std::array<Word, kNumGlobalRegs> globals_{};
-    std::vector<Slot> pipe_; ///< index 0 = IF .. depth-1 = WR
+    std::vector<PipeSlot> pipe_; ///< index 0 = IF .. depth-1 = WR
     MachineStats stats_;
     Histogram latency_;
     PipeTrace *trace_ = nullptr;
@@ -290,33 +311,31 @@ class Machine
     std::vector<PipeTrace::StageEntry> traceScratch_;
     char nextTag_ = 'a';
     Cycle haltedUntilBusDone_ = 0; ///< baseline mode flag (bool-ish)
+    bool ffEnabled_ = true;
 
-    // -- helpers --
+    // Stage modules and the timing kernel (sim/stages.hh). Declared
+    // last so they are constructed after the state they reference.
+    VectorStage vectorStage_;
+    IssueStage issueStage_;
+    ExecuteStage executeStage_;
+    AbiStage abiStage_;
+    mutable TimingKernel timing_; ///< mutable: see abi_ above
+
+    // -- shared helpers (machine.cc) --
     StreamCtx &ctx(StreamId s);
     const StreamCtx &ctx(StreamId s) const;
     StackWindow &win(StreamId s);
     const StackWindow &win(StreamId s) const;
 
     void raiseInternal(StreamId s, unsigned bit);
-    bool interlocked(StreamId s, std::uint32_t reads,
-                     std::uint32_t writes) const;
-    bool hasInFlight(StreamId s) const;
-    unsigned readyMask();
-    void issue();
-    void executeAt(unsigned stage);
-    void execute(Slot &slot);
-    void applyWctl(Slot &slot);
-    void redirect(StreamId s, PAddr target, unsigned ex_stage);
     void squashYounger(StreamId s, unsigned ex_stage,
                        std::uint64_t *counter, PipeEvent ev);
-    void setAluFlags(StreamId s, Word result, bool carry, bool overflow);
-    Word aluOp(Slot &slot, bool &is_redirect, PAddr &target);
-    void externalAccess(Slot &slot, unsigned stage);
-    void completeAccess(const AsyncBusInterface::Completion &c);
-    void wakeWaiters();
     bool engaged() const;
     void recordTrace();
-    void takeVector(StreamId s, unsigned level);
+    void advancePipe();
+    void finishCycle(bool was_engaged);
+    Cycle skippableCycles(Cycle budget) const;
+    void fastForward(Cycle span);
 };
 
 } // namespace disc

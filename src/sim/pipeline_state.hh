@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared pipeline-state types used by the Machine and its stage
+ * modules (sim/stages.hh). Kept at namespace scope so the stage
+ * classes can name them in their interfaces without pulling in the
+ * full Machine definition.
+ */
+
+#ifndef DISC_SIM_PIPELINE_STATE_HH
+#define DISC_SIM_PIPELINE_STATE_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace disc
+{
+
+/** Why a stream is not running. */
+enum class WaitState : std::uint8_t
+{
+    Ready,       ///< may be scheduled
+    BusFree,     ///< retry the access when the bus frees
+    Access,      ///< own access in flight
+};
+
+/** One pipeline slot. */
+struct PipeSlot
+{
+    bool valid = false;
+    bool squashed = false;
+    bool executed = false;    ///< baseline halt mode bookkeeping
+    StreamId stream = kNoStream;
+    PAddr pc = 0;
+    Instruction inst;
+    std::uint32_t readsMask = 0;
+    std::uint32_t writesMask = 0;
+    char tag = ' ';           ///< trace letter
+};
+
+/** Per-stream architectural and micro-architectural state. */
+struct StreamCtx
+{
+    PAddr pc = 0;
+    bool z = false, n = false, c = false, v = false;
+    Word mulHigh = 0;
+    WaitState wait = WaitState::Ready;
+    WCtl pendingWctl = WCtl::None; ///< applied when the access lands
+    Cycle lastRaise[kNumIntLevels] = {};
+    bool latencyArmed[kNumIntLevels] = {};
+};
+
+} // namespace disc
+
+#endif // DISC_SIM_PIPELINE_STATE_HH

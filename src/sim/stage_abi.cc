@@ -1,0 +1,142 @@
+/**
+ * @file
+ * ABI/writeback stage: hands LD/ST accesses to the asynchronous bus
+ * interface at EX, parks/flushes streams per the paper's wait rules,
+ * and lands completions scheduled by the timing kernel.
+ */
+
+#include "sim/machine.hh"
+
+namespace disc
+{
+
+void
+AbiStage::externalAccess(PipeSlot &slot, unsigned stage)
+{
+    StreamId s = slot.stream;
+    StreamCtx &c = m_.ctx(s);
+    bool is_write = slot.inst.op == Opcode::ST;
+    Addr addr = static_cast<Addr>(m_.readReg(s, slot.inst.ra) +
+                                  slot.inst.imm);
+    Word wdata = is_write ? m_.readReg(s, slot.inst.rd) : 0;
+    int dest = is_write ? AsyncBusInterface::kNoDest : slot.inst.rd;
+
+    // The target device's lazy clock must be exact before the access
+    // can read or re-arm it.
+    m_.timing_.syncDeviceForAccess(addr);
+
+    auto outcome = m_.abi_.request(s, addr, is_write, wdata, dest);
+
+    if (outcome == AsyncBusInterface::Outcome::Fault) {
+        ++m_.stats_.busFaults;
+        m_.raiseInternal(s, kBusFaultBit);
+        // Faulting access retires as a no-op.
+        ++m_.stats_.retired[s];
+        ++m_.stats_.totalRetired;
+        m_.executeStage_.applyWctl(slot);
+        if (m_.observer_)
+            m_.observer_->onEvent(s, slot.inst.op, PipeEvent::Retire);
+        return;
+    }
+
+    if (outcome == AsyncBusInterface::Outcome::Busy) {
+        // Paper: the instruction is flushed and re-requested once the
+        // stream leaves the wait state.
+        ++m_.stats_.busBusyRejections;
+        slot.squashed = true;
+        ++m_.stats_.squashedWait;
+        if (m_.observer_)
+            m_.observer_->onEvent(s, slot.inst.op, PipeEvent::BusBusy);
+        m_.squashYounger(s, stage, &m_.stats_.squashedWait,
+                         PipeEvent::SquashWait);
+        c.wait = WaitState::BusFree;
+        c.pc = slot.pc; // re-execute the access instruction
+        return;
+    }
+
+    // Started.
+    if (auto imm = m_.abi_.takeImmediate()) {
+        // Zero-wait-state device: completes in the same cycle, the
+        // stream does not wait.
+        if (imm->destReg != AsyncBusInterface::kNoDest)
+            m_.writeReg(s, static_cast<unsigned>(imm->destReg),
+                        imm->data);
+        if (is_write)
+            ++m_.stats_.externalWrites;
+        else
+            ++m_.stats_.externalReads;
+        ++m_.stats_.retired[s];
+        ++m_.stats_.totalRetired;
+        m_.executeStage_.applyWctl(slot);
+        if (m_.observer_)
+            m_.observer_->onEvent(s, slot.inst.op, PipeEvent::Retire);
+        m_.timing_.rescheduleDeviceAt(addr);
+        return;
+    }
+
+    // Latent access: let the kernel schedule the completion moment.
+    m_.timing_.scheduleAbiCompletion();
+
+    if (m_.cfg_.baselineHaltOnWait) {
+        // Standard-processor model: the whole pipe halts until the
+        // access completes; nothing is flushed.
+        m_.haltedUntilBusDone_ = 1;
+        slot.executed = true;
+        c.pendingWctl = slot.inst.wctl;
+        return;
+    }
+
+    // DISC: flush younger same-stream work and park the stream.
+    if (m_.observer_)
+        m_.observer_->onEvent(s, slot.inst.op, PipeEvent::WaitStart);
+    m_.squashYounger(s, stage, &m_.stats_.squashedWait,
+                     PipeEvent::SquashWait);
+    c.wait = WaitState::Access;
+    c.pc = static_cast<PAddr>(slot.pc + 1);
+    c.pendingWctl = slot.inst.wctl;
+    slot.executed = true; // retires when the ABI completes
+}
+
+void
+AbiStage::completeAccess(const AsyncBusInterface::Completion &comp)
+{
+    StreamId s = comp.stream;
+    StreamCtx &c = m_.ctx(s);
+    if (comp.destReg != AsyncBusInterface::kNoDest)
+        m_.writeReg(s, static_cast<unsigned>(comp.destReg), comp.data);
+    if (comp.isWrite)
+        ++m_.stats_.externalWrites;
+    else
+        ++m_.stats_.externalReads;
+    ++m_.stats_.retired[s];
+    ++m_.stats_.totalRetired;
+    if (c.pendingWctl != WCtl::None) {
+        bool bad = c.pendingWctl == WCtl::Inc ? m_.win(s).inc()
+                                              : m_.win(s).dec();
+        if (bad) {
+            ++m_.stats_.stackOverflows;
+            m_.raiseInternal(s, kStackOverflowBit);
+        }
+        c.pendingWctl = WCtl::None;
+    }
+    if (m_.observer_) {
+        m_.observer_->onEvent(s, comp.isWrite ? Opcode::ST : Opcode::LD,
+                              PipeEvent::Retire);
+    }
+    m_.haltedUntilBusDone_ = 0;
+    wakeWaiters();
+}
+
+void
+AbiStage::wakeWaiters()
+{
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        if (m_.streams_[s].wait != WaitState::Ready) {
+            m_.streams_[s].wait = WaitState::Ready;
+            if (m_.observer_)
+                m_.observer_->onEvent(s, Opcode::NOP, PipeEvent::Wake);
+        }
+    }
+}
+
+} // namespace disc

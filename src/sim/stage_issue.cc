@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Issue stage and vector unit: per-cycle readiness, the hardware
+ * schedule pick, interlock modelling and serialized vector entry.
+ */
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+
+namespace disc
+{
+
+bool
+IssueStage::interlocked(StreamId s, std::uint32_t reads,
+                        std::uint32_t writes) const
+{
+    for (const PipeSlot &slot : m_.pipe_) {
+        if (!slot.valid || slot.squashed || slot.stream != s)
+            continue;
+        if (reads & slot.writesMask)
+            return true;
+        // Window moves must also wait for in-flight window users.
+        if ((writes & kDepAwp) && (slot.readsMask & kDepAwp))
+            return true;
+    }
+    return false;
+}
+
+bool
+IssueStage::hasInFlight(StreamId s) const
+{
+    for (const PipeSlot &slot : m_.pipe_) {
+        if (slot.valid && !slot.squashed && slot.stream == s)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+IssueStage::readyMask() const
+{
+    unsigned ready = 0;
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        const StreamCtx &c = m_.streams_[s];
+        if (c.wait != WaitState::Ready)
+            continue;
+        if (!m_.intUnit_.isActive(s))
+            continue;
+        auto vec = m_.intUnit_.pendingVector(s);
+        if (vec && hasInFlight(s))
+            continue; // vector entry serialises against the pipe
+        PAddr fetch_pc = vec ? vectorAddress(s, *vec) : c.pc;
+        const PredecodedInst &pd = m_.pdec_.at(fetch_pc);
+        if (!pd.legal) {
+            ready |= 1u << s; // issue consumes it and raises the trap
+            continue;
+        }
+        if (!vec && interlocked(s, pd.readsMask, pd.writesMask))
+            continue;
+        ready |= 1u << s;
+    }
+    return ready;
+}
+
+void
+IssueStage::tick()
+{
+    unsigned ready = readyMask();
+    StreamId slot_owner =
+        m_.observer_ ? m_.sched_.nextOwner() : kNoStream;
+    StreamId s = m_.sched_.pick(ready);
+    if (s == kNoStream) {
+        ++m_.stats_.bubbles;
+        return;
+    }
+
+    StreamCtx &c = m_.ctx(s);
+    if (auto vec = m_.intUnit_.pendingVector(s))
+        m_.vectorStage_.takeVector(s, *vec);
+
+    const PredecodedInst &pd = m_.pdec_.at(c.pc);
+    if (m_.observer_) {
+        m_.observer_->onIssue(s, slot_owner, ready, c.pc, pd.inst);
+        if (pd.legal)
+            m_.observer_->onEvent(s, pd.inst.op, PipeEvent::Issue);
+    }
+    if (!pd.legal) {
+        ++m_.stats_.illegalInstructions;
+        m_.raiseInternal(s, kIllegalInstBit);
+        ++c.pc;
+        return;
+    }
+
+    PipeSlot &slot = m_.pipe_[0];
+    slot.valid = true;
+    slot.squashed = false;
+    slot.executed = false;
+    slot.stream = s;
+    slot.pc = c.pc;
+    slot.inst = pd.inst;
+    slot.readsMask = pd.readsMask;
+    slot.writesMask = pd.writesMask;
+    slot.tag = m_.nextTag_;
+    m_.nextTag_ =
+        m_.nextTag_ == 'z' ? 'a' : static_cast<char>(m_.nextTag_ + 1);
+    ++c.pc;
+}
+
+void
+VectorStage::takeVector(StreamId s, unsigned level)
+{
+    StreamCtx &c = m_.ctx(s);
+    if (m_.observer_) {
+        // Before enterService so the observer can audit the pre-entry
+        // pending/mask/running-level state against the chosen level.
+        m_.observer_->onVector(s, level);
+        m_.observer_->onEvent(s, Opcode::NOP, PipeEvent::Vector);
+    }
+    if (m_.win(s).inc()) {
+        ++m_.stats_.stackOverflows;
+        m_.raiseInternal(s, kStackOverflowBit);
+    }
+    m_.win(s).write(0, c.pc);
+    m_.intUnit_.enterService(s, level);
+    c.pc = vectorAddress(s, level);
+    ++m_.stats_.vectorsTaken;
+    if (c.latencyArmed[level]) {
+        m_.latency_.add(m_.stats_.cycles - c.lastRaise[level]);
+        c.latencyArmed[level] = false;
+    }
+}
+
+} // namespace disc

@@ -11,15 +11,17 @@ namespace disc
 namespace
 {
 constexpr std::size_t kActiveBuckets = kNumStreams + 1;
+constexpr std::size_t kSkipBuckets = 2;
 constexpr std::size_t kMapSize =
     static_cast<std::size_t>(kNumOpcodes) * kNumPipeEvents *
-    kActiveBuckets;
+    kActiveBuckets * kSkipBuckets;
 } // namespace
 
 CoverageMap::CoverageMap() : hits_(kMapSize, 0) {}
 
 std::size_t
-CoverageMap::index(Opcode op, PipeEvent ev, unsigned active)
+CoverageMap::index(Opcode op, PipeEvent ev, unsigned active,
+                   bool skip_taken)
 {
     auto o = static_cast<std::size_t>(op);
     auto e = static_cast<std::size_t>(ev);
@@ -27,13 +29,16 @@ CoverageMap::index(Opcode op, PipeEvent ev, unsigned active)
         active >= kActiveBuckets)
         panic("coverage point (%zu, %zu, %u) out of range", o, e,
               active);
-    return (o * kNumPipeEvents + e) * kActiveBuckets + active;
+    return ((o * kNumPipeEvents + e) * kActiveBuckets + active) *
+               kSkipBuckets +
+           (skip_taken ? 1 : 0);
 }
 
 void
-CoverageMap::record(Opcode op, PipeEvent ev, unsigned active)
+CoverageMap::record(Opcode op, PipeEvent ev, unsigned active,
+                    bool skip_taken)
 {
-    std::uint32_t &h = hits_[index(op, ev, active)];
+    std::uint32_t &h = hits_[index(op, ev, active, skip_taken)];
     if (h != std::numeric_limits<std::uint32_t>::max())
         ++h;
 }

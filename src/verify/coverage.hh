@@ -2,10 +2,12 @@
  * @file
  * Behavioural coverage map for the coverage-guided fuzzer.
  *
- * A coverage point is the triple (opcode, pipeline event, number of
- * active streams at the time): "an ST was squashed by a bus wait while
- * three streams were live" is a different point from the same squash
- * with one stream live. The fuzzer keeps a generated program in its
+ * A coverage point is the tuple (opcode, pipeline event, number of
+ * active streams at the time, event-skip taken): "an ST was squashed
+ * by a bus wait while three streams were live" is a different point
+ * from the same squash with one stream live, and both differ again
+ * depending on whether the run has exercised the timing kernel's
+ * fast-forward path. The fuzzer keeps a generated program in its
  * corpus exactly when running it lights up at least one point no
  * earlier input has reached, which steers the random search toward
  * the interleaving-dependent corners the DISC paper's claims live in.
@@ -24,14 +26,23 @@
 namespace disc
 {
 
-/** Dense hit-count map over (opcode × pipe event × active streams). */
+/**
+ * Dense hit-count map over (opcode × pipe event × active streams ×
+ * event-skip taken).
+ */
 class CoverageMap
 {
   public:
     CoverageMap();
 
-    /** Record one event with @p active streams live (0..kNumStreams). */
-    void record(Opcode op, PipeEvent ev, unsigned active);
+    /**
+     * Record one event with @p active streams live (0..kNumStreams).
+     * @p skip_taken says whether the run has fast-forwarded at least
+     * once by event time — the same behaviour reached with and
+     * without the event-skip path engaged counts as two points.
+     */
+    void record(Opcode op, PipeEvent ev, unsigned active,
+                bool skip_taken = false);
 
     /** Number of distinct points hit at least once. */
     std::size_t pointsHit() const;
@@ -49,10 +60,12 @@ class CoverageMap
     void clear();
 
   private:
-    // Indexed [op][event][active]; one 32-bit saturating counter each.
+    // Indexed [op][event][active][skip]; one 32-bit saturating
+    // counter each.
     std::vector<std::uint32_t> hits_;
 
-    static std::size_t index(Opcode op, PipeEvent ev, unsigned active);
+    static std::size_t index(Opcode op, PipeEvent ev, unsigned active,
+                             bool skip_taken);
 };
 
 } // namespace disc

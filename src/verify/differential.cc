@@ -6,7 +6,8 @@
 namespace disc
 {
 
-MachineRig::MachineRig(const MultiStreamProgram &msp) : msp_(msp)
+MachineRig::MachineRig(const MultiStreamProgram &msp, MachineConfig cfg)
+    : msp_(msp), machine_(cfg)
 {
     if (msp_.opts.useDevices) {
         for (StreamId s = 0; s < msp_.streams; ++s) {

@@ -36,7 +36,9 @@ namespace disc
 class MachineRig
 {
   public:
-    explicit MachineRig(const MultiStreamProgram &msp);
+    /** @param cfg machine configuration (e.g. stepping mode) to use. */
+    explicit MachineRig(const MultiStreamProgram &msp,
+                        MachineConfig cfg = {});
 
     Machine &machine() { return machine_; }
     const MultiStreamProgram &workload() const { return msp_; }

@@ -115,7 +115,8 @@ void
 InvariantChecker::onEvent(StreamId s, Opcode op, PipeEvent ev)
 {
     if (cov_)
-        cov_->record(op, ev, activeStreams());
+        cov_->record(op, ev, activeStreams(),
+                     m_.stats().fastForwardedCycles > 0);
     if (s >= kNumStreams)
         return;
     switch (ev) {

@@ -636,9 +636,9 @@ TEST(AbiTest, ReadCompletesAfterLatency)
     EXPECT_FALSE(abi.takeImmediate().has_value());
     EXPECT_TRUE(abi.busy());
 
-    EXPECT_FALSE(abi.tick().has_value());
-    EXPECT_FALSE(abi.tick().has_value());
-    auto comp = abi.tick();
+    EXPECT_FALSE(abi.advance(1).has_value());
+    EXPECT_FALSE(abi.advance(1).has_value());
+    auto comp = abi.advance(1);
     ASSERT_TRUE(comp.has_value());
     EXPECT_EQ(comp->stream, 1);
     EXPECT_EQ(comp->destReg, 4);
@@ -655,8 +655,8 @@ TEST(AbiTest, WriteLandsAtCompletion)
     AsyncBusInterface abi(bus);
     abi.request(0, 7, true, 0x1234, AsyncBusInterface::kNoDest);
     EXPECT_EQ(mem.peek(7), 0); // not yet written
-    abi.tick();
-    auto comp = abi.tick();
+    abi.advance(1);
+    auto comp = abi.advance(1);
     ASSERT_TRUE(comp.has_value());
     EXPECT_TRUE(comp->isWrite);
     EXPECT_EQ(mem.peek(7), 0x1234);
@@ -707,7 +707,7 @@ TEST(Devices, SensorProducesAndInterrupts)
     sensor.setInterrupt(2, 4);
     unsigned ints = 0;
     for (int i = 0; i < 100; ++i) {
-        if (auto req = sensor.tick()) {
+        if (auto req = sensor.onEvent(1)) {
             EXPECT_EQ(req->stream, 2);
             EXPECT_EQ(req->bit, 4u);
             ++ints;
@@ -727,17 +727,17 @@ TEST(Devices, SensorCustomGenerator)
         return static_cast<Word>(n * n);
     });
     for (int i = 0; i < 5; ++i)
-        sensor.tick();
+        sensor.onEvent(1);
     EXPECT_EQ(sensor.read(0), 16);
 }
 
 TEST(Devices, ActuatorRecordsOutputs)
 {
     ActuatorDevice act(1);
-    act.tick();
-    act.tick();
+    act.onEvent(1);
+    act.onEvent(1);
     act.write(0, 100);
-    act.tick();
+    act.onEvent(1);
     act.write(1, 200);
     ASSERT_EQ(act.outputs().size(), 2u);
     EXPECT_EQ(act.outputs()[0].cycle, 2u);
@@ -751,7 +751,7 @@ TEST(Devices, TimerFiresPeriodically)
     TimerDevice timer(5, 1, 7);
     unsigned fires = 0;
     for (int i = 0; i < 25; ++i) {
-        if (auto req = timer.tick()) {
+        if (auto req = timer.onEvent(1)) {
             EXPECT_EQ(req->stream, 1);
             EXPECT_EQ(req->bit, 7u);
             ++fires;
@@ -767,7 +767,7 @@ TEST(Devices, TimerReprogrammable)
     timer.write(0, 2);
     unsigned fires = 0;
     for (int i = 0; i < 10; ++i)
-        fires += timer.tick().has_value();
+        fires += timer.onEvent(1).has_value();
     EXPECT_EQ(fires, 5u);
 }
 

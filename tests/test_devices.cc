@@ -25,7 +25,7 @@ TEST(Uart, DeliversScriptOnCadence)
     uart.scriptRx({100, 200, 300});
     unsigned delivered = 0;
     for (int c = 0; c < 35; ++c) {
-        if (auto req = uart.tick())
+        if (auto req = uart.onEvent(1))
             ADD_FAILURE() << "no interrupt configured";
         if (uart.read(2) & 1) {
             Word v = uart.read(0);
@@ -46,7 +46,7 @@ TEST(Uart, RxInterruptRequests)
     uart.scriptRx({7});
     unsigned ints = 0;
     for (int c = 0; c < 20; ++c) {
-        if (auto req = uart.tick()) {
+        if (auto req = uart.onEvent(1)) {
             EXPECT_EQ(req->stream, 2);
             EXPECT_EQ(req->bit, 4u);
             ++ints;
@@ -60,7 +60,7 @@ TEST(Uart, OverrunWhenUnread)
     UartDevice uart(3, 1);
     uart.scriptRx({1, 2, 3});
     for (int c = 0; c < 12; ++c)
-        uart.tick();
+        uart.onEvent(1);
     EXPECT_EQ(uart.overruns(), 2u); // only the last word survives
     EXPECT_EQ(uart.read(0), 3);
 }
@@ -92,7 +92,7 @@ TEST(Dma, CopiesBlockAndInterrupts)
 
     unsigned ints = 0;
     for (int c = 0; c < 8 * 3 + 5; ++c) {
-        if (auto req = dma.tick()) {
+        if (auto req = dma.onEvent(1)) {
             EXPECT_EQ(req->stream, 1);
             EXPECT_EQ(req->bit, 5u);
             ++ints;
@@ -113,7 +113,7 @@ TEST(Dma, IgnoresStartWhileBusy)
     dma.write(2, 10); // ignored: already busy
     unsigned ticks = 0;
     while (dma.read(3) == 1 && ticks < 100) {
-        dma.tick();
+        dma.onEvent(1);
         ++ticks;
     }
     EXPECT_EQ(ticks, 8u); // 4 words x 2 cycles

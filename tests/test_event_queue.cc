@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the min-heap timing kernel queue: time ordering,
+ * same-cycle FIFO stability, supersession, lazy cancellation and
+ * sparse source ids.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hh"
+
+namespace disc
+{
+namespace
+{
+
+std::vector<EventQueue::Event>
+drain(EventQueue &q, Cycle now)
+{
+    std::vector<EventQueue::Event> out;
+    q.popDue(now, out);
+    return out;
+}
+
+TEST(EventQueue, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTime(), kNoEvent);
+    EXPECT_FALSE(q.pending(0));
+    EXPECT_EQ(q.scheduledAt(0), kNoEvent);
+    EXPECT_TRUE(drain(q, 1000).empty());
+}
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue q;
+    q.schedule(1, 30);
+    q.schedule(2, 10);
+    q.schedule(3, 20);
+    EXPECT_EQ(q.nextTime(), 10u);
+    auto due = drain(q, 100);
+    ASSERT_EQ(due.size(), 3u);
+    EXPECT_EQ(due[0].source, 2u);
+    EXPECT_EQ(due[1].source, 3u);
+    EXPECT_EQ(due[2].source, 1u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameCycleIsFifoStable)
+{
+    // Many sources on one cycle must pop in schedule order, not in
+    // whatever order the heap internally settles on.
+    EventQueue q;
+    const std::uint32_t order[] = {7, 3, 11, 0, 5, 9, 2, 8, 1};
+    for (std::uint32_t s : order)
+        q.schedule(s, 42);
+    auto due = drain(q, 42);
+    ASSERT_EQ(due.size(), std::size(order));
+    for (std::size_t i = 0; i < std::size(order); ++i) {
+        EXPECT_EQ(due[i].source, order[i]) << "position " << i;
+        EXPECT_EQ(due[i].when, 42u);
+    }
+}
+
+TEST(EventQueue, PopDueLeavesFutureEvents)
+{
+    EventQueue q;
+    q.schedule(0, 5);
+    q.schedule(1, 6);
+    q.schedule(2, 7);
+    auto due = drain(q, 6);
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0].source, 0u);
+    EXPECT_EQ(due[1].source, 1u);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.pending(2));
+    EXPECT_FALSE(q.pending(0));
+    EXPECT_EQ(q.nextTime(), 7u);
+}
+
+TEST(EventQueue, RescheduleSupersedes)
+{
+    EventQueue q;
+    q.schedule(4, 50);
+    q.schedule(4, 10); // moves earlier
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.scheduledAt(4), 10u);
+    auto due = drain(q, 100);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].when, 10u);
+
+    q.schedule(4, 10);
+    q.schedule(4, 50); // moves later
+    EXPECT_EQ(q.nextTime(), 50u);
+    EXPECT_TRUE(drain(q, 49).empty());
+    ASSERT_EQ(drain(q, 50).size(), 1u);
+}
+
+TEST(EventQueue, RescheduleMovesFifoPositionToBack)
+{
+    // Superseding an event re-enters the FIFO at the tail even when
+    // the cycle is unchanged.
+    EventQueue q;
+    q.schedule(1, 20);
+    q.schedule(2, 20);
+    q.schedule(1, 20);
+    auto due = drain(q, 20);
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0].source, 2u);
+    EXPECT_EQ(due[1].source, 1u);
+}
+
+TEST(EventQueue, CancelDropsEvent)
+{
+    EventQueue q;
+    q.schedule(0, 10);
+    q.schedule(1, 5);
+    q.cancel(1);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.pending(1));
+    EXPECT_EQ(q.nextTime(), 10u); // the cancelled earlier event is gone
+    auto due = drain(q, 100);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].source, 0u);
+
+    q.cancel(0); // cancelling an unscheduled source is a no-op
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelThenRescheduleWorks)
+{
+    EventQueue q;
+    q.schedule(6, 8);
+    q.cancel(6);
+    q.schedule(6, 12);
+    EXPECT_EQ(q.scheduledAt(6), 12u);
+    auto due = drain(q, 20);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0].source, 6u);
+    EXPECT_EQ(due[0].when, 12u);
+}
+
+TEST(EventQueue, SparseSourceIds)
+{
+    // The machine uses 0xffffffff for the ABI completion; ids beyond
+    // the dense table must behave identically.
+    EventQueue q;
+    const std::uint32_t abi = 0xffffffffu;
+    q.schedule(abi, 9);
+    q.schedule(3, 9);
+    EXPECT_TRUE(q.pending(abi));
+    EXPECT_EQ(q.scheduledAt(abi), 9u);
+    auto due = drain(q, 9);
+    ASSERT_EQ(due.size(), 2u);
+    EXPECT_EQ(due[0].source, abi);
+    EXPECT_EQ(due[1].source, 3u);
+
+    q.schedule(abi, 4);
+    q.cancel(abi);
+    EXPECT_FALSE(q.pending(abi));
+    EXPECT_TRUE(drain(q, 100).empty());
+}
+
+TEST(EventQueue, ClearForgetsEverything)
+{
+    EventQueue q;
+    q.schedule(0, 1);
+    q.schedule(1, 2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.pending(0));
+    EXPECT_EQ(q.nextTime(), kNoEvent);
+    EXPECT_TRUE(drain(q, 1000).empty());
+    q.schedule(0, 3); // usable again after clear
+    EXPECT_EQ(q.nextTime(), 3u);
+}
+
+} // namespace
+} // namespace disc

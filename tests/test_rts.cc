@@ -108,6 +108,18 @@ TEST(RtsSystemTest, SingleTaskMeetsDeadlines)
     // below the 400-cycle period.
     EXPECT_LT(t.worstResponse, 200u);
     EXPECT_GT(rep.backgroundProgress, 0u);
+    // The wait-state breakdown accounts for every cycle of the run.
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+        EXPECT_EQ(rep.readyCycles[s] + rep.waitAbiCycles[s] +
+                      rep.inactiveCycles[s],
+                  cfg.horizon)
+            << "stream " << unsigned(s);
+    }
+    // Stream 1 hosts the only handler; it should see handler activity
+    // and I/O waits, while stream 3 stays inactive throughout.
+    EXPECT_GT(rep.readyCycles[1], 0u);
+    EXPECT_GT(rep.waitAbiCycles[1], 0u);
+    EXPECT_EQ(rep.inactiveCycles[3], cfg.horizon);
 }
 
 TEST(RtsSystemTest, CompletionsTrackActivations)

@@ -58,6 +58,8 @@ struct FuzzCase
     std::uint64_t seed = 1;
     GenOptions opts;
     bool defect = false;
+    /** Run with the event-skip fast-forward enabled (coverage axis). */
+    bool fastForward = true;
 };
 
 struct RunResult
@@ -72,7 +74,9 @@ RunResult
 runCase(const FuzzCase &c, CoverageMap *cov)
 {
     MultiStreamProgram msp = generateMultiStream(c.seed, c.opts);
-    MachineRig rig(msp);
+    MachineConfig cfg;
+    cfg.fastForward = c.fastForward;
+    MachineRig rig(msp, cfg);
     if (c.defect)
         rig.machine().interrupts().setDefectLowPriorityVector(true);
 
@@ -132,6 +136,13 @@ shrinkCase(FuzzCase c)
                 c = t;
         }
     }
+    if (c.fastForward) {
+        // Prefer a repro that fails in plain per-cycle stepping too.
+        FuzzCase t = c;
+        t.fastForward = false;
+        if (stillFails(t))
+            c = t;
+    }
     bool progress = true;
     while (progress && c.opts.length > 1) {
         progress = false;
@@ -164,6 +175,7 @@ reproText(const FuzzCase &c, const std::string &detail)
     out << "devices=" << (c.opts.useDevices ? 1 : 0) << "\n";
     out << "latency=" << c.opts.deviceLatency << "\n";
     out << "defect=" << (c.defect ? 1 : 0) << "\n";
+    out << "fastforward=" << (c.fastForward ? 1 : 0) << "\n";
     out << "# instructions="
         << msp.program.code.size() - kVectorTableEnd << "\n";
     out << "# failure:\n";
@@ -207,6 +219,8 @@ parseRepro(const char *path)
             c.opts.deviceLatency = static_cast<unsigned>(val);
         else if (key == "defect")
             c.defect = val != 0;
+        else if (key == "fastforward")
+            c.fastForward = val != 0;
         else
             fatal("unknown repro key '%s'", key.c_str());
     }
@@ -226,6 +240,7 @@ freshCase(std::uint64_t seed, bool defect)
     c.opts.useInterrupts = !rng.chance(0.15);
     c.opts.useDevices = !rng.chance(0.15);
     c.opts.deviceLatency = static_cast<unsigned>(rng.below(7));
+    c.fastForward = !rng.chance(0.25);
     return c;
 }
 
@@ -234,7 +249,7 @@ FuzzCase
 mutateCase(const FuzzCase &base, Rng &rng)
 {
     FuzzCase c = base;
-    switch (rng.below(5)) {
+    switch (rng.below(6)) {
       case 0:
         c.seed = rng.next64();
         break;
@@ -248,6 +263,9 @@ mutateCase(const FuzzCase &base, Rng &rng)
         break;
       case 3:
         c.opts.deviceLatency = static_cast<unsigned>(rng.below(7));
+        break;
+      case 4:
+        c.fastForward = !c.fastForward;
         break;
       default:
         c.opts.useInterrupts = !c.opts.useInterrupts;

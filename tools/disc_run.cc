@@ -185,19 +185,33 @@ main(int argc, char **argv)
                                          wall_sec / 1e6
                                    : 0;
         std::printf("cycles=%llu idle=%s retired=%llu util=%.3f "
-                    "redirects=%llu bubbles=%llu mips=%.2f\n",
+                    "redirects=%llu bubbles=%llu fastforwarded=%llu "
+                    "mips=%.2f\n",
                     static_cast<unsigned long long>(ran),
                     m.idle() ? "yes" : "no",
                     static_cast<unsigned long long>(st.totalRetired),
                     st.utilization(),
                     static_cast<unsigned long long>(st.redirects),
-                    static_cast<unsigned long long>(st.bubbles), mips);
+                    static_cast<unsigned long long>(st.bubbles),
+                    static_cast<unsigned long long>(
+                        st.fastForwardedCycles),
+                    mips);
         for (StreamId s = 0; s < kNumStreams; ++s) {
             if (st.retired[s] == 0)
                 continue;
-            std::printf("  is%u: retired=%llu pc=0x%04x\n", s + 1,
+            // Per-stream cycle breakdown: ready to issue, parked on
+            // the external bus, or inactive (the three tallies sum to
+            // the cycle count).
+            std::printf("  is%u: retired=%llu pc=0x%04x ready=%llu "
+                        "wait-abi=%llu inactive=%llu\n",
+                        s + 1,
                         static_cast<unsigned long long>(st.retired[s]),
-                        m.pc(s));
+                        m.pc(s),
+                        static_cast<unsigned long long>(st.readyCycles[s]),
+                        static_cast<unsigned long long>(
+                            st.waitAbiCycles[s]),
+                        static_cast<unsigned long long>(
+                            st.inactiveCycles[s]));
         }
         for (auto [addr, n] : dumps) {
             std::printf("mem[0x%03x]:", addr);
