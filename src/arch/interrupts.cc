@@ -60,20 +60,9 @@ InterruptUnit::setMr(StreamId s, Word value)
     state(s).mr = static_cast<std::uint8_t>(value & 0xff);
 }
 
-bool
-InterruptUnit::isActive(StreamId s) const
-{
-    const StreamState &st = state(s);
-    return (st.ir & st.mr) != 0;
-}
-
 std::optional<unsigned>
-InterruptUnit::pendingVector(StreamId s) const
+InterruptUnit::pendingVectorSlow(StreamId s, unsigned pending) const
 {
-    const StreamState &st = state(s);
-    unsigned pending = st.ir & st.mr;
-    if ((pending & ~1u) == 0)
-        return std::nullopt; // only the background level is pending
     unsigned running = runningLevel(s);
     if (defectLowPriority_) {
         // Injected bug: scan upward, vectoring the lowest eligible

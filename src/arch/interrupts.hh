@@ -68,15 +68,30 @@ class InterruptUnit
     /** Write the mask register (low 8 bits used). */
     void setMr(StreamId s, Word value);
 
-    /** True while the stream has any unmasked request pending. */
-    bool isActive(StreamId s) const;
+    /**
+     * True while the stream has any unmasked request pending.
+     * Queried for every stream every cycle, so it is inline and
+     * unchecked: @p s must be a valid stream id.
+     */
+    bool isActive(StreamId s) const
+    {
+        return (streams_[s].ir & streams_[s].mr) != 0;
+    }
 
     /**
      * Level of the vectored interrupt the stream should take now, if
      * any: the highest unmasked pending level in 7..1 that is strictly
-     * above the running level.
+     * above the running level. Also a per-stream per-cycle query; the
+     * common nothing-vectored case (no unmasked request above the
+     * background bit) is decided inline without the priority walk.
      */
-    std::optional<unsigned> pendingVector(StreamId s) const;
+    std::optional<unsigned> pendingVector(StreamId s) const
+    {
+        unsigned pending = streams_[s].ir & streams_[s].mr;
+        if ((pending & ~1u) == 0)
+            return std::nullopt; // only the background level is pending
+        return pendingVectorSlow(s, pending);
+    }
 
     /** Record vector entry: push @p level onto the in-service stack. */
     void enterService(StreamId s, unsigned level);
@@ -126,6 +141,8 @@ class InterruptUnit
     std::array<StreamState, kNumStreams> streams_;
     bool defectLowPriority_ = false;
 
+    std::optional<unsigned> pendingVectorSlow(StreamId s,
+                                              unsigned pending) const;
     const StreamState &state(StreamId s) const;
     StreamState &state(StreamId s);
 };

@@ -35,6 +35,7 @@ Scheduler::setSlot(unsigned slot, StreamId s)
     if (s >= kNumStreams)
         panic("scheduler: bad stream %u", s);
     slots_[slot] = s;
+    rebuildMemo();
 }
 
 StreamId
@@ -52,6 +53,7 @@ Scheduler::setEven(unsigned n)
         fatal("even partition over %u streams is impossible", n);
     for (unsigned i = 0; i < kScheduleSlots; ++i)
         slots_[i] = static_cast<StreamId>(i % n);
+    rebuildMemo();
 }
 
 void
@@ -72,28 +74,42 @@ Scheduler::setShares(const std::array<unsigned, kNumStreams> &shares)
     }
     for (unsigned i = 0; i < kScheduleSlots; ++i)
         slots_[bitrev4(i)] = dense[i];
+    rebuildMemo();
 }
 
 StreamId
-Scheduler::pick(unsigned ready_mask)
+Scheduler::referencePick(unsigned cursor, unsigned ready_mask,
+                         Mode mode) const
 {
-    unsigned slot_index = cursor_;
-    cursor_ = (cursor_ + 1) % kScheduleSlots;
-
-    StreamId owner = slots_[slot_index];
+    StreamId owner = slots_[cursor % kScheduleSlots];
     if (ready_mask & (1u << owner))
         return owner;
-    if (mode_ == Mode::Static)
+    if (mode == Mode::Static)
         return kNoStream;
 
     // Dynamic reallocation: donate the slot to the next ready stream
     // in table order.
     for (unsigned k = 1; k < kScheduleSlots; ++k) {
-        StreamId cand = slots_[(slot_index + k) % kScheduleSlots];
+        StreamId cand = slots_[(cursor + k) % kScheduleSlots];
         if (ready_mask & (1u << cand))
             return cand;
     }
     return kNoStream;
+}
+
+void
+Scheduler::rebuildMemo()
+{
+    for (unsigned cursor = 0; cursor < kScheduleSlots; ++cursor) {
+        auto next =
+            static_cast<std::uint8_t>((cursor + 1) % kScheduleSlots);
+        for (unsigned mask = 0; mask < kNumMasks; ++mask) {
+            memo_[memoIndex(Mode::Dynamic, cursor, mask)] = {
+                referencePick(cursor, mask, Mode::Dynamic), next};
+            memo_[memoIndex(Mode::Static, cursor, mask)] = {
+                referencePick(cursor, mask, Mode::Static), next};
+        }
+    }
 }
 
 void
@@ -123,6 +139,7 @@ Scheduler::restore(Deserializer &in)
     }
     cursor_ = in.get<std::uint32_t>() % kScheduleSlots;
     mode_ = in.get<std::uint8_t>() ? Mode::Static : Mode::Dynamic;
+    rebuildMemo();
 }
 
 std::string

@@ -12,12 +12,22 @@
  *
  * A strict-static mode (no reallocation) is provided for the ablation
  * study: a slot whose owner is not ready is simply wasted.
+ *
+ * Implementation note: pick() used to scan up to 15 slots per cycle.
+ * Its decision depends only on (mode, cursor, ready mask), and with 4
+ * streams and 16 slots that is a 2 x 16 x 16 space — small enough to
+ * precompute. The memo is rebuilt whenever the slot table changes
+ * (setSlot/setEven/setShares/restore/reset); it covers both modes so
+ * setMode needs no rebuild, and skipSlots only moves the cursor. The
+ * per-cycle pick() is then a single table load whose results — and
+ * nextOwner() audit semantics — are bit-identical to the scan.
  */
 
 #ifndef DISC_ARCH_SCHEDULER_HH
 #define DISC_ARCH_SCHEDULER_HH
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 #include "common/serialize.hh"
@@ -64,10 +74,27 @@ class Scheduler
 
     /**
      * Pick the stream to issue this cycle and advance the slot cursor.
+     * A memoized (mode, cursor, ready mask) lookup; see the file
+     * comment. Scheduler::referencePick() is the original scan.
      * @param ready_mask bit s set when stream s can issue.
      * @return the chosen stream, or kNoStream for a bubble.
      */
-    StreamId pick(unsigned ready_mask);
+    StreamId pick(unsigned ready_mask)
+    {
+        const PickEntry &e =
+            memo_[memoIndex(mode_, cursor_, ready_mask & kMaskAll)];
+        cursor_ = e.nextCursor;
+        return e.stream;
+    }
+
+    /**
+     * The unmemoized pick: what a pick() at @p cursor with
+     * @p ready_mask under @p mode would choose, computed by the
+     * original circular scan. Does not advance the cursor. Kept as
+     * the reference the memo is built from — and tested against.
+     */
+    StreamId referencePick(unsigned cursor, unsigned ready_mask,
+                           Mode mode) const;
 
     /** Slot cursor position (for tracing). */
     unsigned cursor() const { return cursor_; }
@@ -99,9 +126,30 @@ class Scheduler
     void restore(Deserializer &in);
 
   private:
+    /** One memoized decision: chosen stream and the cursor after. */
+    struct PickEntry
+    {
+        StreamId stream;
+        std::uint8_t nextCursor;
+    };
+
+    static constexpr unsigned kMaskAll = (1u << kNumStreams) - 1;
+    static constexpr unsigned kNumMasks = 1u << kNumStreams;
+
+    static constexpr unsigned
+    memoIndex(Mode m, unsigned cursor, unsigned mask)
+    {
+        unsigned mode_base = m == Mode::Static ? kScheduleSlots : 0;
+        return (mode_base + cursor) * kNumMasks + mask;
+    }
+
+    /** Recompute every memo entry from the slot table. */
+    void rebuildMemo();
+
     std::array<StreamId, kScheduleSlots> slots_;
     unsigned cursor_ = 0;
     Mode mode_ = Mode::Dynamic;
+    std::array<PickEntry, 2 * kScheduleSlots * kNumMasks> memo_;
 };
 
 } // namespace disc

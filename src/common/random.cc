@@ -4,11 +4,33 @@
 
 #include "common/logging.hh"
 
+#if defined(__GLIBC__)
+// Not declared under strict -std=c++20, but always exported by glibc.
+extern "C" double lgamma_r(double, int *);
+#endif
+
 namespace disc
 {
 
 namespace
 {
+
+/**
+ * Thread-safe log-gamma. glibc's lgamma() writes its sign result to
+ * the process-global `signgam`, which is a data race when experiment
+ * replications draw Poisson variates on pool threads; lgamma_r()
+ * computes the identical value through an out-parameter instead.
+ */
+double
+logGamma(double x)
+{
+#if defined(__GLIBC__)
+    int sign = 0;
+    return lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
 
 std::uint64_t
 splitmix64(std::uint64_t &x)
@@ -117,7 +139,7 @@ Rng::poisson(double mean)
             continue;
         double log_accept = std::log(v * inv_alpha / (a / (us * us) + b));
         double log_target =
-            k * std::log(mean) - mean - std::lgamma(k + 1.0);
+            k * std::log(mean) - mean - logGamma(k + 1.0);
         if (log_accept <= log_target)
             return static_cast<std::uint64_t>(k);
     }

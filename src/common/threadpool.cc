@@ -60,25 +60,42 @@ ThreadPool::insideWorker()
 }
 
 void
+ThreadPool::runIndices(Job &job)
+{
+    // Lock-free claim loop: fetch_add hands out each index exactly
+    // once. The counter may overshoot n by up to one per thread; only
+    // claims below n execute.
+    std::size_t i;
+    while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) <
+           job.n) {
+        (*job.body)(i);
+        job.done.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
 ThreadPool::workerLoop()
 {
     tls_in_pool = true;
+    std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lk(mutex_);
     for (;;) {
-        workCv_.wait(lk, [this] {
-            return stop_ || (job_ && job_->next < job_->n);
+        workCv_.wait(lk, [this, seen] {
+            return stop_ || (job_ && jobSeq_ != seen);
         });
         if (stop_)
             return;
         Job *j = job_;
-        while (job_ == j && j->next < j->n) {
-            std::size_t i = j->next++;
-            lk.unlock();
-            (*j->body)(i);
-            lk.lock();
-            if (++j->done == j->n)
-                doneCv_.notify_all();
-        }
+        seen = jobSeq_;
+        ++j->active;
+        lk.unlock();
+        runIndices(*j);
+        lk.lock();
+        // Only after deregistering may the caller destroy the Job
+        // (runIndices probed j->next once more after its last index).
+        if (--j->active == 0 &&
+            j->done.load(std::memory_order_acquire) == j->n)
+            doneCv_.notify_all();
     }
 }
 
@@ -100,20 +117,22 @@ ThreadPool::parallelFor(std::size_t n,
     job.body = &body;
 
     tls_in_pool = true;
-    std::unique_lock<std::mutex> lk(mutex_);
-    job_ = &job;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        job_ = &job;
+        ++jobSeq_;
+    }
     workCv_.notify_all();
     // Participate: claim indices alongside the workers.
-    while (job.next < job.n) {
-        std::size_t i = job.next++;
-        lk.unlock();
-        body(i);
-        lk.lock();
-        ++job.done;
+    runIndices(job);
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        doneCv_.wait(lk, [&job] {
+            return job.active == 0 &&
+                   job.done.load(std::memory_order_acquire) == job.n;
+        });
+        job_ = nullptr;
     }
-    doneCv_.wait(lk, [&job] { return job.done == job.n; });
-    job_ = nullptr;
-    lk.unlock();
     tls_in_pool = false;
 }
 

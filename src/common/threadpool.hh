@@ -13,8 +13,13 @@
  *     (e.g. runExperiment() called from a parallel bench cell) runs
  *     inline on the calling thread instead of deadlocking on the
  *     already-occupied pool.
- *  3. Simplicity. One mutex, one condition variable, an atomic index
- *     cursor per job. No futures, no task graph.
+ *  3. Scalability. Claiming an index is one uncontended atomic
+ *     fetch_add, not a mutex round-trip: the pool mutex is touched
+ *     only to publish a job, to park a thread, and to retire a job.
+ *     With per-cycle work items (a whole simulation run per index)
+ *     the lock would not matter; with fine-grained items it did.
+ *  4. Simplicity. One mutex, two condition variables, two atomic
+ *     counters per job. No futures, no task graph.
  *
  * The global() pool is sized from the DISC_THREADS environment
  * variable when set (0 or 1 disables parallelism), otherwise from
@@ -24,8 +29,10 @@
 #ifndef DISC_COMMON_THREADPOOL_HH
 #define DISC_COMMON_THREADPOOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -70,8 +77,16 @@ class ThreadPool
     {
         std::size_t n = 0;
         const std::function<void(std::size_t)> *body = nullptr;
-        std::size_t next = 0;    ///< next index to claim
-        std::size_t done = 0;    ///< indices completed
+        /// Next index to claim; lock-free, may overshoot n.
+        std::atomic<std::size_t> next{0};
+        /// Indices completed; lock-free.
+        std::atomic<std::size_t> done{0};
+        /// Workers currently inside the claim loop (guarded by
+        /// mutex_). The job may only be retired once this drops to
+        /// zero AND done == n: a worker that just completed the last
+        /// index still reads `next` once more before leaving the
+        /// loop, so the Job must outlive that probe.
+        unsigned active = 0;
     };
 
     unsigned size_ = 1;
@@ -81,8 +96,10 @@ class ThreadPool
     std::condition_variable workCv_;  ///< signalled when a job arrives
     std::condition_variable doneCv_;  ///< signalled when a job finishes
     Job *job_ = nullptr;              ///< current job, if any
+    std::uint64_t jobSeq_ = 0;        ///< bumps when a job is published
     bool stop_ = false;
 
+    void runIndices(Job &job);
     void workerLoop();
     static bool insideWorker();
 };

@@ -75,6 +75,7 @@ predecode(InstWord word)
     pd.legal = isLegal(word);
     pd.inst = decode(word);
     depMasks(pd.inst, pd.readsMask, pd.writesMask);
+    pd.uop = uopFor(pd.inst.op, pd.inst.cond);
     return pd;
 }
 

@@ -24,6 +24,7 @@
 #include "common/types.hh"
 #include "isa/instruction.hh"
 #include "isa/program.hh"
+#include "isa/uops.hh"
 
 namespace disc
 {
@@ -49,6 +50,7 @@ struct PredecodedInst
     Instruction inst;              ///< decoded form (NOP when !legal)
     std::uint32_t readsMask = 0;   ///< source dependency mask
     std::uint32_t writesMask = 0;  ///< destination dependency mask
+    Uop uop = Uop::NOP;            ///< pre-resolved handler index
     bool legal = false;            ///< isLegal(word)
 };
 

@@ -1,0 +1,52 @@
+#include "isa/uops.hh"
+
+#include "common/logging.hh"
+
+namespace disc
+{
+
+Opcode
+uopOpcode(Uop u)
+{
+    switch (u) {
+      case Uop::BR_EQ:
+      case Uop::BR_NE:
+      case Uop::BR_LT:
+      case Uop::BR_GE:
+      case Uop::BR_ULT:
+      case Uop::BR_UGE:
+      case Uop::BR_MI:
+      case Uop::BR_PL:
+        return Opcode::BR;
+      default:
+        break;
+    }
+    // Non-branch micro-ops mirror the Opcode enum order exactly up to
+    // RET; those after the BR block are shifted by the 7 extra BR_*.
+    unsigned v = static_cast<unsigned>(u);
+    constexpr unsigned kFirstBr = static_cast<unsigned>(Uop::BR_EQ);
+    if (v < kFirstBr)
+        return static_cast<Opcode>(v);
+    if (v < kNumUops)
+        return static_cast<Opcode>(v - 7);
+    panic("uopOpcode: bad micro-op %u", v);
+}
+
+std::string_view
+uopName(Uop u)
+{
+    switch (u) {
+      case Uop::BR_EQ: return "br.eq";
+      case Uop::BR_NE: return "br.ne";
+      case Uop::BR_LT: return "br.lt";
+      case Uop::BR_GE: return "br.ge";
+      case Uop::BR_ULT: return "br.ult";
+      case Uop::BR_UGE: return "br.uge";
+      case Uop::BR_MI: return "br.mi";
+      case Uop::BR_PL: return "br.pl";
+      default:
+        return opMnemonic(uopOpcode(u));
+    }
+}
+
+} // namespace disc

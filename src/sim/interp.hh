@@ -34,6 +34,8 @@
 namespace disc
 {
 
+struct InterpOps;
+
 /** Single-stream golden-model interpreter. */
 class Interp
 {
@@ -99,7 +101,14 @@ class Interp
     /** Count of illegal instructions seen (skipped as NOPs). */
     std::uint64_t illegalEvents() const { return illegal_; }
 
+    /** True when step() uses the micro-op table (config + env). */
+    bool uopDispatchEnabled() const { return useUops_; }
+
+    /** Override the micro-op dispatch setting (tests, tools). */
+    void setUopDispatch(bool on) { useUops_ = on; }
+
   private:
+    friend struct InterpOps; ///< micro-op handlers (interp.cc)
     InternalMemory imem_;
     ProgramMemory pmem_;
     PredecodeTable pdec_; ///< shared predecode path with the Machine
@@ -113,12 +122,14 @@ class Interp
     Word mr_ = 0xff;
     StreamId self_ = 0;
     bool halted_ = false;
+    bool useUops_ = true;
     std::uint64_t overflows_ = 0;
     std::uint64_t illegal_ = 0;
 
     void setFlags(Word result, bool carry, bool overflow);
     void noteWindow(bool violated);
     void applyWctl(WCtl w);
+    void stepLegacy(const Instruction &inst, PAddr this_pc, PAddr &next);
     Word aluResult(const Instruction &inst, bool &wrote, PAddr &next);
 };
 

@@ -110,6 +110,15 @@ struct MachineConfig
      * overrides this to false.
      */
     bool fastForward = true;
+
+    /**
+     * Dispatch EX semantics through the predecoded micro-op handler
+     * table (isa/uops.hh) instead of the legacy opcode switch. Both
+     * paths are bit-identical; the switch is kept as the reference.
+     * The DISC_NO_UOP environment variable (set non-zero) overrides
+     * this to false.
+     */
+    bool uopDispatch = true;
 };
 
 /** Counters exposed by the machine. */
@@ -205,6 +214,12 @@ class Machine
     /** Override the fast-forward setting (tests, tools). */
     void setFastForward(bool on) { ffEnabled_ = on; }
 
+    /** True when EX uses the micro-op table (config + environment). */
+    bool uopDispatchEnabled() const { return uopsEnabled_; }
+
+    /** Override the micro-op dispatch setting (tests, tools). */
+    void setUopDispatch(bool on) { uopsEnabled_ = on; }
+
     // --- Architectural state access (tests, examples, probes) ---
 
     /** Read an architected register of a stream. */
@@ -288,6 +303,7 @@ class Machine
     friend class ExecuteStage;
     friend class AbiStage;
     friend class TimingKernel;
+    friend struct ExecOps;
 
     MachineConfig cfg_;
     InternalMemory imem_;
@@ -312,6 +328,7 @@ class Machine
     char nextTag_ = 'a';
     Cycle haltedUntilBusDone_ = 0; ///< baseline mode flag (bool-ish)
     bool ffEnabled_ = true;
+    bool uopsEnabled_ = true;
 
     // Stage modules and the timing kernel (sim/stages.hh). Declared
     // last so they are constructed after the state they reference.

@@ -145,6 +145,7 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes)
         slot.pc = in.get<PAddr>();
         slot.inst = decode(in.get<std::uint32_t>());
         depMasks(slot.inst, slot.readsMask, slot.writesMask);
+        slot.uop = uopFor(slot.inst.op, slot.inst.cond);
         slot.tag = static_cast<char>(in.get<std::uint8_t>());
     }
 

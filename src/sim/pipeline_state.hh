@@ -11,6 +11,7 @@
 
 #include "common/types.hh"
 #include "isa/instruction.hh"
+#include "isa/uops.hh"
 
 namespace disc
 {
@@ -34,6 +35,7 @@ struct PipeSlot
     Instruction inst;
     std::uint32_t readsMask = 0;
     std::uint32_t writesMask = 0;
+    Uop uop = Uop::NOP;       ///< pre-resolved EX handler (derived)
     char tag = ' ';           ///< trace letter
 };
 

@@ -39,6 +39,21 @@ IssueStage::hasInFlight(StreamId s) const
 unsigned
 IssueStage::readyMask() const
 {
+    // One pass over the pipe gathers every stream's in-flight
+    // dependency state, so the per-stream checks below are mask tests
+    // instead of a pipe scan per candidate (the union over a stream's
+    // slots answers exactly what interlocked()'s any-slot scan asks).
+    std::uint32_t in_writes[kNumStreams] = {};
+    std::uint32_t in_reads[kNumStreams] = {};
+    unsigned in_flight = 0;
+    for (const PipeSlot &slot : m_.pipe_) {
+        if (!slot.valid || slot.squashed)
+            continue;
+        in_writes[slot.stream] |= slot.writesMask;
+        in_reads[slot.stream] |= slot.readsMask;
+        in_flight |= 1u << slot.stream;
+    }
+
     unsigned ready = 0;
     for (StreamId s = 0; s < kNumStreams; ++s) {
         const StreamCtx &c = m_.streams_[s];
@@ -47,7 +62,7 @@ IssueStage::readyMask() const
         if (!m_.intUnit_.isActive(s))
             continue;
         auto vec = m_.intUnit_.pendingVector(s);
-        if (vec && hasInFlight(s))
+        if (vec && (in_flight & (1u << s)))
             continue; // vector entry serialises against the pipe
         PAddr fetch_pc = vec ? vectorAddress(s, *vec) : c.pc;
         const PredecodedInst &pd = m_.pdec_.at(fetch_pc);
@@ -55,8 +70,10 @@ IssueStage::readyMask() const
             ready |= 1u << s; // issue consumes it and raises the trap
             continue;
         }
-        if (!vec && interlocked(s, pd.readsMask, pd.writesMask))
-            continue;
+        if (!vec && ((pd.readsMask & in_writes[s]) ||
+                     ((pd.writesMask & kDepAwp) &&
+                      (in_reads[s] & kDepAwp))))
+            continue; // interlock: see interlocked()
         ready |= 1u << s;
     }
     return ready;
@@ -100,6 +117,7 @@ IssueStage::tick()
     slot.inst = pd.inst;
     slot.readsMask = pd.readsMask;
     slot.writesMask = pd.writesMask;
+    slot.uop = pd.uop;
     slot.tag = m_.nextTag_;
     m_.nextTag_ =
         m_.nextTag_ == 'z' ? 'a' : static_cast<char>(m_.nextTag_ + 1);

@@ -37,6 +37,7 @@ namespace disc
 {
 
 class Machine;
+struct ExecOps;
 
 /** Interrupt-vector stage: serialized vector entry at issue time. */
 class VectorStage
@@ -91,7 +92,8 @@ class ExecuteStage
 
     Machine &m_;
 
-    friend class AbiStage; // external accesses start from execute()
+    friend class AbiStage;  // external accesses start from execute()
+    friend struct ExecOps;  // micro-op handlers (stage_execute.cc)
 };
 
 /** ABI/writeback stage: external accesses, waits and completions. */

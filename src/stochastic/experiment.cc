@@ -8,6 +8,18 @@ namespace disc
 namespace
 {
 
+/**
+ * One replication's private output slot, padded to a cache line so
+ * adjacent replications never write-share a line. Everything else a
+ * replication touches (sources, RNG, model, run totals) is built
+ * inside its own lambda body, so worker threads share no mutable
+ * state at all: the job scales to the pool with no coherence traffic.
+ */
+struct alignas(64) ReplicaArena
+{
+    ExperimentResult result;
+};
+
 /** Mix a stream index into a replication seed. */
 std::uint64_t
 mixSeed(std::uint64_t base, std::uint64_t stream)
@@ -52,10 +64,11 @@ runExperiment(const StochasticConfig &cfg,
     if (!pool)
         pool = &ThreadPool::global();
 
-    // One single-sample result per replication, produced in parallel;
-    // the reduction below merges them in replication order so the
-    // aggregate does not depend on the pool size.
-    std::vector<ExperimentResult> reps(replications);
+    // One single-sample result per replication, produced in parallel
+    // into cache-line-isolated arenas; the reduction below merges them
+    // in replication order so the aggregate does not depend on the
+    // pool size.
+    std::vector<ReplicaArena> reps(replications);
     pool->parallelFor(replications, [&](std::size_t rep) {
         std::vector<std::unique_ptr<WorkSource>> sources;
         sources.reserve(streams.size());
@@ -64,7 +77,7 @@ runExperiment(const StochasticConfig &cfg,
                 streams[s](mixSeed(base_seed + rep, s)));
         StochasticModel model(cfg, std::move(sources));
         RunTotals t = model.run();
-        ExperimentResult &r = reps[rep];
+        ExperimentResult &r = reps[rep].result;
         r.pd.add(t.pd());
         r.ps.add(t.ps(cfg.pipeDepth));
         r.delta.add(t.delta(cfg.pipeDepth));
@@ -75,11 +88,11 @@ runExperiment(const StochasticConfig &cfg,
     });
 
     ExperimentResult result;
-    for (const ExperimentResult &r : reps) {
-        result.pd.merge(r.pd);
-        result.ps.merge(r.ps);
-        result.delta.merge(r.delta);
-        result.busyFraction.merge(r.busyFraction);
+    for (const ReplicaArena &a : reps) {
+        result.pd.merge(a.result.pd);
+        result.ps.merge(a.result.ps);
+        result.delta.merge(a.result.delta);
+        result.busyFraction.merge(a.result.busyFraction);
     }
     return result;
 }

@@ -12,16 +12,17 @@ namespace
 {
 constexpr std::size_t kActiveBuckets = kNumStreams + 1;
 constexpr std::size_t kSkipBuckets = 2;
+constexpr std::size_t kUopBuckets = 2;
 constexpr std::size_t kMapSize =
     static_cast<std::size_t>(kNumOpcodes) * kNumPipeEvents *
-    kActiveBuckets * kSkipBuckets;
+    kActiveBuckets * kSkipBuckets * kUopBuckets;
 } // namespace
 
 CoverageMap::CoverageMap() : hits_(kMapSize, 0) {}
 
 std::size_t
 CoverageMap::index(Opcode op, PipeEvent ev, unsigned active,
-                   bool skip_taken)
+                   bool skip_taken, bool uop_dispatch)
 {
     auto o = static_cast<std::size_t>(op);
     auto e = static_cast<std::size_t>(ev);
@@ -29,16 +30,19 @@ CoverageMap::index(Opcode op, PipeEvent ev, unsigned active,
         active >= kActiveBuckets)
         panic("coverage point (%zu, %zu, %u) out of range", o, e,
               active);
-    return ((o * kNumPipeEvents + e) * kActiveBuckets + active) *
-               kSkipBuckets +
-           (skip_taken ? 1 : 0);
+    return (((o * kNumPipeEvents + e) * kActiveBuckets + active) *
+                kSkipBuckets +
+            (skip_taken ? 1 : 0)) *
+               kUopBuckets +
+           (uop_dispatch ? 1 : 0);
 }
 
 void
 CoverageMap::record(Opcode op, PipeEvent ev, unsigned active,
-                    bool skip_taken)
+                    bool skip_taken, bool uop_dispatch)
 {
-    std::uint32_t &h = hits_[index(op, ev, active, skip_taken)];
+    std::uint32_t &h =
+        hits_[index(op, ev, active, skip_taken, uop_dispatch)];
     if (h != std::numeric_limits<std::uint32_t>::max())
         ++h;
 }

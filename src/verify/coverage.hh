@@ -3,14 +3,16 @@
  * Behavioural coverage map for the coverage-guided fuzzer.
  *
  * A coverage point is the tuple (opcode, pipeline event, number of
- * active streams at the time, event-skip taken): "an ST was squashed
- * by a bus wait while three streams were live" is a different point
- * from the same squash with one stream live, and both differ again
- * depending on whether the run has exercised the timing kernel's
- * fast-forward path. The fuzzer keeps a generated program in its
- * corpus exactly when running it lights up at least one point no
- * earlier input has reached, which steers the random search toward
- * the interleaving-dependent corners the DISC paper's claims live in.
+ * active streams at the time, event-skip taken, dispatch path): "an
+ * ST was squashed by a bus wait while three streams were live" is a
+ * different point from the same squash with one stream live, and both
+ * differ again depending on whether the run has exercised the timing
+ * kernel's fast-forward path and whether execute dispatched through
+ * the micro-op table or the legacy opcode switch. The fuzzer keeps a
+ * generated program in its corpus exactly when running it lights up
+ * at least one point no earlier input has reached, which steers the
+ * random search toward the interleaving-dependent corners the DISC
+ * paper's claims live in.
  */
 
 #ifndef DISC_VERIFY_COVERAGE_HH
@@ -28,7 +30,7 @@ namespace disc
 
 /**
  * Dense hit-count map over (opcode × pipe event × active streams ×
- * event-skip taken).
+ * event-skip taken × dispatch path).
  */
 class CoverageMap
 {
@@ -40,9 +42,12 @@ class CoverageMap
      * @p skip_taken says whether the run has fast-forwarded at least
      * once by event time — the same behaviour reached with and
      * without the event-skip path engaged counts as two points.
+     * @p uop_dispatch says whether execute runs through the micro-op
+     * handler table; the legacy-switch replay of a behaviour is its
+     * own point for the same reason.
      */
     void record(Opcode op, PipeEvent ev, unsigned active,
-                bool skip_taken = false);
+                bool skip_taken = false, bool uop_dispatch = true);
 
     /** Number of distinct points hit at least once. */
     std::size_t pointsHit() const;
@@ -60,12 +65,12 @@ class CoverageMap
     void clear();
 
   private:
-    // Indexed [op][event][active][skip]; one 32-bit saturating
+    // Indexed [op][event][active][skip][uop]; one 32-bit saturating
     // counter each.
     std::vector<std::uint32_t> hits_;
 
     static std::size_t index(Opcode op, PipeEvent ev, unsigned active,
-                             bool skip_taken);
+                             bool skip_taken, bool uop_dispatch);
 };
 
 } // namespace disc

@@ -116,7 +116,8 @@ InvariantChecker::onEvent(StreamId s, Opcode op, PipeEvent ev)
 {
     if (cov_)
         cov_->record(op, ev, activeStreams(),
-                     m_.stats().fastForwardedCycles > 0);
+                     m_.stats().fastForwardedCycles > 0,
+                     m_.uopDispatchEnabled());
     if (s >= kNumStreams)
         return;
     switch (ev) {

@@ -15,6 +15,7 @@
 #include "arch/window_models.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/serialize.hh"
 
 namespace disc
 {
@@ -595,6 +596,114 @@ TEST_P(SchedulerStarvationTest, EveryReadyStreamIssuesWithinAFrame)
 INSTANTIATE_TEST_SUITE_P(ReadyMasks, SchedulerStarvationTest,
                          ::testing::Values(0x1u, 0x2u, 0x3u, 0x5u, 0x7u,
                                            0x9u, 0xbu, 0xeu, 0xfu));
+
+// ---- Scheduler pick memo ----
+//
+// pick() is a memoized (mode, cursor, ready mask) lookup rebuilt when
+// the slot table changes; referencePick() is the original circular
+// scan it must stay bit-identical to. Each mutator below is followed
+// by a sweep of every ready mask at every cursor under both modes.
+
+/** Sweep all 16 masks at all 16 cursors, both modes, vs the scan. */
+void
+expectMemoMatchesReference(Scheduler &sched)
+{
+    for (auto mode :
+         {Scheduler::Mode::Dynamic, Scheduler::Mode::Static}) {
+        sched.setMode(mode);
+        for (unsigned mask = 0; mask < (1u << kNumStreams); ++mask) {
+            for (unsigned i = 0; i < kScheduleSlots; ++i) {
+                unsigned cur = sched.cursor();
+                StreamId expect =
+                    sched.referencePick(cur, mask, mode);
+                ASSERT_EQ(sched.pick(mask), expect)
+                    << "mask 0x" << std::hex << mask << " cursor "
+                    << std::dec << cur << " table "
+                    << sched.describe();
+                ASSERT_EQ(sched.cursor(),
+                          (cur + 1) % kScheduleSlots);
+            }
+        }
+    }
+}
+
+TEST(SchedulerMemoTest, FreshSchedulerMatchesReference)
+{
+    Scheduler sched;
+    expectMemoMatchesReference(sched);
+}
+
+TEST(SchedulerMemoTest, SetSlotRebuilds)
+{
+    Scheduler sched;
+    sched.setSlot(0, 3);
+    sched.setSlot(7, 3);
+    sched.setSlot(15, 1);
+    expectMemoMatchesReference(sched);
+}
+
+TEST(SchedulerMemoTest, SetSharesRebuilds)
+{
+    Scheduler sched;
+    sched.setShares({8, 4, 2, 2});
+    expectMemoMatchesReference(sched);
+    sched.setShares({13, 1, 1, 1});
+    expectMemoMatchesReference(sched);
+}
+
+TEST(SchedulerMemoTest, SetEvenRebuilds)
+{
+    Scheduler sched;
+    sched.setShares({8, 4, 2, 2});
+    sched.setEven(2);
+    expectMemoMatchesReference(sched);
+}
+
+TEST(SchedulerMemoTest, SetModeNeedsNoRebuild)
+{
+    // Both modes are precomputed, so flipping the mode between picks
+    // must be just as consistent as rebuilding would be.
+    Scheduler sched;
+    sched.setShares({8, 4, 2, 2});
+    for (unsigned mask = 0; mask < (1u << kNumStreams); ++mask) {
+        sched.setMode(mask & 1 ? Scheduler::Mode::Static
+                               : Scheduler::Mode::Dynamic);
+        unsigned cur = sched.cursor();
+        ASSERT_EQ(sched.pick(mask),
+                  sched.referencePick(cur, mask, sched.mode()));
+    }
+}
+
+TEST(SchedulerMemoTest, SkipSlotsOnlyMovesCursor)
+{
+    Scheduler sched;
+    sched.setShares({8, 4, 2, 2});
+    sched.skipSlots(5);
+    EXPECT_EQ(sched.cursor(), 5u);
+    expectMemoMatchesReference(sched);
+    sched.skipSlots(kScheduleSlots + 3); // wraps
+    expectMemoMatchesReference(sched);
+}
+
+TEST(SchedulerMemoTest, RestoreRebuilds)
+{
+    Scheduler a;
+    a.setShares({8, 4, 2, 2});
+    a.setMode(Scheduler::Mode::Static);
+    a.skipSlots(11);
+    Serializer out;
+    a.save(out);
+
+    // Restore into a scheduler whose memo reflects a different table:
+    // the restored memo must serve the checkpointed table.
+    Scheduler b;
+    b.setShares({13, 1, 1, 1});
+    Deserializer in(out.bytes());
+    b.restore(in);
+    EXPECT_EQ(b.describe(), a.describe());
+    EXPECT_EQ(b.cursor(), 11u);
+    expectMemoMatchesReference(b);
+}
 
 // ---- Bus and ABI ----
 

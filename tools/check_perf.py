@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare a fresh throughput run against the committed baseline.
+
+Usage: check_perf.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Reads two BENCH_throughput.json files (schema 2; schema 1 baselines
+still work for the machine section) and fails with exit status 1 if
+any machine scenario's cycles_per_sec dropped by more than the
+tolerance relative to the baseline. Improvements and absolute
+cross-host differences never fail the check; the point is to catch a
+change that makes the simulator dramatically slower, not to pin the
+host. Standard library only, so CI can run it anywhere.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="fail on >tolerance throughput regressions")
+    ap.add_argument("baseline", help="committed BENCH_throughput.json")
+    ap.add_argument("current", help="freshly produced results")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drop (default 0.25)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    floor = 1.0 - args.tolerance
+    failures = []
+    for scenario, b in base.get("machine", {}).items():
+        c = cur.get("machine", {}).get(scenario)
+        if c is None:
+            failures.append(f"{scenario}: missing from current results")
+            continue
+        bv = float(b["cycles_per_sec"])
+        cv = float(c["cycles_per_sec"])
+        ratio = cv / bv if bv > 0 else 0.0
+        ok = ratio >= floor
+        print(f"{scenario:16s} baseline {bv / 1e6:9.2f}M/s  "
+              f"current {cv / 1e6:9.2f}M/s  ratio {ratio:5.2f}  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(
+                f"{scenario}: {cv / 1e6:.2f}M/s is "
+                f"{(1 - ratio) * 100:.0f}% below baseline "
+                f"{bv / 1e6:.2f}M/s (tolerance "
+                f"{args.tolerance * 100:.0f}%)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall machine scenarios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

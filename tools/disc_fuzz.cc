@@ -60,6 +60,8 @@ struct FuzzCase
     bool defect = false;
     /** Run with the event-skip fast-forward enabled (coverage axis). */
     bool fastForward = true;
+    /** Run through the micro-op dispatch tables (coverage axis). */
+    bool useUops = true;
 };
 
 struct RunResult
@@ -76,6 +78,7 @@ runCase(const FuzzCase &c, CoverageMap *cov)
     MultiStreamProgram msp = generateMultiStream(c.seed, c.opts);
     MachineConfig cfg;
     cfg.fastForward = c.fastForward;
+    cfg.uopDispatch = c.useUops;
     MachineRig rig(msp, cfg);
     if (c.defect)
         rig.machine().interrupts().setDefectLowPriorityVector(true);
@@ -143,6 +146,13 @@ shrinkCase(FuzzCase c)
         if (stillFails(t))
             c = t;
     }
+    if (c.useUops) {
+        // Likewise prefer one that fails through the legacy switch.
+        FuzzCase t = c;
+        t.useUops = false;
+        if (stillFails(t))
+            c = t;
+    }
     bool progress = true;
     while (progress && c.opts.length > 1) {
         progress = false;
@@ -176,6 +186,7 @@ reproText(const FuzzCase &c, const std::string &detail)
     out << "latency=" << c.opts.deviceLatency << "\n";
     out << "defect=" << (c.defect ? 1 : 0) << "\n";
     out << "fastforward=" << (c.fastForward ? 1 : 0) << "\n";
+    out << "uops=" << (c.useUops ? 1 : 0) << "\n";
     out << "# instructions="
         << msp.program.code.size() - kVectorTableEnd << "\n";
     out << "# failure:\n";
@@ -221,6 +232,8 @@ parseRepro(const char *path)
             c.defect = val != 0;
         else if (key == "fastforward")
             c.fastForward = val != 0;
+        else if (key == "uops")
+            c.useUops = val != 0;
         else
             fatal("unknown repro key '%s'", key.c_str());
     }
@@ -241,6 +254,7 @@ freshCase(std::uint64_t seed, bool defect)
     c.opts.useDevices = !rng.chance(0.15);
     c.opts.deviceLatency = static_cast<unsigned>(rng.below(7));
     c.fastForward = !rng.chance(0.25);
+    c.useUops = !rng.chance(0.25);
     return c;
 }
 
@@ -249,7 +263,7 @@ FuzzCase
 mutateCase(const FuzzCase &base, Rng &rng)
 {
     FuzzCase c = base;
-    switch (rng.below(6)) {
+    switch (rng.below(7)) {
       case 0:
         c.seed = rng.next64();
         break;
@@ -266,6 +280,9 @@ mutateCase(const FuzzCase &base, Rng &rng)
         break;
       case 4:
         c.fastForward = !c.fastForward;
+        break;
+      case 5:
+        c.useUops = !c.useUops;
         break;
       default:
         c.opts.useInterrupts = !c.opts.useInterrupts;
