@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FNV-1a hashing for result digests.
+ *
+ * Used wherever two runs must be compared for bit-identity without
+ * shipping the full state around: the serving layer digests a
+ * session's checkpoint bytes and trace text, and disc-run can print
+ * the same digest for an offline run of the same workload.
+ */
+
+#ifndef DISC_COMMON_HASH_HH
+#define DISC_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace disc
+{
+
+/** 64-bit FNV-1a offset basis. */
+constexpr std::uint64_t kFnv64Basis = 0xcbf29ce484222325ull;
+
+/** Fold @p len bytes into a running FNV-1a state. */
+constexpr std::uint64_t
+fnv1a64(const std::uint8_t *data, std::size_t len,
+        std::uint64_t state = kFnv64Basis)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    for (std::size_t i = 0; i < len; ++i) {
+        state ^= data[i];
+        state *= kPrime;
+    }
+    return state;
+}
+
+/** Fold a byte vector into a running FNV-1a state. */
+inline std::uint64_t
+fnv1a64(const std::vector<std::uint8_t> &bytes,
+        std::uint64_t state = kFnv64Basis)
+{
+    return fnv1a64(bytes.data(), bytes.size(), state);
+}
+
+/** Fold a string's bytes into a running FNV-1a state. */
+inline std::uint64_t
+fnv1a64(const std::string &text, std::uint64_t state = kFnv64Basis)
+{
+    return fnv1a64(reinterpret_cast<const std::uint8_t *>(text.data()),
+                   text.size(), state);
+}
+
+} // namespace disc
+
+#endif // DISC_COMMON_HASH_HH

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <vector>
 
@@ -8,7 +9,35 @@ namespace disc
 
 namespace
 {
-bool quietFlag = false;
+
+std::atomic<bool> quietFlag{false};
+
+thread_local std::string threadTag;
+
+/**
+ * Emit one fully formatted line with a single stream write. stdio
+ * locks the FILE around each call, so lines from concurrent threads
+ * (ThreadPool workers, server connection handlers) never interleave
+ * mid-line; assembling prefix + message + newline first keeps it to
+ * exactly one call.
+ */
+void
+emitLine(const char *level, const std::string &msg)
+{
+    std::string line;
+    line.reserve(threadTag.size() + msg.size() + 16);
+    line += level;
+    line += ": ";
+    if (!threadTag.empty()) {
+        line += '[';
+        line += threadTag;
+        line += "] ";
+    }
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 } // namespace
 
 std::string
@@ -42,7 +71,7 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emitLine("panic", msg);
     throw PanicError(msg);
 }
 
@@ -53,38 +82,50 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emitLine("fatal", msg);
     throw FatalError(msg);
 }
 
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info", msg);
 }
 
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+void
+setLogTag(const std::string &tag)
+{
+    threadTag = tag;
+}
+
+const std::string &
+logTag()
+{
+    return threadTag;
 }
 
 } // namespace disc

@@ -67,6 +67,21 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Globally silence warn()/inform() (used by tests and benches). */
 void setQuiet(bool quiet);
 
+/**
+ * Tag every message the calling thread emits with "[tag] " — e.g. a
+ * worker id or the session/connection a server thread is handling.
+ * Thread-local; an empty tag (the default) removes the prefix.
+ *
+ * All four reporters are thread-safe: a message is formatted into one
+ * buffer (prefix included) and written with a single stream operation,
+ * so concurrent threads cannot shear each other's lines, and the
+ * quiet flag is a relaxed atomic checked before any formatting work.
+ */
+void setLogTag(const std::string &tag);
+
+/** The calling thread's current log tag ("" when unset). */
+const std::string &logTag();
+
 } // namespace disc
 
 #endif // DISC_COMMON_LOGGING_HH

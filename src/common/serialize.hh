@@ -66,6 +66,23 @@ class Serializer
     /** Write a boolean. */
     void putBool(bool b) { put<std::uint8_t>(b ? 1 : 0); }
 
+    /** Write a string with a length prefix. */
+    void
+    putString(const std::string &s)
+    {
+        put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+        for (char c : s)
+            bytes_.push_back(static_cast<std::uint8_t>(c));
+    }
+
+    /** Write a raw byte blob with a length prefix. */
+    void
+    putBlob(const std::vector<std::uint8_t> &blob)
+    {
+        put<std::uint32_t>(static_cast<std::uint32_t>(blob.size()));
+        bytes_.insert(bytes_.end(), blob.begin(), blob.end());
+    }
+
     /** The accumulated bytes. */
     const std::vector<std::uint8_t> &bytes() const { return bytes_; }
 
@@ -116,6 +133,33 @@ class Deserializer
 
     /** Read a boolean. */
     bool getBool() { return get<std::uint8_t>() != 0; }
+
+    /** Read a length-prefixed string. */
+    std::string
+    getString()
+    {
+        auto n = get<std::uint32_t>();
+        if (n == 0)
+            return {};
+        if (pos_ + n > bytes_.size())
+            fatal("checkpoint truncated at byte %zu", pos_);
+        std::string s(reinterpret_cast<const char *>(&bytes_[pos_]), n);
+        pos_ += n;
+        return s;
+    }
+
+    /** Read a length-prefixed byte blob. */
+    std::vector<std::uint8_t>
+    getBlob()
+    {
+        auto n = get<std::uint32_t>();
+        if (pos_ + n > bytes_.size())
+            fatal("checkpoint truncated at byte %zu", pos_);
+        std::vector<std::uint8_t> blob(bytes_.begin() + pos_,
+                                       bytes_.begin() + pos_ + n);
+        pos_ += n;
+        return blob;
+    }
 
     /** True when every byte was consumed. */
     bool exhausted() const { return pos_ == bytes_.size(); }

@@ -1,0 +1,313 @@
+#include "serve/proto.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace disc::serve
+{
+
+namespace
+{
+
+bool
+isRequestType(MsgType t)
+{
+    switch (t) {
+      case MsgType::OpenReq:
+      case MsgType::RunReq:
+      case MsgType::StepReq:
+      case MsgType::QueryReq:
+      case MsgType::CloseReq:
+      case MsgType::StatsReq:
+      case MsgType::ShutdownReq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isResponseType(MsgType t)
+{
+    switch (t) {
+      case MsgType::OpenResp:
+      case MsgType::RunResp:
+      case MsgType::StepResp:
+      case MsgType::QueryResp:
+      case MsgType::CloseResp:
+      case MsgType::StatsResp:
+      case MsgType::ShutdownResp:
+      case MsgType::ErrorResp:
+      case MsgType::BusyResp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeRequest(const Request &req)
+{
+    Serializer out;
+    out.put<std::uint16_t>(req.version);
+    out.put<MsgType>(req.type);
+    out.put<std::uint64_t>(req.seq);
+    out.put<TenantId>(req.tenant);
+    out.put<std::uint32_t>(req.deadlineMs);
+    out.putString(req.session);
+    switch (req.type) {
+      case MsgType::OpenReq:
+        out.putString(req.source);
+        out.putString(req.entry);
+        out.put<std::uint32_t>(
+            static_cast<std::uint32_t>(req.streams.size()));
+        for (const StreamStart &st : req.streams) {
+            out.put<StreamId>(st.stream);
+            out.putString(st.label);
+        }
+        out.put<std::uint32_t>(
+            static_cast<std::uint32_t>(req.extmems.size()));
+        for (const ExtMemSpec &e : req.extmems) {
+            out.put<Addr>(e.base);
+            out.put<Addr>(e.size);
+            out.put<std::uint16_t>(e.latency);
+        }
+        break;
+      case MsgType::RunReq:
+        out.put<Cycle>(req.maxCycles);
+        out.putBool(req.stopWhenIdle);
+        break;
+      case MsgType::StepReq:
+        out.put<std::uint32_t>(req.stepCycles);
+        break;
+      default:
+        break; // Query/Close/Stats/Shutdown carry no body
+    }
+    return out.take();
+}
+
+Request
+decodeRequest(const std::vector<std::uint8_t> &payload)
+{
+    Deserializer in(payload);
+    Request req;
+    req.version = in.get<std::uint16_t>();
+    if (req.version != kProtoVersion)
+        fatal("protocol version %u, expected %u", req.version,
+              kProtoVersion);
+    req.type = in.get<MsgType>();
+    if (!isRequestType(req.type))
+        fatal("unknown request type %u",
+              static_cast<unsigned>(req.type));
+    req.seq = in.get<std::uint64_t>();
+    req.tenant = in.get<TenantId>();
+    req.deadlineMs = in.get<std::uint32_t>();
+    req.session = in.getString();
+    switch (req.type) {
+      case MsgType::OpenReq: {
+        req.source = in.getString();
+        req.entry = in.getString();
+        auto n_streams = in.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < n_streams; ++i) {
+            StreamStart st;
+            st.stream = in.get<StreamId>();
+            st.label = in.getString();
+            req.streams.push_back(st);
+        }
+        auto n_ext = in.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < n_ext; ++i) {
+            ExtMemSpec e;
+            e.base = in.get<Addr>();
+            e.size = in.get<Addr>();
+            e.latency = in.get<std::uint16_t>();
+            req.extmems.push_back(e);
+        }
+        break;
+      }
+      case MsgType::RunReq:
+        req.maxCycles = in.get<Cycle>();
+        req.stopWhenIdle = in.getBool();
+        break;
+      case MsgType::StepReq:
+        req.stepCycles = in.get<std::uint32_t>();
+        break;
+      default:
+        break;
+    }
+    if (!in.exhausted())
+        fatal("request frame has trailing bytes");
+    return req;
+}
+
+std::vector<std::uint8_t>
+encodeResponse(const Response &resp)
+{
+    Serializer out;
+    out.put<std::uint16_t>(kProtoVersion);
+    out.put<MsgType>(resp.type);
+    out.put<std::uint64_t>(resp.seq);
+    switch (resp.type) {
+      case MsgType::RunResp:
+      case MsgType::StepResp:
+        out.put<Cycle>(resp.ran);
+        out.put<Cycle>(resp.totalCycles);
+        out.put<std::uint64_t>(resp.retired);
+        out.putBool(resp.idle);
+        break;
+      case MsgType::QueryResp:
+        out.put<std::uint64_t>(resp.digest);
+        out.put<Cycle>(resp.totalCycles);
+        out.put<std::uint64_t>(resp.retired);
+        out.putBool(resp.idle);
+        break;
+      case MsgType::StatsResp:
+        out.put<std::uint32_t>(
+            static_cast<std::uint32_t>(resp.counters.size()));
+        for (const auto &[name, value] : resp.counters) {
+            out.putString(name);
+            out.put<std::uint64_t>(value);
+        }
+        break;
+      case MsgType::ErrorResp:
+        out.putString(resp.error);
+        break;
+      case MsgType::BusyResp:
+        out.put<BusyReason>(resp.busy);
+        out.putString(resp.error);
+        break;
+      default:
+        break; // Open/Close/Shutdown acks carry no body
+    }
+    return out.take();
+}
+
+Response
+decodeResponse(const std::vector<std::uint8_t> &payload)
+{
+    Deserializer in(payload);
+    Response resp;
+    if (in.get<std::uint16_t>() != kProtoVersion)
+        fatal("protocol version mismatch in response");
+    resp.type = in.get<MsgType>();
+    if (!isResponseType(resp.type))
+        fatal("unknown response type %u",
+              static_cast<unsigned>(resp.type));
+    resp.seq = in.get<std::uint64_t>();
+    switch (resp.type) {
+      case MsgType::RunResp:
+      case MsgType::StepResp:
+        resp.ran = in.get<Cycle>();
+        resp.totalCycles = in.get<Cycle>();
+        resp.retired = in.get<std::uint64_t>();
+        resp.idle = in.getBool();
+        break;
+      case MsgType::QueryResp:
+        resp.digest = in.get<std::uint64_t>();
+        resp.totalCycles = in.get<Cycle>();
+        resp.retired = in.get<std::uint64_t>();
+        resp.idle = in.getBool();
+        break;
+      case MsgType::StatsResp: {
+        auto n = in.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            std::string name = in.getString();
+            auto value = in.get<std::uint64_t>();
+            resp.counters.emplace_back(std::move(name), value);
+        }
+        break;
+      }
+      case MsgType::ErrorResp:
+        resp.error = in.getString();
+        break;
+      case MsgType::BusyResp:
+        resp.busy = in.get<BusyReason>();
+        resp.error = in.getString();
+        break;
+      default:
+        break;
+    }
+    if (!in.exhausted())
+        fatal("response frame has trailing bytes");
+    return resp;
+}
+
+bool
+readFrame(int fd, std::vector<std::uint8_t> &payload)
+{
+    std::uint8_t len_bytes[4];
+    std::size_t got = 0;
+    while (got < sizeof(len_bytes)) {
+        ssize_t n = ::read(fd, len_bytes + got, sizeof(len_bytes) - got);
+        if (n == 0) {
+            if (got == 0)
+                return false; // clean EOF between frames
+            fatal("connection closed mid-frame");
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (got == 0 && (errno == ECONNRESET || errno == EPIPE))
+                return false; // peer went away between frames
+            fatal("read error: %s", std::strerror(errno));
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    std::uint32_t len = static_cast<std::uint32_t>(len_bytes[0]) |
+                        static_cast<std::uint32_t>(len_bytes[1]) << 8 |
+                        static_cast<std::uint32_t>(len_bytes[2]) << 16 |
+                        static_cast<std::uint32_t>(len_bytes[3]) << 24;
+    if (len > kMaxFrameBytes)
+        fatal("frame of %u bytes exceeds the %u-byte bound", len,
+              kMaxFrameBytes);
+    payload.resize(len);
+    got = 0;
+    while (got < len) {
+        ssize_t n = ::read(fd, payload.data() + got, len - got);
+        if (n == 0)
+            fatal("connection closed mid-frame");
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("read error: %s", std::strerror(errno));
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+writeFrame(int fd, const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        fatal("frame of %zu bytes exceeds the %u-byte bound",
+              payload.size(), kMaxFrameBytes);
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    std::uint8_t buf[4] = {
+        static_cast<std::uint8_t>(len),
+        static_cast<std::uint8_t>(len >> 8),
+        static_cast<std::uint8_t>(len >> 16),
+        static_cast<std::uint8_t>(len >> 24),
+    };
+    auto write_all = [fd](const std::uint8_t *data, std::size_t size) {
+        std::size_t sent = 0;
+        while (sent < size) {
+            ssize_t n = ::write(fd, data + sent, size - sent);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("write error: %s", std::strerror(errno));
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    };
+    write_all(buf, sizeof(buf));
+    write_all(payload.data(), payload.size());
+}
+
+} // namespace disc::serve

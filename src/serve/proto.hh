@@ -1,0 +1,138 @@
+/**
+ * @file
+ * disc-serve wire protocol: versioned, length-prefixed binary frames.
+ *
+ * Every frame is a 32-bit little-endian payload length followed by
+ * the payload, built with the checkpoint serializer (fixed layout,
+ * explicit sizes, checked reads — a malformed frame produces
+ * fatal(), never UB). Every payload starts with the protocol
+ * version, the message type and a client-chosen sequence number the
+ * server echoes, so clients may pipeline arbitrarily many requests
+ * per connection and match replies out of band.
+ *
+ * Requests carry the tenant id (share accounting), a session id and
+ * an optional deadline in milliseconds (0 = never shed). Refusals are
+ * explicit: BusyResp names whether the tenant queue was full, the
+ * deadline passed while queued, or the server is draining — the
+ * client's signal to back off rather than retry hot.
+ */
+
+#ifndef DISC_SERVE_PROTO_HH
+#define DISC_SERVE_PROTO_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/session.hh"
+
+namespace disc::serve
+{
+
+/** Protocol version in every payload. */
+constexpr std::uint16_t kProtoVersion = 1;
+
+/** Upper bound on one frame (guards a hostile length prefix). */
+constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
+
+/** Message types. Requests are < 64, responses >= 64. */
+enum class MsgType : std::uint8_t
+{
+    OpenReq = 1,     ///< create a session from a workload spec
+    RunReq = 2,      ///< run up to N cycles (optionally stop on idle)
+    StepReq = 3,     ///< step exactly N cycles
+    QueryReq = 4,    ///< digest + stats snapshot
+    CloseReq = 5,    ///< destroy the session and its park file
+    StatsReq = 6,    ///< server metrics (no session)
+    ShutdownReq = 7, ///< ask the server to drain and exit
+
+    OpenResp = 64,
+    RunResp = 65,
+    StepResp = 66,
+    QueryResp = 67,
+    CloseResp = 68,
+    StatsResp = 69,
+    ShutdownResp = 70,
+    ErrorResp = 96, ///< request failed (message in `error`)
+    BusyResp = 97,  ///< backpressure: request refused or shed
+};
+
+/** Why a BusyResp was sent. */
+enum class BusyReason : std::uint8_t
+{
+    QueueFull = 1, ///< tenant queue at its bound
+    Deadline = 2,  ///< shed: waited past its deadline
+    Draining = 3,  ///< server is shutting down
+};
+
+/** One decoded request. */
+struct Request
+{
+    std::uint16_t version = kProtoVersion;
+    MsgType type = MsgType::QueryReq;
+    std::uint64_t seq = 0;       ///< echoed in the response
+    TenantId tenant = 0;         ///< share-table owner
+    std::uint32_t deadlineMs = 0; ///< 0 = never shed
+    std::string session;         ///< empty for Stats/Shutdown
+
+    // OpenReq body (spec.id/tenant are taken from the fields above).
+    std::string source;
+    std::string entry = "main";
+    std::vector<StreamStart> streams;
+    std::vector<ExtMemSpec> extmems;
+
+    // RunReq body.
+    Cycle maxCycles = 0;
+    bool stopWhenIdle = true;
+
+    // StepReq body.
+    std::uint32_t stepCycles = 0;
+};
+
+/** One decoded response. */
+struct Response
+{
+    MsgType type = MsgType::ErrorResp;
+    std::uint64_t seq = 0;
+
+    // Run/Step/Query body.
+    Cycle ran = 0;            ///< cycles simulated by this request
+    Cycle totalCycles = 0;    ///< machine's cumulative cycle count
+    std::uint64_t retired = 0; ///< cumulative retired instructions
+    bool idle = false;
+    std::uint64_t digest = 0; ///< QueryResp: run digest
+
+    // StatsResp body: ordered (name, value) counters.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    // ErrorResp / BusyResp body.
+    std::string error;
+    BusyReason busy = BusyReason::QueueFull;
+};
+
+/** Encode a request payload (no frame prefix). */
+std::vector<std::uint8_t> encodeRequest(const Request &req);
+
+/** Decode a request payload; fatal() on malformed input. */
+Request decodeRequest(const std::vector<std::uint8_t> &payload);
+
+/** Encode a response payload (no frame prefix). */
+std::vector<std::uint8_t> encodeResponse(const Response &resp);
+
+/** Decode a response payload; fatal() on malformed input. */
+Response decodeResponse(const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read one length-prefixed frame from @p fd.
+ * @return false on clean EOF before any byte of a frame; fatal() on
+ *         truncation mid-frame or an oversized length prefix.
+ */
+bool readFrame(int fd, std::vector<std::uint8_t> &payload);
+
+/** Write one length-prefixed frame to @p fd; fatal() on error. */
+void writeFrame(int fd, const std::vector<std::uint8_t> &payload);
+
+} // namespace disc::serve
+
+#endif // DISC_SERVE_PROTO_HH

@@ -1,0 +1,402 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace disc::serve
+{
+
+ShareTable
+makeShareTable(const ServerConfig &cfg)
+{
+    ShareTable table;
+    if (!cfg.shares.empty())
+        table.setShares(cfg.shares);
+    else
+        table.setEven(cfg.tenants);
+    return table;
+}
+
+// --- Conn -------------------------------------------------------------
+
+void
+ServeServer::Conn::send(const std::vector<std::uint8_t> &payload)
+{
+    std::lock_guard<std::mutex> g(wmu);
+    try {
+        writeFrame(fd, payload);
+    } catch (const FatalError &e) {
+        // The client went away; its session state is unaffected.
+        warn("dropping reply: %s", e.what());
+    }
+}
+
+void
+ServeServer::Conn::addOutstanding()
+{
+    std::lock_guard<std::mutex> g(omu);
+    ++outstanding;
+}
+
+void
+ServeServer::Conn::doneOutstanding()
+{
+    {
+        std::lock_guard<std::mutex> g(omu);
+        --outstanding;
+    }
+    ocv.notify_all();
+}
+
+void
+ServeServer::Conn::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(omu);
+    ocv.wait(lk, [this] { return outstanding == 0; });
+}
+
+// --- ServeServer ------------------------------------------------------
+
+ServeServer::ServeServer(const ServerConfig &cfg)
+    : cfg_(cfg), registry_(cfg.stateDir, cfg.maxResident),
+      sched_(makeShareTable(cfg), cfg.queueCap, cfg.batchMax)
+{
+    if (cfg_.tenants == 0 || cfg_.tenants > kMaxTenants)
+        fatal("tenant count %u out of range 1..%u", cfg_.tenants,
+              kMaxTenants);
+}
+
+ServeServer::~ServeServer()
+{
+    if (started_.load())
+        requestStop();
+}
+
+void
+ServeServer::start()
+{
+    std::size_t resumed = registry_.restoreDir();
+    if (resumed > 0)
+        inform("resumed %zu parked session(s) from %s", resumed,
+               registry_.stateDir().c_str());
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("socket: %s", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(cfg_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        fatal("bind port %u: %s", cfg_.port, std::strerror(errno));
+    if (::listen(listenFd_, 64) < 0)
+        fatal("listen: %s", std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0)
+        fatal("getsockname: %s", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+
+    sched_.start();
+    started_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+ServeServer::acceptLoop()
+{
+    setLogTag("accept");
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (stopping_.load())
+                return;
+            warn("accept: %s", std::strerror(errno));
+            return;
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        unsigned idx =
+            static_cast<unsigned>(connections_.fetch_add(1));
+        std::lock_guard<std::mutex> g(connMu_);
+        conns_.push_back(conn);
+        connThreads_.emplace_back(
+            [this, conn, idx] { connLoop(conn, idx); });
+    }
+}
+
+void
+ServeServer::connLoop(std::shared_ptr<Conn> conn, unsigned idx)
+{
+    setLogTag(strprintf("conn%u", idx));
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        bool got = false;
+        try {
+            got = readFrame(conn->fd, payload);
+        } catch (const FatalError &) {
+            break; // connection cut mid-frame
+        }
+        if (!got)
+            break; // clean EOF
+        Request req;
+        try {
+            req = decodeRequest(payload);
+        } catch (const FatalError &e) {
+            Response resp;
+            resp.type = MsgType::ErrorResp;
+            resp.error = e.what();
+            conn->send(encodeResponse(resp));
+            continue;
+        }
+        handle(conn, req);
+    }
+    // Replies for everything this connection submitted must be
+    // written before the socket goes away.
+    conn->waitIdle();
+    ::close(conn->fd);
+    conn->fd = -1;
+}
+
+void
+ServeServer::handle(const std::shared_ptr<Conn> &conn,
+                    const Request &req)
+{
+    if (req.type == MsgType::StatsReq) {
+        Response resp;
+        resp.type = MsgType::StatsResp;
+        resp.seq = req.seq;
+        resp.counters = metricsCounters();
+        conn->send(encodeResponse(resp));
+        return;
+    }
+    if (req.type == MsgType::ShutdownReq) {
+        shutdownReq_.store(true);
+        Response resp;
+        resp.type = MsgType::ShutdownResp;
+        resp.seq = req.seq;
+        conn->send(encodeResponse(resp));
+        return;
+    }
+    if (req.tenant >= cfg_.tenants) {
+        Response resp;
+        resp.type = MsgType::ErrorResp;
+        resp.seq = req.seq;
+        resp.error = strprintf("tenant %u out of range 0..%u",
+                               req.tenant, cfg_.tenants - 1);
+        conn->send(encodeResponse(resp));
+        return;
+    }
+
+    conn->addOutstanding();
+    ServeJob job;
+    job.tenant = req.tenant;
+    job.session = req.session;
+    job.deadlineMs = req.deadlineMs;
+    job.run = [this, conn, req] {
+        setLogTag("sess " + req.session);
+        conn->send(encodeResponse(execute(req)));
+        conn->doneOutstanding();
+    };
+    job.dropped = [conn, seq = req.seq](Drop d) {
+        Response resp;
+        resp.type = MsgType::BusyResp;
+        resp.seq = seq;
+        resp.busy = d == Drop::Deadline ? BusyReason::Deadline
+                                        : BusyReason::Draining;
+        resp.error = d == Drop::Deadline ? "shed: deadline exceeded"
+                                         : "server draining";
+        conn->send(encodeResponse(resp));
+        conn->doneOutstanding();
+    };
+
+    switch (sched_.submit(std::move(job))) {
+      case RequestScheduler::Submit::Accepted:
+        return;
+      case RequestScheduler::Submit::QueueFull: {
+        Response resp;
+        resp.type = MsgType::BusyResp;
+        resp.seq = req.seq;
+        resp.busy = BusyReason::QueueFull;
+        resp.error = strprintf("tenant %u queue full (cap %u)",
+                               req.tenant, cfg_.queueCap);
+        conn->send(encodeResponse(resp));
+        conn->doneOutstanding();
+        return;
+      }
+      case RequestScheduler::Submit::Draining: {
+        Response resp;
+        resp.type = MsgType::BusyResp;
+        resp.seq = req.seq;
+        resp.busy = BusyReason::Draining;
+        resp.error = "server draining";
+        conn->send(encodeResponse(resp));
+        conn->doneOutstanding();
+        return;
+      }
+    }
+}
+
+Response
+ServeServer::execute(const Request &req)
+{
+    Response resp;
+    resp.seq = req.seq;
+    try {
+        switch (req.type) {
+          case MsgType::OpenReq: {
+            SessionSpec spec;
+            spec.id = req.session;
+            spec.tenant = req.tenant;
+            spec.source = req.source;
+            spec.entry = req.entry;
+            spec.streams = req.streams;
+            spec.extmems = req.extmems;
+            registry_.open(spec);
+            resp.type = MsgType::OpenResp;
+            break;
+          }
+          case MsgType::RunReq: {
+            SessionLease lease = registry_.acquire(req.session);
+            resp.ran = lease->machine().run(req.maxCycles,
+                                            req.stopWhenIdle);
+            resp.totalCycles = lease->machine().stats().cycles;
+            resp.retired = lease->machine().stats().totalRetired;
+            resp.idle = lease->machine().idle();
+            resp.type = MsgType::RunResp;
+            break;
+          }
+          case MsgType::StepReq: {
+            SessionLease lease = registry_.acquire(req.session);
+            for (std::uint32_t i = 0; i < req.stepCycles; ++i)
+                lease->machine().step();
+            resp.ran = req.stepCycles;
+            resp.totalCycles = lease->machine().stats().cycles;
+            resp.retired = lease->machine().stats().totalRetired;
+            resp.idle = lease->machine().idle();
+            resp.type = MsgType::StepResp;
+            break;
+          }
+          case MsgType::QueryReq: {
+            SessionLease lease = registry_.acquire(req.session);
+            resp.digest = sessionDigest(*lease);
+            resp.totalCycles = lease->machine().stats().cycles;
+            resp.retired = lease->machine().stats().totalRetired;
+            resp.idle = lease->machine().idle();
+            resp.type = MsgType::QueryResp;
+            break;
+          }
+          case MsgType::CloseReq:
+            registry_.close(req.session);
+            resp.type = MsgType::CloseResp;
+            break;
+          default:
+            resp.type = MsgType::ErrorResp;
+            resp.error = "request type not servable";
+            break;
+        }
+    } catch (const std::exception &e) {
+        // FatalError (bad program, unknown session) and PanicError
+        // both surface to the client; the server stays up.
+        resp.type = MsgType::ErrorResp;
+        resp.error = e.what();
+    }
+    return resp;
+}
+
+void
+ServeServer::requestStop()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true))
+        return;
+    if (!started_.load())
+        return;
+
+    // 1. Stop accepting.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+
+    // 2. Half-close every connection: readers see EOF and stop
+    //    submitting; reply frames still flow out.
+    {
+        std::lock_guard<std::mutex> g(connMu_);
+        for (const auto &conn : conns_)
+            if (conn->fd >= 0)
+                ::shutdown(conn->fd, SHUT_RD);
+    }
+
+    // 3. Drain: every accepted request executes, every reply is
+    //    written.
+    sched_.drainAndStop();
+
+    // 4. Connection threads exit once their outstanding count hits
+    //    zero.
+    {
+        std::lock_guard<std::mutex> g(connMu_);
+        for (std::thread &t : connThreads_)
+            if (t.joinable())
+                t.join();
+        connThreads_.clear();
+        conns_.clear();
+    }
+
+    // 5. Park every live session so a restarted server can continue
+    //    bit-identically.
+    registry_.parkAll();
+    started_.store(false);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+ServeServer::metricsCounters() const
+{
+    const SchedulerMetrics &m = sched_.metrics();
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.emplace_back("connections", connections_.load());
+    out.emplace_back("accepted", m.accepted.load());
+    out.emplace_back("completed", m.completed.load());
+    out.emplace_back("shed_deadline", m.shedDeadline.load());
+    out.emplace_back("rejected_queue_full", m.rejectedQueueFull.load());
+    out.emplace_back("rejected_draining", m.rejectedDraining.load());
+    out.emplace_back("queued", sched_.queuedTotal());
+    out.emplace_back("max_queue_depth", m.maxQueueDepth.load());
+    out.emplace_back("batches", m.batches.load());
+    out.emplace_back("batched_jobs", m.batchedJobs.load());
+    out.emplace_back("max_batch", m.maxBatch.load());
+    out.emplace_back("sessions", registry_.size());
+    out.emplace_back("resident", registry_.residentCount());
+    out.emplace_back("evicted", registry_.evictedTotal());
+    out.emplace_back("restored", registry_.restoredTotal());
+    return out;
+}
+
+std::string
+ServeServer::metricsText() const
+{
+    std::string out;
+    for (const auto &[name, value] : metricsCounters())
+        out += strprintf("serve: %s=%llu\n", name.c_str(),
+                         static_cast<unsigned long long>(value));
+    return out;
+}
+
+} // namespace disc::serve

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ServeServer: the disc-serve front end — a loopback TCP listener
+ * wiring the wire protocol to the SessionRegistry and the
+ * RequestScheduler.
+ *
+ * Threading: one acceptor thread, one blocking reader thread per
+ * connection, the scheduler's dispatcher thread, and the shared
+ * ThreadPool executing batches. A connection thread only decodes
+ * frames and submits jobs; replies are written by whichever thread
+ * completes the job, under a per-connection write mutex, so clients
+ * may pipeline any number of requests per connection.
+ *
+ * Graceful shutdown (requestStop(), driven by SIGTERM in the
+ * disc-serve tool or by a Shutdown request): stop accepting, half-
+ * close every connection so readers stop submitting, drain the
+ * scheduler — every accepted request executes and its reply is
+ * written — then park every live session to the state directory. A
+ * restarted server pointed at the same directory re-registers the
+ * parked sessions (SessionRegistry::restoreDir()) and continues each
+ * one bit-identically.
+ */
+
+#ifndef DISC_SERVE_SERVER_HH
+#define DISC_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/proto.hh"
+#include "serve/request_scheduler.hh"
+#include "serve/session.hh"
+
+namespace disc::serve
+{
+
+/** Server construction parameters. */
+struct ServerConfig
+{
+    /** TCP port on 127.0.0.1 (0 = pick an ephemeral port). */
+    std::uint16_t port = 0;
+
+    /** Directory for parked-session files. */
+    std::string stateDir = "disc-serve-state";
+
+    /** Residency bound for the session registry. */
+    unsigned maxResident = 8;
+
+    /** Per-tenant request queue bound. */
+    unsigned queueCap = 64;
+
+    /** Number of tenants (1..16) when `shares` is empty (even split). */
+    unsigned tenants = 4;
+
+    /** Explicit per-tenant shares in sixteenths (sum <= 16). */
+    std::vector<unsigned> shares;
+
+    /** Batch size cap; 0 = worker pool size. */
+    unsigned batchMax = 0;
+};
+
+/** The serving front end; see the file comment. */
+class ServeServer
+{
+  public:
+    explicit ServeServer(const ServerConfig &cfg);
+
+    /** Stops the server if still running. */
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /**
+     * Re-register parked sessions, bind the listener and start the
+     * acceptor and dispatcher threads. fatal() when the port is
+     * taken.
+     */
+    void start();
+
+    /** The bound port (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** Number of tenants the server accepts. */
+    unsigned tenants() const { return cfg_.tenants; }
+
+    /** Drain, park and stop; idempotent. Safe from any non-handler
+     *  thread. */
+    void requestStop();
+
+    /** True once a Shutdown request arrived (poll from the tool's
+     *  main loop, then call requestStop()). */
+    bool shutdownRequested() const { return shutdownReq_.load(); }
+
+    /** The session table. */
+    SessionRegistry &registry() { return registry_; }
+
+    /** The request scheduler. */
+    RequestScheduler &scheduler() { return sched_; }
+
+    /** Ordered service counters (the StatsResp body). */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    metricsCounters() const;
+
+    /** The counters as printable "serve: name=value" lines. */
+    std::string metricsText() const;
+
+  private:
+    /** One client connection. */
+    struct Conn
+    {
+        int fd = -1;
+        std::mutex wmu; ///< serialises reply frames
+
+        std::mutex omu;
+        std::condition_variable ocv;
+        unsigned outstanding = 0; ///< submitted, reply not yet sent
+
+        /** Write one reply frame; warns instead of throwing. */
+        void send(const std::vector<std::uint8_t> &payload);
+
+        void addOutstanding();
+        void doneOutstanding();
+        void waitIdle();
+    };
+
+    void acceptLoop();
+    void connLoop(std::shared_ptr<Conn> conn, unsigned idx);
+    void handle(const std::shared_ptr<Conn> &conn, const Request &req);
+
+    /** Perform one session request (called on a pool thread). */
+    Response execute(const Request &req);
+
+    ServerConfig cfg_;
+    SessionRegistry registry_;
+    RequestScheduler sched_;
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+
+    std::mutex connMu_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    std::vector<std::thread> connThreads_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdownReq_{false};
+    std::atomic<std::uint64_t> connections_{0};
+};
+
+/** The share table a config describes (even split or explicit). */
+ShareTable makeShareTable(const ServerConfig &cfg);
+
+} // namespace disc::serve
+
+#endif // DISC_SERVE_SERVER_HH

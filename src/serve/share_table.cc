@@ -1,0 +1,91 @@
+#include "serve/share_table.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace disc::serve
+{
+
+namespace
+{
+
+/** Reverse the low four bits (slot index permutation). */
+constexpr unsigned
+bitrev4(unsigned v)
+{
+    return ((v & 1) << 3) | ((v & 2) << 1) | ((v & 4) >> 1) |
+           ((v & 8) >> 3);
+}
+
+} // namespace
+
+ShareTable::ShareTable()
+{
+    slots_.fill(kNoTenant);
+}
+
+void
+ShareTable::setEven(unsigned n)
+{
+    if (n == 0 || n > kMaxTenants)
+        fatal("share table: even split over %u tenants", n);
+    std::vector<unsigned> shares(n, kScheduleSlots / n);
+    for (unsigned t = 0; t < kScheduleSlots % n; ++t)
+        ++shares[t];
+    setShares(shares);
+}
+
+void
+ShareTable::setShares(const std::vector<unsigned> &shares)
+{
+    if (shares.size() > kMaxTenants)
+        fatal("share table: %zu tenants, at most %u", shares.size(),
+              kMaxTenants);
+    unsigned total = std::accumulate(shares.begin(), shares.end(), 0u);
+    if (total > kScheduleSlots)
+        fatal("share table: shares sum to %u, at most %u", total,
+              kScheduleSlots);
+    // Dense list tenant-by-tenant (unowned tail), spread by the 4-bit
+    // bit-reversal permutation so shares interleave across the frame.
+    std::array<TenantId, kScheduleSlots> dense;
+    dense.fill(kNoTenant);
+    unsigned pos = 0;
+    for (TenantId t = 0; t < shares.size(); ++t)
+        for (unsigned k = 0; k < shares[t]; ++k)
+            dense[pos++] = t;
+    for (unsigned i = 0; i < kScheduleSlots; ++i)
+        slots_[bitrev4(i)] = dense[i];
+    cursor_ = 0;
+}
+
+TenantId
+ShareTable::referencePick(unsigned cursor,
+                          std::uint32_t backlog_mask) const
+{
+    for (unsigned k = 0; k < kScheduleSlots; ++k) {
+        TenantId t = slots_[(cursor + k) % kScheduleSlots];
+        if (t != kNoTenant && (backlog_mask & (1u << t)))
+            return t;
+    }
+    // No backlogged owner anywhere in the table: donate the slot to
+    // any backlogged tenant (covers unowned slots and tenants whose
+    // shares sum below 16).
+    for (TenantId t = 0; t < kMaxTenants; ++t)
+        if (backlog_mask & (1u << t))
+            return t;
+    return kNoTenant;
+}
+
+std::string
+ShareTable::describe() const
+{
+    std::string out;
+    for (TenantId t : slots_)
+        out += t == kNoTenant ? '.'
+                              : static_cast<char>(t < 10 ? '0' + t
+                                                         : 'a' + t - 10);
+    return out;
+}
+
+} // namespace disc::serve

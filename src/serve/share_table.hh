@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tenant share table: the paper's slot scheduler lifted one level up.
+ *
+ * The hardware scheduler (arch/scheduler.hh) partitions the machine's
+ * issue bandwidth with a 16-slot table and dynamically reallocates the
+ * slots of streams that cannot issue. disc-serve applies the same
+ * policy to *service* bandwidth: each tenant is granted a static share
+ * in 1/16 increments, the dispatcher consumes one slot per dispatched
+ * request, and a slot whose owner has no backlog is donated to the
+ * next backlogged tenant in circular slot order. A tenant therefore
+ * gets at least its share under saturation and any unused capacity
+ * flows to whoever is backlogged — never to nobody while somebody
+ * waits.
+ *
+ * referencePick() is the plain circular scan, kept (as in the
+ * hardware scheduler) as the oracle the unit tests audit pick()
+ * against.
+ */
+
+#ifndef DISC_SERVE_SHARE_TABLE_HH
+#define DISC_SERVE_SHARE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace disc::serve
+{
+
+/** Tenant identifier (dense, < kMaxTenants). */
+using TenantId = std::uint16_t;
+
+/** Sentinel: no tenant (free slot / empty pick). */
+constexpr TenantId kNoTenant = 0xffff;
+
+/** Share granularity is 1/16, so at most 16 tenants hold shares. */
+constexpr unsigned kMaxTenants = kScheduleSlots;
+
+/** 16-slot tenant share table with dynamic slot reallocation. */
+class ShareTable
+{
+  public:
+    /** All slots start unowned (pure free-for-all). */
+    ShareTable();
+
+    /** Grant an even split of all 16 slots over @p n tenants. */
+    void setEven(unsigned n);
+
+    /**
+     * Grant shares[t] sixteenths to tenant t. The shares must sum to
+     * at most kScheduleSlots; leftover slots stay unowned and are
+     * always reallocated. Slots are spread with the same 4-bit
+     * bit-reversal interleave the hardware scheduler uses, so a
+     * tenant's slots are distributed across the frame.
+     */
+    void setShares(const std::vector<unsigned> &shares);
+
+    /** Owner of slot @p i (kNoTenant when unowned). */
+    TenantId slot(unsigned i) const { return slots_[i % kScheduleSlots]; }
+
+    /** Static owner of the slot the next pick() consumes. */
+    TenantId nextOwner() const { return slots_[cursor_]; }
+
+    /** Slot cursor position. */
+    unsigned cursor() const { return cursor_; }
+
+    /**
+     * Consume one slot and pick the tenant to serve: the slot's owner
+     * if backlogged, else the first backlogged owner in circular slot
+     * order (dynamic reallocation), else kNoTenant.
+     * @param backlog_mask bit t set when tenant t has queued work.
+     */
+    TenantId
+    pick(std::uint32_t backlog_mask)
+    {
+        TenantId t = referencePick(cursor_, backlog_mask);
+        cursor_ = (cursor_ + 1) % kScheduleSlots;
+        return t;
+    }
+
+    /**
+     * What a pick() at @p cursor with @p backlog_mask would choose;
+     * does not advance the cursor. The unit-test oracle.
+     */
+    TenantId referencePick(unsigned cursor,
+                           std::uint32_t backlog_mask) const;
+
+    /** Rewind the cursor (does not change the slot grants). */
+    void resetCursor() { cursor_ = 0; }
+
+    /** Printable slot table, e.g. "0123012301230123" ('.' unowned). */
+    std::string describe() const;
+
+  private:
+    std::array<TenantId, kScheduleSlots> slots_;
+    unsigned cursor_ = 0;
+};
+
+} // namespace disc::serve
+
+#endif // DISC_SERVE_SHARE_TABLE_HH

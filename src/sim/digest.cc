@@ -1,0 +1,15 @@
+#include "sim/digest.hh"
+
+#include "common/hash.hh"
+
+namespace disc
+{
+
+std::uint64_t
+runDigest(const Machine &m, const ExecTrace &trace)
+{
+    std::uint64_t h = fnv1a64(m.saveState());
+    return fnv1a64(trace.render(), h);
+}
+
+} // namespace disc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Run digests: one 64-bit fingerprint for "did these two runs end in
+ * exactly the same place".
+ *
+ * The digest folds the machine's full checkpoint image (memories,
+ * registers, windows, scheduler, ABI, pipeline contents, devices and
+ * every statistics counter except the stepping-mode diagnostics,
+ * which saveState() already excludes) together with the rendered
+ * execution trace. Two runs of the same workload — offline via
+ * disc-run, served via disc-serve, split across any sequence of
+ * run/step requests, parked and restored any number of times — must
+ * produce the same digest or one of them is wrong.
+ */
+
+#ifndef DISC_SIM_DIGEST_HH
+#define DISC_SIM_DIGEST_HH
+
+#include <cstdint>
+
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+namespace disc
+{
+
+/** Digest of a machine's architectural state plus its exec trace. */
+std::uint64_t runDigest(const Machine &m, const ExecTrace &trace);
+
+} // namespace disc
+
+#endif // DISC_SIM_DIGEST_HH

@@ -42,6 +42,39 @@ ExecTrace::clear()
     total_ = 0;
 }
 
+void
+ExecTrace::save(Serializer &out) const
+{
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(maxEntries_));
+    out.put<std::uint64_t>(total_);
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        out.put<Cycle>(e.cycle);
+        out.put<StreamId>(e.stream);
+        out.put<PAddr>(e.pc);
+        out.put<std::uint32_t>(encode(e.inst));
+    }
+}
+
+void
+ExecTrace::restore(Deserializer &in)
+{
+    maxEntries_ = in.get<std::uint32_t>();
+    if (maxEntries_ == 0)
+        fatal("exec trace snapshot has zero capacity");
+    total_ = in.get<std::uint64_t>();
+    auto n = in.get<std::uint32_t>();
+    entries_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Entry e;
+        e.cycle = in.get<Cycle>();
+        e.stream = in.get<StreamId>();
+        e.pc = in.get<PAddr>();
+        e.inst = decode(in.get<std::uint32_t>());
+        entries_.push_back(e);
+    }
+}
+
 PipeTrace::PipeTrace(unsigned depth, std::size_t max_cycles)
     : depth_(depth), maxCycles_(max_cycles)
 {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 
@@ -56,6 +57,17 @@ class ExecTrace
 
     /** Drop all records. */
     void clear();
+
+    /**
+     * Serialize the retained entries, the retention cap and the total
+     * count, so a parked session's trace survives eviction with the
+     * machine checkpoint and the restored trace renders byte-identical
+     * to a never-evicted one.
+     */
+    void save(Serializer &out) const;
+
+    /** Restore state saved by save(); replaces current contents. */
+    void restore(Deserializer &in);
 
   private:
     std::size_t maxEntries_;

@@ -31,6 +31,17 @@ def main() -> int:
     with open(args.current) as f:
         cur = json.load(f)
 
+    # Only compare schemas this script understands; a result file from
+    # a newer tool (or a different bench, e.g. BENCH_serve.json) is
+    # skipped rather than misread.
+    known = (1, 2)
+    for name, data in (("baseline", base), ("current", cur)):
+        schema = data.get("schema")
+        if schema not in known:
+            print(f"skipping: {name} file has unknown schema "
+                  f"{schema!r} (known: {known})")
+            return 0
+
     floor = 1.0 - args.tolerance
     failures = []
     for scenario, b in base.get("machine", {}).items():

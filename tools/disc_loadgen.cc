@@ -1,0 +1,603 @@
+/**
+ * @file
+ * disc-loadgen: open-loop load generator and correctness checker for
+ * disc-serve.
+ *
+ * Opens N sessions (each a distinct infinite-loop workload), then
+ * sweeps a list of arrival rates: at each rate it submits Run
+ * requests on a fixed schedule — open-loop, so a slow server builds
+ * queues instead of slowing the generator — and records per-request
+ * latency from the *scheduled* arrival time (no coordinated
+ * omission). Each sweep reports completed throughput and
+ * p50/p95/p99 latency; `--out` writes the sweep table as
+ * BENCH_serve.json (schema "serve-1").
+ *
+ * Correctness: after the sweeps every session is queried for its run
+ * digest; with `--check` the same workload is re-run in-process for
+ * the served cycle count and the digests must match bit-for-bit —
+ * the serving path adds batching, eviction and restore, but never a
+ * different result. `--resume` skips session creation so a restarted
+ * server's resumed sessions can be driven and checked the same way.
+ *
+ * Usage:
+ *   disc-loadgen --port P [options]
+ *     --sessions N       concurrent sessions (default 8)
+ *     --tenants N        tenant count; session i belongs to tenant
+ *                        i % N (must match the server; default 4)
+ *     --conns N          client connections (default 2)
+ *     --requests N       requests per sweep (default 2000)
+ *     --rates A,B,...    arrival rates in req/s (default 200,400,800)
+ *     --cycles N         cycle budget per Run request (default 200)
+ *     --deadline-ms N    per-request deadline (0 = never shed)
+ *     --out FILE         write BENCH_serve.json-style results
+ *     --check            verify digests against in-process runs
+ *     --fail-on-shed     exit 1 if any request was refused or shed
+ *     --resume           sessions already exist (restarted server)
+ *     --shutdown         send a Shutdown request when done
+ *     --dump-workload K  print session K's assembly and exit
+ *
+ * Exit status: 0 on success, 1 on connection errors, digest
+ * mismatches, or (with --fail-on-shed) any non-completed request.
+ */
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "serve/proto.hh"
+#include "sim/digest.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+using namespace disc;
+using namespace disc::serve;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** The session's workload: an endless loop with a per-session
+ *  constant, so sessions have distinct yet deterministic states. */
+std::string
+workloadSource(unsigned index)
+{
+    return strprintf("; disc-loadgen workload, session %u\n"
+                     ".org 0x20\n"
+                     "main:\n"
+                     "    ldi  r0, %u\n"
+                     "    ldi  r1, 1\n"
+                     "loop:\n"
+                     "    add  r1, r1, r0\n"
+                     "    mul  r2, r1, r0\n"
+                     "    sub  r3, r2, r1\n"
+                     "    jmp  loop\n",
+                     index, 3 + index);
+}
+
+std::string
+sessionName(unsigned index)
+{
+    return strprintf("s%u", index);
+}
+
+/**
+ * One pipelined connection: a writer mutex plus a reader thread that
+ * routes responses to per-sequence completion handlers.
+ */
+class Client
+{
+  public:
+    using Handler = std::function<void(const Response &)>;
+
+    void
+    connect(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            fatal("socket: %s", std::strerror(errno));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0)
+            fatal("connect 127.0.0.1:%u: %s", port,
+                  std::strerror(errno));
+        reader_ = std::thread([this] { readerLoop(); });
+    }
+
+    /** Send a request; @p on_reply runs on the reader thread. */
+    void
+    send(const Request &req, Handler on_reply)
+    {
+        {
+            std::lock_guard<std::mutex> g(hmu_);
+            if (dead_)
+                fatal("connection is down");
+            handlers_.emplace(req.seq, std::move(on_reply));
+        }
+        std::lock_guard<std::mutex> g(wmu_);
+        writeFrame(fd_, encodeRequest(req));
+    }
+
+    /** Send and block for the reply. */
+    Response
+    transact(const Request &req)
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        Response out;
+        send(req, [&](const Response &resp) {
+            std::lock_guard<std::mutex> g(m);
+            out = resp;
+            done = true;
+            cv.notify_one();
+        });
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return done; });
+        return out;
+    }
+
+    void
+    close()
+    {
+        if (fd_ >= 0)
+            ::shutdown(fd_, SHUT_RDWR);
+        if (reader_.joinable())
+            reader_.join();
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~Client() { close(); }
+
+  private:
+    void
+    readerLoop()
+    {
+        std::vector<std::uint8_t> payload;
+        try {
+            while (readFrame(fd_, payload)) {
+                Response resp = decodeResponse(payload);
+                Handler h;
+                {
+                    std::lock_guard<std::mutex> g(hmu_);
+                    auto it = handlers_.find(resp.seq);
+                    if (it == handlers_.end()) {
+                        warn("reply for unknown seq %llu",
+                             static_cast<unsigned long long>(resp.seq));
+                        continue;
+                    }
+                    h = std::move(it->second);
+                    handlers_.erase(it);
+                }
+                h(resp);
+            }
+        } catch (const FatalError &e) {
+            warn("connection lost: %s", e.what());
+        }
+        // Fail anything still pending so no waiter hangs forever.
+        std::unordered_map<std::uint64_t, Handler> orphans;
+        {
+            std::lock_guard<std::mutex> g(hmu_);
+            dead_ = true;
+            orphans.swap(handlers_);
+        }
+        for (auto &[seq, h] : orphans) {
+            Response resp;
+            resp.type = MsgType::ErrorResp;
+            resp.seq = seq;
+            resp.error = "connection closed";
+            h(resp);
+        }
+    }
+
+    int fd_ = -1;
+    std::mutex wmu_;
+    std::thread reader_;
+
+    std::mutex hmu_;
+    bool dead_ = false;
+    std::unordered_map<std::uint64_t, Handler> handlers_;
+};
+
+/** One rate point's results. */
+struct SweepResult
+{
+    unsigned rate = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t busyQueueFull = 0;
+    std::uint64_t busyDeadline = 0;
+    std::uint64_t busyDraining = 0;
+    std::uint64_t errors = 0;
+    double wallSec = 0;
+    double throughput = 0;
+    std::uint64_t p50 = 0, p95 = 0, p99 = 0, maxUs = 0;
+};
+
+std::uint64_t
+percentile(const std::vector<std::uint64_t> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size()));
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+std::vector<unsigned>
+parseRates(const char *v)
+{
+    std::vector<unsigned> rates;
+    const char *p = v;
+    while (*p) {
+        char *end = nullptr;
+        unsigned long n = std::strtoul(p, &end, 10);
+        if (end == p || n == 0)
+            fatal("--rates wants comma-separated positive numbers");
+        rates.push_back(static_cast<unsigned>(n));
+        p = *end == ',' ? end + 1 : end;
+    }
+    if (rates.empty())
+        fatal("--rates wants at least one rate");
+    return rates;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<SweepResult> &sweeps, unsigned sessions,
+          unsigned tenants, unsigned conns, unsigned cycles,
+          std::uint64_t requests, const char *digest_check,
+          const std::vector<std::pair<std::string, std::uint64_t>>
+              &server_counters)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    out << "{\n"
+        << "  \"schema\": \"serve-1\",\n"
+        << strprintf("  \"sessions\": %u,\n", sessions)
+        << strprintf("  \"tenants\": %u,\n", tenants)
+        << strprintf("  \"conns\": %u,\n", conns)
+        << strprintf("  \"cycles_per_request\": %u,\n", cycles)
+        << strprintf("  \"requests_per_sweep\": %llu,\n",
+                     static_cast<unsigned long long>(requests))
+        << strprintf("  \"digest_check\": \"%s\",\n", digest_check)
+        << "  \"sweeps\": [\n";
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const SweepResult &s = sweeps[i];
+        out << strprintf(
+            "    {\"rate_rps\": %u, \"sent\": %llu, "
+            "\"completed\": %llu, \"busy_queue_full\": %llu, "
+            "\"busy_deadline\": %llu, \"busy_draining\": %llu, "
+            "\"errors\": %llu, \"wall_sec\": %.3f, "
+            "\"throughput_rps\": %.1f, \"latency_us\": "
+            "{\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, "
+            "\"max\": %llu}}%s\n",
+            s.rate, static_cast<unsigned long long>(s.sent),
+            static_cast<unsigned long long>(s.completed),
+            static_cast<unsigned long long>(s.busyQueueFull),
+            static_cast<unsigned long long>(s.busyDeadline),
+            static_cast<unsigned long long>(s.busyDraining),
+            static_cast<unsigned long long>(s.errors), s.wallSec,
+            s.throughput, static_cast<unsigned long long>(s.p50),
+            static_cast<unsigned long long>(s.p95),
+            static_cast<unsigned long long>(s.p99),
+            static_cast<unsigned long long>(s.maxUs),
+            i + 1 < sweeps.size() ? "," : "");
+    }
+    out << "  ],\n"
+        << "  \"server\": {";
+    for (std::size_t i = 0; i < server_counters.size(); ++i)
+        out << strprintf(
+            "%s\"%s\": %llu", i ? ", " : "",
+            server_counters[i].first.c_str(),
+            static_cast<unsigned long long>(server_counters[i].second));
+    out << "}\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::uint16_t port = 0;
+        unsigned sessions = 8, tenants = 4, conns = 2;
+        unsigned cycles = 200, deadline_ms = 0;
+        std::uint64_t requests = 2000;
+        std::vector<unsigned> rates = {200, 400, 800};
+        const char *out_path = nullptr;
+        bool check = false, fail_on_shed = false, resume = false;
+        bool want_shutdown = false;
+
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            auto value = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    fatal("option %s needs a value", a);
+                return argv[++i];
+            };
+            if (!std::strcmp(a, "--port")) {
+                port = static_cast<std::uint16_t>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--sessions")) {
+                sessions = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--tenants")) {
+                tenants = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--conns")) {
+                conns = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--requests")) {
+                requests = std::strtoull(value(), nullptr, 0);
+            } else if (!std::strcmp(a, "--rates")) {
+                rates = parseRates(value());
+            } else if (!std::strcmp(a, "--cycles")) {
+                cycles = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--deadline-ms")) {
+                deadline_ms = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--out")) {
+                out_path = value();
+            } else if (!std::strcmp(a, "--check")) {
+                check = true;
+            } else if (!std::strcmp(a, "--fail-on-shed")) {
+                fail_on_shed = true;
+            } else if (!std::strcmp(a, "--resume")) {
+                resume = true;
+            } else if (!std::strcmp(a, "--shutdown")) {
+                want_shutdown = true;
+            } else if (!std::strcmp(a, "--dump-workload")) {
+                std::fputs(workloadSource(static_cast<unsigned>(
+                               std::strtoul(value(), nullptr, 0)))
+                               .c_str(),
+                           stdout);
+                return 0;
+            } else {
+                fatal("unknown option '%s'", a);
+            }
+        }
+        if (port == 0)
+            fatal("usage: disc-loadgen --port P [options]");
+        if (sessions == 0 || tenants == 0 || conns == 0)
+            fatal("--sessions/--tenants/--conns must be >= 1");
+
+        std::vector<std::unique_ptr<Client>> clients;
+        for (unsigned c = 0; c < conns; ++c) {
+            clients.push_back(std::make_unique<Client>());
+            clients.back()->connect(port);
+        }
+        auto clientFor = [&](unsigned session) -> Client & {
+            return *clients[session % conns];
+        };
+        std::atomic<std::uint64_t> seq{1};
+
+        // --- open (or re-find) the sessions ---------------------------
+        for (unsigned s = 0; s < sessions; ++s) {
+            Request req;
+            req.seq = seq.fetch_add(1);
+            req.tenant = static_cast<TenantId>(s % tenants);
+            req.session = sessionName(s);
+            if (resume) {
+                req.type = MsgType::QueryReq;
+            } else {
+                req.type = MsgType::OpenReq;
+                req.source = workloadSource(s);
+            }
+            Response resp = clientFor(s).transact(req);
+            if (resp.type == MsgType::ErrorResp)
+                fatal("session %s: %s", req.session.c_str(),
+                      resp.error.c_str());
+        }
+        inform("%s %u sessions across %u tenants, %u connections",
+               resume ? "resumed" : "opened", sessions, tenants,
+               conns);
+
+        // --- rate sweeps ----------------------------------------------
+        std::vector<SweepResult> sweeps;
+        for (unsigned rate : rates) {
+            SweepResult sw;
+            sw.rate = rate;
+            std::mutex smu;
+            std::vector<std::uint64_t> lat_us;
+            std::condition_variable scv;
+            std::uint64_t outstanding = 0;
+
+            auto interval = std::chrono::nanoseconds(
+                1000000000ull / rate);
+            Clock::time_point start = Clock::now();
+            for (std::uint64_t i = 0; i < requests; ++i) {
+                // Open-loop: the i-th request is due at a fixed time
+                // regardless of how previous ones fared.
+                Clock::time_point due = start + i * interval;
+                std::this_thread::sleep_until(due);
+                unsigned s = static_cast<unsigned>(i % sessions);
+                Request req;
+                req.type = MsgType::RunReq;
+                req.seq = seq.fetch_add(1);
+                req.tenant = static_cast<TenantId>(s % tenants);
+                req.deadlineMs = deadline_ms;
+                req.session = sessionName(s);
+                req.maxCycles = cycles;
+                req.stopWhenIdle = false;
+                {
+                    std::lock_guard<std::mutex> g(smu);
+                    ++outstanding;
+                }
+                ++sw.sent;
+                clientFor(s).send(req, [&, due](const Response &resp) {
+                    std::uint64_t us = static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(Clock::now() -
+                                                       due)
+                            .count());
+                    std::lock_guard<std::mutex> g(smu);
+                    if (resp.type == MsgType::RunResp) {
+                        ++sw.completed;
+                        lat_us.push_back(us);
+                    } else if (resp.type == MsgType::BusyResp) {
+                        if (resp.busy == BusyReason::QueueFull)
+                            ++sw.busyQueueFull;
+                        else if (resp.busy == BusyReason::Deadline)
+                            ++sw.busyDeadline;
+                        else
+                            ++sw.busyDraining;
+                    } else {
+                        ++sw.errors;
+                    }
+                    --outstanding;
+                    scv.notify_one();
+                });
+            }
+            {
+                std::unique_lock<std::mutex> lk(smu);
+                scv.wait(lk, [&] { return outstanding == 0; });
+            }
+            sw.wallSec = std::chrono::duration<double>(Clock::now() -
+                                                       start)
+                             .count();
+            sw.throughput = sw.wallSec > 0
+                                ? static_cast<double>(sw.completed) /
+                                      sw.wallSec
+                                : 0;
+            std::sort(lat_us.begin(), lat_us.end());
+            sw.p50 = percentile(lat_us, 0.50);
+            sw.p95 = percentile(lat_us, 0.95);
+            sw.p99 = percentile(lat_us, 0.99);
+            sw.maxUs = lat_us.empty() ? 0 : lat_us.back();
+            std::printf("rate=%-6u sent=%llu completed=%llu "
+                        "busy=%llu shed=%llu errors=%llu "
+                        "throughput=%.1f/s p50=%lluus p95=%lluus "
+                        "p99=%lluus\n",
+                        sw.rate,
+                        static_cast<unsigned long long>(sw.sent),
+                        static_cast<unsigned long long>(sw.completed),
+                        static_cast<unsigned long long>(
+                            sw.busyQueueFull + sw.busyDraining),
+                        static_cast<unsigned long long>(sw.busyDeadline),
+                        static_cast<unsigned long long>(sw.errors),
+                        sw.throughput,
+                        static_cast<unsigned long long>(sw.p50),
+                        static_cast<unsigned long long>(sw.p95),
+                        static_cast<unsigned long long>(sw.p99));
+            sweeps.push_back(std::move(sw));
+        }
+
+        // --- digest verification --------------------------------------
+        const char *digest_check = "skipped";
+        bool mismatch = false;
+        for (unsigned s = 0; s < sessions; ++s) {
+            Request req;
+            req.type = MsgType::QueryReq;
+            req.seq = seq.fetch_add(1);
+            req.tenant = static_cast<TenantId>(s % tenants);
+            req.session = sessionName(s);
+            Response resp = clientFor(s).transact(req);
+            if (resp.type != MsgType::QueryResp)
+                fatal("query %s failed: %s", req.session.c_str(),
+                      resp.error.c_str());
+            // Printed digests are comparable with
+            // `disc-run --digest --free-run --cycles <cycles>` on the
+            // same workload (--dump-workload prints it).
+            std::printf("session %s: digest=%016llx cycles=%llu\n",
+                        req.session.c_str(),
+                        static_cast<unsigned long long>(resp.digest),
+                        static_cast<unsigned long long>(
+                            resp.totalCycles));
+            if (!check)
+                continue;
+            // Re-run the same workload in-process for the served
+            // cycle count; state and trace must match bit-for-bit.
+            Program prog = assemble(workloadSource(s));
+            Machine m;
+            m.load(prog);
+            ExecTrace trace(65536);
+            m.setExecTrace(&trace);
+            m.startStream(0, prog.hasSymbol("main")
+                                 ? prog.symbol("main")
+                                 : 0);
+            m.run(resp.totalCycles, false);
+            std::uint64_t local = runDigest(m, trace);
+            if (local != resp.digest) {
+                warn("session %s: served digest %016llx != offline "
+                     "%016llx after %llu cycles",
+                     req.session.c_str(),
+                     static_cast<unsigned long long>(resp.digest),
+                     static_cast<unsigned long long>(local),
+                     static_cast<unsigned long long>(resp.totalCycles));
+                mismatch = true;
+            }
+        }
+        if (check) {
+            digest_check = mismatch ? "mismatch" : "ok";
+            std::printf("digest check: %s (%u sessions)\n",
+                        digest_check, sessions);
+        }
+
+        // --- server counters ------------------------------------------
+        Request stats_req;
+        stats_req.type = MsgType::StatsReq;
+        stats_req.seq = seq.fetch_add(1);
+        Response stats = clients[0]->transact(stats_req);
+        for (const auto &[name, valuev] : stats.counters)
+            std::printf("server: %s=%llu\n", name.c_str(),
+                        static_cast<unsigned long long>(valuev));
+
+        if (out_path)
+            writeJson(out_path, sweeps, sessions, tenants, conns,
+                      cycles, requests, digest_check, stats.counters);
+
+        if (want_shutdown) {
+            Request req;
+            req.type = MsgType::ShutdownReq;
+            req.seq = seq.fetch_add(1);
+            clients[0]->transact(req);
+        }
+        for (auto &c : clients)
+            c->close();
+
+        if (mismatch)
+            return 1;
+        if (fail_on_shed) {
+            for (const SweepResult &sw : sweeps) {
+                if (sw.completed != sw.sent) {
+                    warn("--fail-on-shed: rate %u completed %llu of "
+                         "%llu",
+                         sw.rate,
+                         static_cast<unsigned long long>(sw.completed),
+                         static_cast<unsigned long long>(sw.sent));
+                    return 1;
+                }
+            }
+        }
+        return 0;
+    } catch (const FatalError &) {
+        return 1;
+    }
+}

@@ -16,6 +16,8 @@
  *     --list               print the disassembly listing and exit
  *     --vcd FILE           write a VCD waveform of machine activity
  *     --dump ADDR[:N]      dump N internal-memory words (default 8)
+ *     --digest             print the run digest (checkpoint + trace
+ *                          fingerprint; comparable with disc-serve)
  *
  * Exit status: 0 on success, 1 on assembly/usage errors.
  */
@@ -30,6 +32,7 @@
 #include "arch/devices.hh"
 #include "common/logging.hh"
 #include "isa/assembler.hh"
+#include "sim/digest.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
 #include "sim/vcd.hh"
@@ -78,6 +81,7 @@ main(int argc, char **argv)
         Cycle budget = 1000000;
         bool free_run = false;
         bool want_trace = false, want_pipe = false, want_list = false;
+        bool want_digest = false;
         const char *vcd_path = nullptr;
         std::vector<std::pair<Addr, unsigned>> dumps;
 
@@ -110,6 +114,8 @@ main(int argc, char **argv)
                                    static_cast<Addr>(size), lat});
             } else if (!std::strcmp(a, "--trace")) {
                 want_trace = true;
+            } else if (!std::strcmp(a, "--digest")) {
+                want_digest = true;
             } else if (!std::strcmp(a, "--pipe")) {
                 want_pipe = true;
             } else if (!std::strcmp(a, "--list")) {
@@ -144,7 +150,9 @@ main(int argc, char **argv)
 
         ExecTrace etrace(65536);
         PipeTrace ptrace(m.pipeDepth(), 32);
-        if (want_trace)
+        // The digest folds in the trace text, so --digest records the
+        // trace too (disc-serve sessions always trace).
+        if (want_trace || want_digest)
             m.setExecTrace(&etrace);
         if (want_pipe)
             m.setTrace(&ptrace);
@@ -221,6 +229,10 @@ main(int argc, char **argv)
                                 static_cast<Addr>(addr + k)));
             std::printf("\n");
         }
+        if (want_digest)
+            std::printf("digest=%016llx\n",
+                        static_cast<unsigned long long>(
+                            runDigest(m, etrace)));
         if (want_trace)
             std::fputs(etrace.render().c_str(), stdout);
         if (want_pipe)

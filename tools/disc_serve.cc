@@ -1,0 +1,131 @@
+/**
+ * @file
+ * disc-serve: host many concurrent DISC1 simulation sessions behind
+ * the binary wire protocol on loopback TCP.
+ *
+ * Usage:
+ *   disc-serve [options]
+ *     --port P           listen port on 127.0.0.1 (default: ephemeral;
+ *                        the bound port is printed either way)
+ *     --state-dir DIR    parked-session directory (default
+ *                        disc-serve-state); a directory left by a
+ *                        previous server resumes its sessions
+ *     --max-resident N   sessions kept in memory at once (default 8)
+ *     --queue-cap N      per-tenant queue bound (default 64)
+ *     --tenants N        tenant count for an even share split
+ *                        (default 4)
+ *     --shares A,B,...   explicit per-tenant shares in sixteenths
+ *                        (sum <= 16; overrides --tenants)
+ *     --batch N          batch size cap (default: worker pool size)
+ *
+ * The server runs until SIGTERM/SIGINT or a Shutdown request, then
+ * drains accepted requests, parks every live session and prints the
+ * service counters. Exit status: 0 on a clean shutdown, 1 on startup
+ * errors.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+#include "serve/server.hh"
+
+using namespace disc;
+using namespace disc::serve;
+
+namespace
+{
+
+volatile std::sig_atomic_t gotSignal = 0;
+
+void
+onSignal(int)
+{
+    gotSignal = 1;
+}
+
+std::vector<unsigned>
+parseShares(const char *v)
+{
+    std::vector<unsigned> shares;
+    const char *p = v;
+    while (*p) {
+        char *end = nullptr;
+        unsigned long n = std::strtoul(p, &end, 10);
+        if (end == p)
+            fatal("--shares wants a comma-separated list of numbers");
+        shares.push_back(static_cast<unsigned>(n));
+        p = *end == ',' ? end + 1 : end;
+    }
+    if (shares.empty())
+        fatal("--shares wants at least one share");
+    return shares;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        ServerConfig cfg;
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            auto value = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    fatal("option %s needs a value", a);
+                return argv[++i];
+            };
+            if (!std::strcmp(a, "--port")) {
+                cfg.port = static_cast<std::uint16_t>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--state-dir")) {
+                cfg.stateDir = value();
+            } else if (!std::strcmp(a, "--max-resident")) {
+                cfg.maxResident = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--queue-cap")) {
+                cfg.queueCap = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--tenants")) {
+                cfg.tenants = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--shares")) {
+                cfg.shares = parseShares(value());
+            } else if (!std::strcmp(a, "--batch")) {
+                cfg.batchMax = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else {
+                fatal("unknown option '%s'", a);
+            }
+        }
+        if (!cfg.shares.empty())
+            cfg.tenants = static_cast<unsigned>(cfg.shares.size());
+
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+
+        ServeServer server(cfg);
+        server.start();
+        // The port line is the tool's handshake: a launcher reads it
+        // to find an ephemerally bound server.
+        std::printf("disc-serve: listening on 127.0.0.1:%u\n",
+                    server.port());
+        std::fflush(stdout);
+
+        while (!gotSignal && !server.shutdownRequested())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+
+        inform("shutting down: draining and parking sessions");
+        server.requestStop();
+        std::fputs(server.metricsText().c_str(), stdout);
+        return 0;
+    } catch (const FatalError &) {
+        return 1;
+    }
+}
