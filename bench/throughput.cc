@@ -63,6 +63,56 @@ struct MachineRate
 };
 
 /**
+ * Execution tier under measurement. The default-configured machine
+ * (all tiers enabled, environment overrides respected) feeds the
+ * long-lived "machine" section; the dispatch sweep forces each tier
+ * explicitly so the per-tier numbers are comparable across hosts and
+ * environments.
+ */
+enum class Dispatch
+{
+    Default,    ///< whatever Machine's config + environment picked
+    Interp,     ///< legacy switch interpreter (no uop tables)
+    Uop,        ///< micro-op dispatch tables, no superblocks
+    Superblock, ///< superblock tier above the uop tables
+};
+
+constexpr Dispatch kDispatchModes[] = {Dispatch::Interp, Dispatch::Uop,
+                                       Dispatch::Superblock};
+
+const char *
+dispatchName(Dispatch d)
+{
+    switch (d) {
+      case Dispatch::Interp: return "interp";
+      case Dispatch::Uop: return "uop";
+      case Dispatch::Superblock: return "superblock";
+      default: return "default";
+    }
+}
+
+void
+applyDispatch(Machine &m, Dispatch d)
+{
+    switch (d) {
+      case Dispatch::Default:
+        break;
+      case Dispatch::Interp:
+        m.setUopDispatch(false);
+        m.setSuperblockExec(false);
+        break;
+      case Dispatch::Uop:
+        m.setUopDispatch(true);
+        m.setSuperblockExec(false);
+        break;
+      case Dispatch::Superblock:
+        m.setUopDispatch(true);
+        m.setSuperblockExec(true);
+        break;
+    }
+}
+
+/**
  * Step a machine in chunks until the time budget elapses and report
  * simulated cycles/sec and MIPS over the whole run.
  */
@@ -88,7 +138,8 @@ measureMachine(Machine &m, double budget_sec)
 }
 
 MachineRate
-measureComputeLoop(unsigned streams, double budget_sec)
+measureComputeLoop(unsigned streams, double budget_sec,
+                   Dispatch d = Dispatch::Default)
 {
     Program p = assemble(R"(
         .org 0x20
@@ -102,13 +153,15 @@ measureComputeLoop(unsigned streams, double budget_sec)
     )");
     Machine m;
     m.load(p);
+    applyDispatch(m, d);
     for (StreamId s = 0; s < streams; ++s)
         m.startStream(s, p.symbol("entry"));
     return measureMachine(m, budget_sec);
 }
 
 MachineRate
-measureBusTraffic(double budget_sec, ExternalMemoryDevice &dev)
+measureBusTraffic(double budget_sec, ExternalMemoryDevice &dev,
+                  Dispatch d = Dispatch::Default)
 {
     Program p = assemble(R"(
         .org 0x20
@@ -124,6 +177,7 @@ measureBusTraffic(double budget_sec, ExternalMemoryDevice &dev)
     Machine m;
     m.attachDevice(0x1000, 64, &dev);
     m.load(p);
+    applyDispatch(m, d);
     for (StreamId s = 0; s < kNumStreams; ++s)
         m.startStream(s, p.symbol("entry"));
     return measureMachine(m, budget_sec);
@@ -287,6 +341,35 @@ main(int argc, char **argv)
     MachineRate io = measureIoBound(budget);
     printRate("machine io-bound", io);
 
+    // Per-tier sweep: the same compute/bus workloads with each
+    // execution tier forced, so the recorded interp/uop/superblock
+    // ratios are host-independent (all three points move together
+    // with host speed).
+    struct DispatchRow
+    {
+        const char *scenario;
+        MachineRate rates[3];
+    };
+    DispatchRow drows[] = {
+        {"single_stream", {}},
+        {"four_stream", {}},
+        {"four_stream_bus", {}},
+    };
+    for (unsigned mi = 0; mi < 3; ++mi) {
+        Dispatch d = kDispatchModes[mi];
+        drows[0].rates[mi] = measureComputeLoop(1, budget, d);
+        drows[1].rates[mi] = measureComputeLoop(kNumStreams, budget, d);
+        ExternalMemoryDevice ddev(64, 5);
+        drows[2].rates[mi] = measureBusTraffic(budget, ddev, d);
+    }
+    for (const DispatchRow &row : drows) {
+        for (unsigned mi = 0; mi < 3; ++mi) {
+            std::string label = std::string(row.scenario) + "/" +
+                                dispatchName(kDispatchModes[mi]);
+            printRate(label.c_str(), row.rates[mi]);
+        }
+    }
+
     double stochastic = measureStochastic(budget);
     std::printf("  %-22s %10.2f Mcycles/s\n", "stochastic model",
                 stochastic / 1e6);
@@ -305,7 +388,7 @@ main(int argc, char **argv)
     }
     unsigned hw = std::thread::hardware_concurrency();
     out << "{\n"
-        << "  \"schema\": 2,\n"
+        << "  \"schema\": 3,\n"
         << "  \"host_threads\": " << (hw ? hw : 1) << ",\n"
         << "  \"machine\": {\n";
     auto emit = [&out](const char *key, const MachineRate &r,
@@ -318,6 +401,20 @@ main(int argc, char **argv)
     emit("four_stream", four, false);
     emit("four_stream_bus", bus, false);
     emit("io_bound", io, true);
+    out << "  },\n"
+        << "  \"dispatch\": {\n";
+    for (std::size_t ri = 0; ri < 3; ++ri) {
+        const DispatchRow &row = drows[ri];
+        out << "    \"" << row.scenario << "\": {";
+        for (unsigned mi = 0; mi < 3; ++mi) {
+            const MachineRate &r = row.rates[mi];
+            out << "\"" << dispatchName(kDispatchModes[mi])
+                << "\": {\"cycles_per_sec\": " << r.cyclesPerSec
+                << ", \"mips\": " << r.mips << "}"
+                << (mi + 1 < 3 ? ", " : "");
+        }
+        out << "}" << (ri + 1 < 3 ? ",\n" : "\n");
+    }
     out << "  },\n"
         << "  \"stochastic\": {\"model_cycles_per_sec\": " << stochastic
         << "},\n"

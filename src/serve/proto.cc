@@ -306,8 +306,16 @@ writeFrame(int fd, const std::vector<std::uint8_t> &payload)
             sent += static_cast<std::size_t>(n);
         }
     };
-    write_all(buf, sizeof(buf));
-    write_all(payload.data(), payload.size());
+    // One coalesced write per frame. Splitting the header and payload
+    // into two write() calls lets Nagle hold the payload until the
+    // header is ACKed, which under pipelined load parks every request
+    // until the connection's next send — a full arrival interval of
+    // spurious latency per request.
+    std::vector<std::uint8_t> frame;
+    frame.reserve(sizeof(buf) + payload.size());
+    frame.insert(frame.end(), buf, buf + sizeof(buf));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    write_all(frame.data(), frame.size());
 }
 
 } // namespace disc::serve

@@ -63,7 +63,7 @@ MachineStats::standardPs(Cycle bus_busy_cycles, unsigned pipe_depth) const
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg), abi_(bus_), latency_(128), vectorStage_(*this),
       issueStage_(*this), executeStage_(*this), abiStage_(*this),
-      timing_(*this)
+      sblock_(*this), timing_(*this)
 {
     if (cfg_.pipeDepth < 3)
         fatal("pipe depth %u is below the minimum of 3", cfg_.pipeDepth);
@@ -82,6 +82,10 @@ Machine::Machine(MachineConfig cfg)
     if (const char *env = std::getenv("DISC_NO_UOP");
         env && *env && std::strcmp(env, "0") != 0)
         uopsEnabled_ = false;
+    sbEnabled_ = cfg_.superblockExec;
+    if (const char *env = std::getenv("DISC_NO_SUPERBLOCK");
+        env && *env && std::strcmp(env, "0") != 0)
+        sbEnabled_ = false;
 }
 
 void
@@ -111,6 +115,7 @@ Machine::reset()
     latency_ = Histogram(128);
     nextTag_ = 'a';
     haltedUntilBusDone_ = 0;
+    sblock_.invalidate();
     timing_.rebuild();
 }
 

@@ -65,6 +65,7 @@
 #include "sim/observer.hh"
 #include "sim/pipeline_state.hh"
 #include "sim/stages.hh"
+#include "sim/superblock.hh"
 #include "sim/trace.hh"
 
 namespace disc
@@ -119,6 +120,19 @@ struct MachineConfig
      * this to false.
      */
     bool uopDispatch = true;
+
+    /**
+     * Execute straight-line code through the superblock translation
+     * tier (sim/superblock.hh) when the machine is in the single-
+     * active-stream regime. Bit-identical to per-cycle stepping; the
+     * DISC_NO_SUPERBLOCK environment variable (set non-zero)
+     * overrides this to false. Requires uopDispatch (the tier runs
+     * the same micro-op handlers).
+     */
+    bool superblockExec = true;
+
+    /** Maximum words per translated superblock (>= 1). */
+    unsigned superblockMaxLen = 64;
 };
 
 /** Counters exposed by the machine. */
@@ -160,6 +174,18 @@ struct MachineStats
      */
     Cycle fastForwardedCycles = 0;
     std::uint64_t fastForwards = 0;
+
+    /**
+     * Superblock-tier accounting: cycles simulated inside translated
+     * blocks (included in `cycles` and every per-cycle counter
+     * above), block-executor engagements, and exits by bail reason
+     * (indexed by SbBail). Like the fast-forward counters, these are
+     * diagnostics of the stepping mode, not architectural state, and
+     * are excluded from checkpoints and digests.
+     */
+    Cycle superblockCycles = 0;
+    std::uint64_t superblockEnters = 0;
+    std::array<std::uint64_t, kNumSbBails> superblockBails{};
 
     /** Utilisation: retired instructions per machine-busy cycle. */
     double utilization() const;
@@ -219,6 +245,15 @@ class Machine
 
     /** Override the micro-op dispatch setting (tests, tools). */
     void setUopDispatch(bool on) { uopsEnabled_ = on; }
+
+    /** True when run() may use superblocks (config + environment). */
+    bool superblockExecEnabled() const { return sbEnabled_; }
+
+    /** Override the superblock setting (tests, tools). */
+    void setSuperblockExec(bool on) { sbEnabled_ = on; }
+
+    /** Superblock engine (cache inspection in tests/diagnostics). */
+    const SuperblockEngine &superblocks() const { return sblock_; }
 
     // --- Architectural state access (tests, examples, probes) ---
 
@@ -303,6 +338,7 @@ class Machine
     friend class ExecuteStage;
     friend class AbiStage;
     friend class TimingKernel;
+    friend class SuperblockEngine;
     friend struct ExecOps;
 
     MachineConfig cfg_;
@@ -329,6 +365,7 @@ class Machine
     Cycle haltedUntilBusDone_ = 0; ///< baseline mode flag (bool-ish)
     bool ffEnabled_ = true;
     bool uopsEnabled_ = true;
+    bool sbEnabled_ = true;
 
     // Stage modules and the timing kernel (sim/stages.hh). Declared
     // last so they are constructed after the state they reference.
@@ -336,6 +373,7 @@ class Machine
     IssueStage issueStage_;
     ExecuteStage executeStage_;
     AbiStage abiStage_;
+    SuperblockEngine sblock_;
     mutable TimingKernel timing_; ///< mutable: see abi_ above
 
     // -- shared helpers (machine.cc) --

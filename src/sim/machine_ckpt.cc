@@ -175,6 +175,9 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes)
         i = in.get<std::uint64_t>();
     stats_.fastForwardedCycles = 0;
     stats_.fastForwards = 0;
+    stats_.superblockCycles = 0;
+    stats_.superblockEnters = 0;
+    stats_.superblockBails.fill(0);
 
     nextTag_ = static_cast<char>(in.get<std::uint8_t>());
     haltedUntilBusDone_ = in.get<Cycle>();
@@ -184,6 +187,9 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes)
         fatal("checkpoint has %zu trailing bytes",
               bytes.size() - in.position());
 
+    // The restored machine may be running a different program image
+    // than the one the blocks were translated from; drop them all.
+    sblock_.invalidate();
     // Device countdowns and the ABI remainder are exact again; rebuild
     // the event schedule from them.
     timing_.rebuild();

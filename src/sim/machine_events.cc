@@ -198,6 +198,12 @@ Machine::run(Cycle max_cycles, bool stop_when_idle)
                 continue;
             }
         }
+        if (sbEnabled_ && uopsEnabled_ &&
+            stats_.cycles >= sblock_.retryAt()) {
+            Cycle left = max_cycles - (stats_.cycles - start);
+            if (sblock_.execute(left))
+                continue;
+        }
         step();
     }
     // Countdowns and busy counters must read exact between run() calls.

@@ -880,6 +880,12 @@ static_assert(kExecTable.complete(),
 
 } // namespace
 
+ExecFn
+execHandler(Uop u)
+{
+    return kExecTable[u];
+}
+
 void
 ExecuteStage::tick()
 {

@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Superblock block executor: engagement gate, translation cache and
+ * the in-block cycle loop. See superblock.hh for the model.
+ *
+ * The executor works on the Machine's own pipe_ array through a
+ * rotating head cursor: "advance" is one slot clear plus index
+ * arithmetic instead of advancePipe()'s full copy chain. Handlers
+ * that never touch pipe_ (the ALU/immediate/internal-memory set) run
+ * at any rotation; redirect-capable handlers (branches, calls,
+ * returns, CLRI/HALT deactivation) need squashYounger()'s canonical
+ * stage order, so the ring is realigned with one std::rotate first —
+ * once per control transfer, not per cycle.
+ *
+ * Every simulated cycle reproduces step()'s exact sequence for the
+ * single-runner regime: advance, EX handler + exec-trace record,
+ * vector/deactivation check, interlock test, issue (or trap-issue on
+ * an illegal word). The cycle counter advances at end-of-cycle
+ * exactly like finishCycle() — it is kept in a register and synced
+ * to MachineStats only before handlers that can observe it
+ * (raiseInternal latency stamps) — so every trace line and stat is
+ * bit-identical to the per-cycle path. The wait-state tallies,
+ * bubbles, busy cycles and scheduler cursor are settled in one batch
+ * at exit, the same bulk update fastForward() uses.
+ *
+ * The loop is instantiated once with the DISC1 pipe depth as a
+ * compile-time constant (ring arithmetic folds to masks) and once
+ * generic for unusual configurations.
+ */
+
+#include "sim/superblock.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/machine.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+/// Retry distance after an engagement attempt fails for a reason that
+/// changes rarely (several streams active, or the runner owns no
+/// schedule slot). Keeps the per-step cost of the disengaged tier at
+/// one compare for multi-stream workloads.
+constexpr Cycle kRetrySlow = 64;
+
+/// The kSbCls* classification of one decoded word: the micro-op
+/// class, plus Raise when a window-control modifier can overflow at
+/// retire (applyWctl), whatever the base op is.
+std::uint8_t
+classOf(const PipeSlot &slot)
+{
+    std::uint8_t cls = superblockClass(slot.uop);
+    if (slot.inst.wctl != WCtl::None)
+        cls |= kSbClsRaise;
+    return cls;
+}
+
+} // namespace
+
+const char *
+sbBailName(SbBail b)
+{
+    switch (b) {
+      case SbBail::Branch: return "branch";
+      case SbBail::Abi: return "abi";
+      case SbBail::Interrupt: return "interrupt";
+      case SbBail::Budget: return "budget";
+      case SbBail::Stream: return "stream";
+      case SbBail::NumReasons: break;
+    }
+    return "?";
+}
+
+bool
+SuperblockEngine::alwaysPicks(StreamId s) const
+{
+    // pick() advances the cursor by exactly one every cycle, so the
+    // single-runner regime needs every cursor position to award a
+    // ready mask of {s} to s. Dynamic reallocation donates any slot
+    // to the only ready stream as long as s owns at least one slot;
+    // strict-static mode only qualifies when s owns the whole table.
+    const Scheduler &sched = m_.sched_;
+    if (sched.mode() == Scheduler::Mode::Dynamic) {
+        for (unsigned i = 0; i < kScheduleSlots; ++i) {
+            if (sched.slot(i) == s)
+                return true;
+        }
+        return false;
+    }
+    for (unsigned i = 0; i < kScheduleSlots; ++i) {
+        if (sched.slot(i) != s)
+            return false;
+    }
+    return true;
+}
+
+std::unique_ptr<SuperblockEngine::Block>
+SuperblockEngine::translate(PAddr pc) const
+{
+    // A block is the straight-line fetch run from pc: consecutive
+    // legal words, capped by the configured length. Words the
+    // executor cannot run at EX (LD/ST, SWI/FORK/SCHED) still join
+    // the block — they issue speculatively exactly like the per-cycle
+    // fetch stream and end the block when they reach EX. Translation
+    // stops only at an illegal word, whose issue is a trap, not a
+    // slot fill. Out-of-image addresses predecode to legal NOPs, so
+    // runs past the image edge translate like the interpreter fetches
+    // them.
+    auto b = std::make_unique<Block>();
+    unsigned max_len = std::max(1u, m_.cfg_.superblockMaxLen);
+    PAddr p = pc;
+    for (unsigned i = 0; i < max_len; ++i) {
+        const PredecodedInst &pd = m_.pdec_.at(p);
+        if (!pd.legal)
+            break;
+        PipeSlot proto;
+        proto.valid = true;
+        proto.squashed = false;
+        proto.executed = false;
+        proto.stream = kNoStream; // stamped at issue
+        proto.pc = p;
+        proto.inst = pd.inst;
+        proto.readsMask = pd.readsMask;
+        proto.writesMask = pd.writesMask;
+        proto.uop = pd.uop;
+        proto.tag = ' ';
+        b->protos.push_back(proto);
+        b->cls.push_back(classOf(proto));
+        ++p;
+        if (p == pc)
+            break; // wrapped the whole program space
+    }
+
+    return b;
+}
+
+const SuperblockEngine::Block *
+SuperblockEngine::lookup(PAddr pc)
+{
+    if (cache_.empty())
+        cache_.resize(std::size_t{1} << 16);
+    std::unique_ptr<Block> &entry = cache_[pc];
+    if (!entry)
+        entry = translate(pc);
+    return entry.get();
+}
+
+void
+SuperblockEngine::invalidate()
+{
+    cache_.clear();
+    retryAt_ = 0;
+}
+
+std::size_t
+SuperblockEngine::cachedBlocks() const
+{
+    std::size_t n = 0;
+    for (const auto &b : cache_) {
+        if (b)
+            ++n;
+    }
+    return n;
+}
+
+bool
+SuperblockEngine::cached(PAddr pc) const
+{
+    return pc < cache_.size() && cache_[pc] != nullptr;
+}
+
+/**
+ * The in-block cycle loop. @tparam D is the pipe depth as a
+ * compile-time constant (a power of two, so ring indices reduce to
+ * masks), or 0 for the generic variant that reads the depth from the
+ * machine configuration.
+ *
+ * Returns the number of architectural cycles simulated; the caller
+ * (execute()) settles the batch tallies. @p reason, @p issued and
+ * @p trap_issued report the exit condition for that settling.
+ */
+template <unsigned D>
+Cycle
+SuperblockEngine::blockLoop(StreamId s, Cycle budget, SbBail &reason,
+                            std::uint64_t &issued, bool &trap_issued)
+{
+    static_assert(D == 0 || (D & (D - 1)) == 0,
+                  "specialized depths must be powers of two");
+    Machine &m = m_;
+    MachineStats &st = m.stats_;
+    const unsigned depth = D ? D : m.cfg_.pipeDepth;
+    const unsigned ex_off = depth - 2;
+    PipeSlot *const pipe = m.pipe_.data();
+    ExecTrace *const etrace = m.execTrace_;
+    StreamCtx &c = m.streams_[s];
+
+    auto wrap = [depth](unsigned v) -> unsigned {
+        if (D != 0)
+            return v & (D - 1);
+        return v >= depth ? v - depth : v;
+    };
+
+    // In-flight class ring, mirroring pipe slots: kSbCls* of each
+    // word still relevant (0 once executed or squashed-out). Seeded
+    // from the residue the engagement gate already vetted.
+    std::array<std::uint8_t, kSbMaxDepth> cring{};
+    // Interlock mask ring, also mirroring pipe slots: the effective
+    // writesMask (low half) and AWP-read bit (high half) of every
+    // slot that can conflict with an issue (valid, unsquashed,
+    // stream s — executed slots included, exactly like IssueStage's
+    // scan). Zero for slots that cannot conflict, so the common-case
+    // interlock test is one union-and-test instead of a flag walk
+    // over 40-byte slots.
+    auto slotMasks = [](const PipeSlot &sl) -> std::uint64_t {
+        return sl.writesMask |
+               (static_cast<std::uint64_t>(sl.readsMask & kDepAwp)
+                << 32);
+    };
+    std::array<std::uint64_t, kSbMaxDepth> mring{};
+    for (unsigned i = 0; i < depth; ++i) {
+        const PipeSlot &slot = pipe[i];
+        if (slot.valid && !slot.squashed && !slot.executed)
+            cring[i] = classOf(slot);
+        if (slot.valid && !slot.squashed && slot.stream == s)
+            mring[i] = slotMasks(slot);
+    }
+
+    const Block *blk = lookup(c.pc);
+    const PipeSlot *protos = blk->protos.data();
+    const std::uint8_t *pcls = blk->cls.data();
+    std::size_t nprotos = blk->protos.size();
+    if (nprotos == 0)
+        return 0; // illegal word at the fetch pc: step() traps it
+
+    unsigned head = 0; // pipe[wrap(head + stage)] = logical stage
+    const Cycle cyc0 = st.cycles;
+    Cycle cyc = cyc0;            // register mirror of st.cycles
+    const Cycle limit = cyc0 + budget;
+    char tag = m.nextTag_;       // register mirror of nextTag_
+    std::size_t idx = 0; // next proto to issue; protos[idx].pc == c.pc
+    reason = SbBail::Budget;
+
+    while (true) {
+        if (cyc == limit) {
+            reason = SbBail::Budget;
+            break;
+        }
+
+        // The word entering EX this cycle must be executable here;
+        // external accesses and cross-stream ops go back to step().
+        {
+            unsigned pi = wrap(head + ex_off - 1);
+            const PipeSlot &nx = pipe[pi];
+            if ((cring[pi] & kSbClsNonExec) && nx.valid && !nx.squashed &&
+                !nx.executed) {
+                reason = (nx.uop == Uop::LD || nx.uop == Uop::ST)
+                             ? SbBail::Abi
+                             : SbBail::Stream;
+                break;
+            }
+        }
+
+        // Chain: fall through into the block at the fetch pc.
+        if (idx == nprotos) {
+            blk = lookup(c.pc);
+            protos = blk->protos.data();
+            pcls = blk->cls.data();
+            nprotos = blk->protos.size();
+            idx = 0;
+            if (nprotos == 0) {
+                reason = SbBail::Branch;
+                break;
+            }
+        }
+
+        // ---- one architectural cycle (cf. Machine::step()) ----
+        head = wrap(head + depth - 1);
+        // Advance. With ex_off >= 2 the fresh IF slot is not read
+        // before the issue decision below, which either overwrites it
+        // or clears it — so the clear is deferred and skipped on
+        // issue cycles (the common case). Shallower rings (possible
+        // only in the generic instantiation) clear eagerly.
+        constexpr bool kLazyIfClear = D >= 4;
+        if constexpr (!kLazyIfClear)
+            pipe[head] = PipeSlot{};
+        cring[head] = kSbClsPlain;
+        mring[head] = 0;
+
+        bool bail_vec = false;
+        unsigned exi = wrap(head + ex_off);
+        PipeSlot *exs = &pipe[exi];
+        if (exs->valid && !exs->squashed && !exs->executed) {
+            std::uint8_t cls = cring[exi];
+            bool ctl = (cls & kSbClsControl) != 0;
+            if (ctl && head != 0) {
+                // Redirect handlers walk pipe_[0..EX) by stage index;
+                // realign the ring to the canonical order first.
+                std::rotate(pipe, pipe + head, pipe + depth);
+                std::rotate(cring.begin(), cring.begin() + head,
+                            cring.begin() + depth);
+                std::rotate(mring.begin(), mring.begin() + head,
+                            mring.begin() + depth);
+                head = 0;
+                exi = ex_off;
+                exs = &pipe[ex_off];
+            }
+            if constexpr (kLazyIfClear) {
+                // Control handlers walk the pipe (squashYounger), so
+                // the stale IF slot must be empty before they run.
+                if (ctl)
+                    pipe[head] = PipeSlot{};
+            }
+            PAddr pc_before = c.pc;
+            exs->executed = true;
+            cring[exi] = kSbClsPlain;
+            if (cls != kSbClsPlain) {
+                // Raise-capable: raiseInternal stamps latency with
+                // the live cycle counter.
+                st.cycles = cyc;
+            }
+            execHandler(exs->uop)(m.executeStage_, *exs);
+            if (etrace && !exs->squashed)
+                etrace->record(cyc, exs->stream, exs->pc, exs->inst);
+            if (ctl) {
+                // The handler may have squashed the younger stages
+                // (any redirect, including one to the current fetch
+                // pc): refresh their interlock ring entries from the
+                // live flags.
+                for (unsigned y = 0; y < ex_off; ++y) {
+                    const PipeSlot &sl = pipe[y];
+                    bool on =
+                        sl.valid && !sl.squashed && sl.stream == s;
+                    mring[y] = on ? slotMasks(sl) : 0;
+                    if (!on)
+                        cring[y] = kSbClsPlain;
+                }
+            }
+            if (cls != kSbClsPlain) {
+                // Only control and raise-capable words can deactivate
+                // the runner or make a vector deliverable; plain ones
+                // skip the interrupt-state probe entirely.
+                if (!m.intUnit_.isActive(s) ||
+                    m.intUnit_.pendingVector(s)) {
+                    // Deactivated, or a raise became deliverable: the
+                    // issue below is a bubble either way (inactive, or
+                    // vector serialising against the in-flight slot).
+                    bail_vec = true;
+                } else if (ctl && c.pc != pc_before) {
+                    // Redirect: re-chain translation at the target.
+                    blk = lookup(c.pc);
+                    protos = blk->protos.data();
+                    pcls = blk->cls.data();
+                    nprotos = blk->protos.size();
+                    idx = 0;
+                }
+            }
+        }
+
+        unsigned k_conf = 0;   // youngest conflicting stage, 0 = none
+        std::uint8_t live = 0; // class union of unexecuted in-flights
+        if (!bail_vec) {
+            if (nprotos == 0) {
+                // Redirect landed on an illegal word: issue consumes
+                // it and raises the trap (cf. IssueStage::tick()).
+                st.cycles = cyc;
+                ++st.illegalInstructions;
+                m.raiseInternal(s, kIllegalInstBit);
+                ++c.pc;
+                trap_issued = true;
+                if constexpr (kLazyIfClear)
+                    pipe[head] = PipeSlot{};
+            } else {
+                // Interlock test against the mask-ring union. The
+                // head entry is zero at this point, so the whole ring
+                // can be folded without excluding it.
+                const PipeSlot &proto = protos[idx];
+                std::uint64_t mu = 0;
+                if constexpr (D != 0) {
+                    for (unsigned k = 0; k < D; ++k)
+                        mu |= mring[k];
+                } else {
+                    for (unsigned k = 0; k < depth; ++k)
+                        mu |= mring[k];
+                }
+                bool blocked =
+                    (proto.readsMask & static_cast<std::uint32_t>(mu)) !=
+                        0 ||
+                    ((proto.writesMask & kDepAwp) && (mu >> 32) != 0);
+                if (!blocked) {
+                    PipeSlot &ifs = pipe[head];
+                    ifs = proto;
+                    ifs.stream = s;
+                    ifs.tag = tag;
+                    cring[head] = pcls[idx];
+                    mring[head] = slotMasks(proto);
+                    tag = tag == 'z' ? 'a' : static_cast<char>(tag + 1);
+                    ++idx;
+                    ++c.pc;
+                    ++issued;
+                } else {
+                    // Blocked: rescan the rings to find the youngest
+                    // conflicting stage (stall length) and the class
+                    // union of everything unexecuted (batch license).
+                    // mring entries are nonzero only for slots the
+                    // interlock scan would consider, and cring entries
+                    // only for unexecuted unsquashed ones, so neither
+                    // scan touches the 40-byte slots.
+                    if constexpr (kLazyIfClear)
+                        pipe[head] = PipeSlot{}; // IF stays empty
+                    for (unsigned k = 1; k < depth; ++k) {
+                        unsigned ri = wrap(head + k);
+                        std::uint64_t mk = mring[ri];
+                        if (k_conf == 0 && mk != 0 &&
+                            ((proto.readsMask &
+                              static_cast<std::uint32_t>(mk)) ||
+                             ((proto.writesMask & kDepAwp) &&
+                              (mk >> 32) != 0)))
+                            k_conf = k;
+                        live |= cring[ri];
+                    }
+                }
+            }
+        }
+
+        ++cyc;
+        if (bail_vec) {
+            if constexpr (kLazyIfClear)
+                pipe[head] = PipeSlot{}; // suppressed issue: IF empty
+            reason = SbBail::Interrupt;
+            break;
+        }
+        if (trap_issued) {
+            reason = SbBail::Branch;
+            break;
+        }
+
+        if (k_conf == 0 || live != kSbClsPlain)
+            continue;
+
+        // ---- stall batching ----
+        // The issue is interlocked, and the conflict clears at a
+        // known cycle: masks never change in flight and nothing new
+        // issues while blocked, so protos[idx] stays blocked exactly
+        // until every conflicting slot drains past WR. All unexecuted
+        // in-flight words are plain (no control transfer, no raise),
+        // so the intervening cycles cannot bail or change stream
+        // state: run them through a reduced loop — advance, execute
+        // whatever reaches EX, count — with no per-cycle interlock
+        // scan, chain or bail checks.
+        {
+            Cycle stall = depth - k_conf - 1;
+            stall = std::min(stall, limit - cyc);
+            while (stall--) {
+                head = wrap(head + depth - 1);
+                pipe[head] = PipeSlot{};
+                cring[head] = kSbClsPlain;
+                mring[head] = 0;
+                unsigned ei = wrap(head + ex_off);
+                PipeSlot &e = pipe[ei];
+                if (e.valid && !e.squashed && !e.executed) {
+                    e.executed = true;
+                    execHandler(e.uop)(m.executeStage_, e);
+                    if (etrace && !e.squashed)
+                        etrace->record(cyc, e.stream, e.pc, e.inst);
+                }
+                ++cyc;
+            }
+        }
+    }
+
+    if (cyc == cyc0)
+        return 0; // bailed before the first cycle; step() proceeds
+
+    st.cycles = cyc;
+    m.nextTag_ = tag;
+    if (head != 0)
+        std::rotate(pipe, pipe + head, pipe + depth);
+    return cyc - cyc0;
+}
+
+Cycle
+SuperblockEngine::execute(Cycle budget)
+{
+    Machine &m = m_;
+    MachineStats &st = m.stats_;
+    if (st.cycles < retryAt_)
+        return 0;
+
+    // --- Engagement gate -------------------------------------------
+    // Activity first: stream activation changes only on rare events
+    // (FORK, HALT/CLRI, interrupt delivery), so a multi- or zero-
+    // active reject is worth a retry memo — it keeps multi-stream
+    // workloads at one compare per cycle. Wait states flip on every
+    // external access, so their reject stays memo-free.
+    unsigned active = 0;
+    for (StreamId t = 0; t < kNumStreams; ++t) {
+        if (m.intUnit_.isActive(t))
+            active |= 1u << t;
+    }
+    if (active == 0 || (active & (active - 1)) != 0) {
+        retryAt_ = st.cycles + kRetrySlow;
+        return 0;
+    }
+
+    // Per-cycle diagnostics (pipe trace, observer) must see every
+    // cycle; the exec trace is recorded in-block. Baseline halt mode
+    // and a busy ABI mean wait bookkeeping the block loop skips.
+    if (m.trace_ || m.observer_ || m.haltedUntilBusDone_ || m.abi_.busy())
+        return 0;
+
+    // Every stream must be ABI-ready: a waiting stream would tally
+    // waitAbiCycles and wake on an ABI completion the block never
+    // models.
+    for (StreamId t = 0; t < kNumStreams; ++t) {
+        if (m.streams_[t].wait != WaitState::Ready)
+            return 0;
+    }
+    StreamId s = 0;
+    while (!(active & (1u << s)))
+        ++s;
+    if (m.intUnit_.pendingVector(s))
+        return 0; // vector entry serialises through the issue stage
+
+    // Event horizon: the block may run only to the cycle before the
+    // next queued device/ABI event, which step() will dispatch.
+    Cycle next = m.timing_.nextEventTime();
+    if (next <= st.cycles)
+        return 0;
+    if (next != kNoEvent)
+        budget = std::min(budget, next - st.cycles);
+    if (budget == 0)
+        return 0;
+
+    if (!alwaysPicks(s)) {
+        retryAt_ = st.cycles + kRetrySlow;
+        return 0;
+    }
+
+    // Pipe residue must be inert: anything still unexecuted has to
+    // belong to the runner and be executable in-block (an in-flight
+    // LD, or a leftover of a stream deactivated by a mask write,
+    // drains through step() first — a few cycles at most).
+    const unsigned depth = m.cfg_.pipeDepth;
+    if (depth > kSbMaxDepth)
+        return 0;
+    for (unsigned i = 0; i < depth; ++i) {
+        const PipeSlot &slot = m.pipe_[i];
+        if (slot.valid && !slot.squashed && !slot.executed &&
+            (slot.stream != s || !superblockExecutable(slot.uop)))
+            return 0;
+    }
+
+    SbBail reason = SbBail::Budget;
+    std::uint64_t issued = 0;
+    bool trap_issued = false;
+    Cycle done =
+        depth == kDisc1PipeDepth
+            ? blockLoop<kDisc1PipeDepth>(s, budget, reason, issued,
+                                         trap_issued)
+            : blockLoop<0>(s, budget, reason, issued, trap_issued);
+    if (done == 0)
+        return 0;
+
+    // --- Settle ----------------------------------------------------
+    // Batch tallies, bit-identical to per-cycle finishCycle(): the
+    // runner was engaged and ready every cycle (inactive only on a
+    // final deactivation cycle), the others were inactive throughout,
+    // non-issue cycles were bubbles, and the scheduler consumed one
+    // slot per cycle.
+    st.busyCycles += done;
+    st.bubbles += done - issued - (trap_issued ? 1 : 0);
+    m.sched_.skipSlots(static_cast<unsigned>(done % kScheduleSlots));
+    for (StreamId t = 0; t < kNumStreams; ++t) {
+        if (t != s)
+            st.inactiveCycles[t] += done;
+    }
+    if (m.intUnit_.isActive(s)) {
+        st.readyCycles[s] += done;
+    } else {
+        st.readyCycles[s] += done - 1;
+        st.inactiveCycles[s] += 1;
+    }
+
+    st.superblockCycles += done;
+    ++st.superblockEnters;
+    ++st.superblockBails[static_cast<unsigned>(reason)];
+    return done;
+}
+
+} // namespace disc

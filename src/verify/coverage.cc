@@ -13,9 +13,12 @@ namespace
 constexpr std::size_t kActiveBuckets = kNumStreams + 1;
 constexpr std::size_t kSkipBuckets = 2;
 constexpr std::size_t kUopBuckets = 2;
-constexpr std::size_t kMapSize =
+constexpr std::size_t kDenseSize =
     static_cast<std::size_t>(kNumOpcodes) * kNumPipeEvents *
     kActiveBuckets * kSkipBuckets * kUopBuckets;
+// Dense (op x event x active x skip x uop) block, then one slot per
+// superblock bail reason.
+constexpr std::size_t kMapSize = kDenseSize + kNumSbBails;
 } // namespace
 
 CoverageMap::CoverageMap() : hits_(kMapSize, 0) {}
@@ -43,6 +46,17 @@ CoverageMap::record(Opcode op, PipeEvent ev, unsigned active,
 {
     std::uint32_t &h =
         hits_[index(op, ev, active, skip_taken, uop_dispatch)];
+    if (h != std::numeric_limits<std::uint32_t>::max())
+        ++h;
+}
+
+void
+CoverageMap::recordBail(SbBail b)
+{
+    auto i = static_cast<std::size_t>(b);
+    if (i >= kNumSbBails)
+        panic("bail reason %zu out of range", i);
+    std::uint32_t &h = hits_[kDenseSize + i];
     if (h != std::numeric_limits<std::uint32_t>::max())
         ++h;
 }

@@ -13,6 +13,12 @@
  * at least one point no earlier input has reached, which steers the
  * random search toward the interleaving-dependent corners the DISC
  * paper's claims live in.
+ *
+ * Superblock bail reasons are a second, much smaller point family:
+ * each SbBail value the run triggered at least once is its own
+ * coverage point, so the corpus keeps inputs that drive the
+ * translation tier out through exits (interrupt expiry, ABI waits,
+ * budget edges) earlier inputs never took.
  */
 
 #ifndef DISC_VERIFY_COVERAGE_HH
@@ -24,6 +30,7 @@
 #include "common/types.hh"
 #include "isa/opcodes.hh"
 #include "sim/observer.hh"
+#include "sim/superblock.hh"
 
 namespace disc
 {
@@ -49,6 +56,9 @@ class CoverageMap
     void record(Opcode op, PipeEvent ev, unsigned active,
                 bool skip_taken = false, bool uop_dispatch = true);
 
+    /** Record that the superblock tier bailed for reason @p b. */
+    void recordBail(SbBail b);
+
     /** Number of distinct points hit at least once. */
     std::size_t pointsHit() const;
 
@@ -66,7 +76,8 @@ class CoverageMap
 
   private:
     // Indexed [op][event][active][skip][uop]; one 32-bit saturating
-    // counter each.
+    // counter each. The superblock bail-reason points live in a
+    // kNumSbBails-long tail after the dense block.
     std::vector<std::uint32_t> hits_;
 
     static std::size_t index(Opcode op, PipeEvent ev, unsigned active,

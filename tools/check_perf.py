@@ -3,13 +3,21 @@
 
 Usage: check_perf.py BASELINE.json CURRENT.json [--tolerance 0.25]
 
-Reads two BENCH_throughput.json files (schema 2; schema 1 baselines
-still work for the machine section) and fails with exit status 1 if
-any machine scenario's cycles_per_sec dropped by more than the
-tolerance relative to the baseline. Improvements and absolute
-cross-host differences never fail the check; the point is to catch a
-change that makes the simulator dramatically slower, not to pin the
-host. Standard library only, so CI can run it anywhere.
+Reads two BENCH_throughput.json files (schema 3; schema 1/2
+baselines still work for the sections they carry) and fails with exit
+status 1 if any machine scenario's cycles_per_sec dropped by more
+than the tolerance relative to the baseline. Schema-3 files also
+carry a "dispatch" section (per execution tier: interp/uop/
+superblock); those scenarios are compared the same way when both
+files have them. Improvements and absolute cross-host differences
+never fail the check; the point is to catch a change that makes the
+simulator dramatically slower, not to pin the host.
+
+--superblock-min-ratio R additionally asserts, on the CURRENT file
+alone, that the superblock tier is at least R times the uop tier on
+single_stream — the within-run ratio is host-speed-independent, so
+it is the one absolute performance promise CI can hold. Standard
+library only, so CI can run it anywhere.
 """
 
 import argparse
@@ -24,6 +32,9 @@ def main() -> int:
     ap.add_argument("current", help="freshly produced results")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drop (default 0.25)")
+    ap.add_argument("--superblock-min-ratio", type=float, default=None,
+                    help="fail unless current dispatch.single_stream "
+                         "superblock/uop cycles_per_sec >= this ratio")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -34,7 +45,7 @@ def main() -> int:
     # Only compare schemas this script understands; a result file from
     # a newer tool (or a different bench, e.g. BENCH_serve.json) is
     # skipped rather than misread.
-    known = (1, 2)
+    known = (1, 2, 3)
     for name, data in (("baseline", base), ("current", cur)):
         schema = data.get("schema")
         if schema not in known:
@@ -63,12 +74,60 @@ def main() -> int:
                 f"{bv / 1e6:.2f}M/s (tolerance "
                 f"{args.tolerance * 100:.0f}%)")
 
+    # Schema-3 dispatch section: same regression rule per tier.
+    for scenario, btiers in base.get("dispatch", {}).items():
+        ctiers = cur.get("dispatch", {}).get(scenario)
+        if ctiers is None:
+            failures.append(
+                f"dispatch.{scenario}: missing from current results")
+            continue
+        for tier, b in btiers.items():
+            c = ctiers.get(tier)
+            name = f"dispatch.{scenario}.{tier}"
+            if c is None:
+                failures.append(f"{name}: missing from current results")
+                continue
+            bv = float(b["cycles_per_sec"])
+            cv = float(c["cycles_per_sec"])
+            ratio = cv / bv if bv > 0 else 0.0
+            ok = ratio >= floor
+            print(f"{name:32s} baseline {bv / 1e6:9.2f}M/s  "
+                  f"current {cv / 1e6:9.2f}M/s  ratio {ratio:5.2f}  "
+                  f"{'ok' if ok else 'REGRESSED'}")
+            if not ok:
+                failures.append(
+                    f"{name}: {cv / 1e6:.2f}M/s is "
+                    f"{(1 - ratio) * 100:.0f}% below baseline "
+                    f"{bv / 1e6:.2f}M/s (tolerance "
+                    f"{args.tolerance * 100:.0f}%)")
+
+    if args.superblock_min_ratio is not None:
+        tiers = cur.get("dispatch", {}).get("single_stream", {})
+        sb = tiers.get("superblock")
+        uop = tiers.get("uop")
+        if not sb or not uop:
+            failures.append("superblock-min-ratio: current file has no "
+                            "dispatch.single_stream superblock/uop data")
+        else:
+            sv = float(sb["cycles_per_sec"])
+            uv = float(uop["cycles_per_sec"])
+            ratio = sv / uv if uv > 0 else 0.0
+            ok = ratio >= args.superblock_min_ratio
+            print(f"superblock/uop single_stream ratio {ratio:5.2f}  "
+                  f"(floor {args.superblock_min_ratio:.2f})  "
+                  f"{'ok' if ok else 'TOO LOW'}")
+            if not ok:
+                failures.append(
+                    f"superblock single_stream is only {ratio:.2f}x the "
+                    f"uop tier (floor "
+                    f"{args.superblock_min_ratio:.2f}x)")
+
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("\nall machine scenarios within tolerance")
+    print("\nall scenarios within tolerance")
     return 0
 
 

@@ -8,8 +8,9 @@
  * Machine under the invariant checker and is then compared, stream by
  * stream, against the sequential golden model. Coverage is the set of
  * (opcode x pipeline event x active-stream-count) points the run
- * touched; cases that reach new points join the corpus and later cases
- * mutate corpus entries instead of starting fresh.
+ * touched, plus one point per superblock bail reason the run
+ * triggered; cases that reach new points join the corpus and later
+ * cases mutate corpus entries instead of starting fresh.
  *
  * Usage:
  *   disc-fuzz [options]
@@ -62,6 +63,8 @@ struct FuzzCase
     bool fastForward = true;
     /** Run through the micro-op dispatch tables (coverage axis). */
     bool useUops = true;
+    /** Run with the superblock translation tier (coverage axis). */
+    bool useSuperblock = true;
 };
 
 struct RunResult
@@ -79,6 +82,7 @@ runCase(const FuzzCase &c, CoverageMap *cov)
     MachineConfig cfg;
     cfg.fastForward = c.fastForward;
     cfg.uopDispatch = c.useUops;
+    cfg.superblockExec = c.useSuperblock;
     MachineRig rig(msp, cfg);
     if (c.defect)
         rig.machine().interrupts().setDefectLowPriorityVector(true);
@@ -89,6 +93,13 @@ runCase(const FuzzCase &c, CoverageMap *cov)
     rig.machine().setObserver(&chk);
     rig.start();
     rig.machine().run(g_max_cycles ? g_max_cycles : rig.cycleBudget());
+
+    if (cov) {
+        const MachineStats &st = rig.machine().stats();
+        for (unsigned b = 0; b < kNumSbBails; ++b)
+            if (st.superblockBails[b] > 0)
+                cov->recordBail(static_cast<SbBail>(b));
+    }
 
     DiffOutcome out;
     out.machineIdle = rig.machine().idle();
@@ -146,6 +157,15 @@ shrinkCase(FuzzCase c)
         if (stillFails(t))
             c = t;
     }
+    if (c.useSuperblock) {
+        // Prefer a repro that fails in the plain per-cycle uop path:
+        // drop the superblock tier before touching the uop tables,
+        // since disabling the tables disables the tier too.
+        FuzzCase t = c;
+        t.useSuperblock = false;
+        if (stillFails(t))
+            c = t;
+    }
     if (c.useUops) {
         // Likewise prefer one that fails through the legacy switch.
         FuzzCase t = c;
@@ -187,6 +207,7 @@ reproText(const FuzzCase &c, const std::string &detail)
     out << "defect=" << (c.defect ? 1 : 0) << "\n";
     out << "fastforward=" << (c.fastForward ? 1 : 0) << "\n";
     out << "uops=" << (c.useUops ? 1 : 0) << "\n";
+    out << "superblock=" << (c.useSuperblock ? 1 : 0) << "\n";
     out << "# instructions="
         << msp.program.code.size() - kVectorTableEnd << "\n";
     out << "# failure:\n";
@@ -234,6 +255,8 @@ parseRepro(const char *path)
             c.fastForward = val != 0;
         else if (key == "uops")
             c.useUops = val != 0;
+        else if (key == "superblock")
+            c.useSuperblock = val != 0;
         else
             fatal("unknown repro key '%s'", key.c_str());
     }
@@ -255,6 +278,7 @@ freshCase(std::uint64_t seed, bool defect)
     c.opts.deviceLatency = static_cast<unsigned>(rng.below(7));
     c.fastForward = !rng.chance(0.25);
     c.useUops = !rng.chance(0.25);
+    c.useSuperblock = !rng.chance(0.25);
     return c;
 }
 
@@ -263,7 +287,7 @@ FuzzCase
 mutateCase(const FuzzCase &base, Rng &rng)
 {
     FuzzCase c = base;
-    switch (rng.below(7)) {
+    switch (rng.below(8)) {
       case 0:
         c.seed = rng.next64();
         break;
@@ -283,6 +307,9 @@ mutateCase(const FuzzCase &base, Rng &rng)
         break;
       case 5:
         c.useUops = !c.useUops;
+        break;
+      case 6:
+        c.useSuperblock = !c.useSuperblock;
         break;
       default:
         c.opts.useInterrupts = !c.opts.useInterrupts;

@@ -52,6 +52,7 @@
 #include <functional>
 #include <mutex>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
@@ -112,6 +113,8 @@ class Client
         fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd_ < 0)
             fatal("socket: %s", std::strerror(errno));
+        int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -434,9 +437,20 @@ main(int argc, char **argv)
             Clock::time_point start = Clock::now();
             for (std::uint64_t i = 0; i < requests; ++i) {
                 // Open-loop: the i-th request is due at a fixed time
-                // regardless of how previous ones fared.
+                // regardless of how previous ones fared. Kernel sleeps
+                // overshoot by a millisecond-plus under load, and the
+                // overshoot lands directly in the measured latency
+                // (timed from `due`) — worst at low rates, where every
+                // request sleeps the full interval. Sleep coarsely to
+                // just short of the deadline and spin the tail.
+                constexpr auto kSleepSlack =
+                    std::chrono::microseconds(200);
                 Clock::time_point due = start + i * interval;
-                std::this_thread::sleep_until(due);
+                if (due - Clock::now() > kSleepSlack)
+                    std::this_thread::sleep_until(due - kSleepSlack);
+                while (Clock::now() < due) {
+                    // spin: the residual is below timer granularity
+                }
                 unsigned s = static_cast<unsigned>(i % sessions);
                 Request req;
                 req.type = MsgType::RunReq;

@@ -18,6 +18,9 @@
  *     --dump ADDR[:N]      dump N internal-memory words (default 8)
  *     --digest             print the run digest (checkpoint + trace
  *                          fingerprint; comparable with disc-serve)
+ *     --no-superblock      disable the superblock execution tier
+ *                          (per-cycle/uop path only; same effect as
+ *                          DISC_NO_SUPERBLOCK=1)
  *
  * Exit status: 0 on success, 1 on assembly/usage errors.
  */
@@ -82,6 +85,7 @@ main(int argc, char **argv)
         bool free_run = false;
         bool want_trace = false, want_pipe = false, want_list = false;
         bool want_digest = false;
+        bool no_superblock = false;
         const char *vcd_path = nullptr;
         std::vector<std::pair<Addr, unsigned>> dumps;
 
@@ -116,6 +120,8 @@ main(int argc, char **argv)
                 want_trace = true;
             } else if (!std::strcmp(a, "--digest")) {
                 want_digest = true;
+            } else if (!std::strcmp(a, "--no-superblock")) {
+                no_superblock = true;
             } else if (!std::strcmp(a, "--pipe")) {
                 want_pipe = true;
             } else if (!std::strcmp(a, "--list")) {
@@ -147,6 +153,8 @@ main(int argc, char **argv)
             m.attachDevice(e.base, e.size, devices.back().get());
         }
         m.load(prog);
+        if (no_superblock)
+            m.setSuperblockExec(false);
 
         ExecTrace etrace(65536);
         PipeTrace ptrace(m.pipeDepth(), 32);
@@ -204,6 +212,19 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         st.fastForwardedCycles),
                     mips);
+        if (st.superblockEnters > 0) {
+            std::printf("  superblock: cycles=%llu enters=%llu bails=[",
+                        static_cast<unsigned long long>(
+                            st.superblockCycles),
+                        static_cast<unsigned long long>(
+                            st.superblockEnters));
+            for (unsigned b = 0; b < kNumSbBails; ++b)
+                std::printf("%s%s=%llu", b ? " " : "",
+                            sbBailName(static_cast<SbBail>(b)),
+                            static_cast<unsigned long long>(
+                                st.superblockBails[b]));
+            std::printf("]\n");
+        }
         for (StreamId s = 0; s < kNumStreams; ++s) {
             if (st.retired[s] == 0)
                 continue;
