@@ -24,6 +24,7 @@ isRequestType(MsgType t)
       case MsgType::CloseReq:
       case MsgType::StatsReq:
       case MsgType::ShutdownReq:
+      case MsgType::MigrateReq:
         return true;
       default:
         return false;
@@ -41,6 +42,7 @@ isResponseType(MsgType t)
       case MsgType::CloseResp:
       case MsgType::StatsResp:
       case MsgType::ShutdownResp:
+      case MsgType::MigrateResp:
       case MsgType::ErrorResp:
       case MsgType::BusyResp:
         return true;
@@ -85,6 +87,9 @@ encodeRequest(const Request &req)
         break;
       case MsgType::StepReq:
         out.put<std::uint32_t>(req.stepCycles);
+        break;
+      case MsgType::MigrateReq:
+        out.put<std::uint32_t>(req.targetShard);
         break;
       default:
         break; // Query/Close/Stats/Shutdown carry no body
@@ -137,6 +142,9 @@ decodeRequest(const std::vector<std::uint8_t> &payload)
       case MsgType::StepReq:
         req.stepCycles = in.get<std::uint32_t>();
         break;
+      case MsgType::MigrateReq:
+        req.targetShard = in.get<std::uint32_t>();
+        break;
       default:
         break;
     }
@@ -165,6 +173,10 @@ encodeResponse(const Response &resp)
         out.put<Cycle>(resp.totalCycles);
         out.put<std::uint64_t>(resp.retired);
         out.putBool(resp.idle);
+        break;
+      case MsgType::MigrateResp:
+        out.put<std::uint64_t>(resp.digest);
+        out.put<std::uint32_t>(resp.shard);
         break;
       case MsgType::StatsResp:
         out.put<std::uint32_t>(
@@ -213,6 +225,10 @@ decodeResponse(const std::vector<std::uint8_t> &payload)
         resp.retired = in.get<std::uint64_t>();
         resp.idle = in.getBool();
         break;
+      case MsgType::MigrateResp:
+        resp.digest = in.get<std::uint64_t>();
+        resp.shard = in.get<std::uint32_t>();
+        break;
       case MsgType::StatsResp: {
         auto n = in.get<std::uint32_t>();
         for (std::uint32_t i = 0; i < n; ++i) {
@@ -235,6 +251,51 @@ decodeResponse(const std::vector<std::uint8_t> &payload)
     if (!in.exhausted())
         fatal("response frame has trailing bytes");
     return resp;
+}
+
+void
+FrameReader::feed(const std::uint8_t *data, std::size_t size)
+{
+    if (broken_ || size == 0)
+        return;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow its buffer without bound.
+    if (off_ > 4096 && off_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+        off_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + size);
+}
+
+FrameReader::Status
+FrameReader::next(std::vector<std::uint8_t> &payload)
+{
+    if (broken_)
+        return Status::Error;
+    if (buf_.size() - off_ < 4)
+        return Status::NeedMore;
+    std::uint32_t len = static_cast<std::uint32_t>(buf_[off_]) |
+                        static_cast<std::uint32_t>(buf_[off_ + 1]) << 8 |
+                        static_cast<std::uint32_t>(buf_[off_ + 2]) << 16 |
+                        static_cast<std::uint32_t>(buf_[off_ + 3]) << 24;
+    if (len > maxFrame_) {
+        broken_ = true;
+        error_ = strprintf("frame of %u bytes exceeds the %u-byte bound",
+                           len, maxFrame_);
+        return Status::Error;
+    }
+    if (buf_.size() - off_ - 4 < len)
+        return Status::NeedMore;
+    payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(off_ + 4),
+                   buf_.begin() +
+                       static_cast<std::ptrdiff_t>(off_ + 4 + len));
+    off_ += 4 + len;
+    if (off_ == buf_.size()) {
+        buf_.clear();
+        off_ = 0;
+    }
+    return Status::Frame;
 }
 
 bool

@@ -30,11 +30,14 @@
 namespace disc::serve
 {
 
-/** Protocol version in every payload. */
-constexpr std::uint16_t kProtoVersion = 1;
+/** Protocol version in every payload (2: sharded server, Migrate). */
+constexpr std::uint16_t kProtoVersion = 2;
 
 /** Upper bound on one frame (guards a hostile length prefix). */
 constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
+
+/** MigrateReq target meaning "server picks another shard". */
+constexpr std::uint32_t kAnyShard = 0xffffffffu;
 
 /** Message types. Requests are < 64, responses >= 64. */
 enum class MsgType : std::uint8_t
@@ -46,6 +49,7 @@ enum class MsgType : std::uint8_t
     CloseReq = 5,    ///< destroy the session and its park file
     StatsReq = 6,    ///< server metrics (no session)
     ShutdownReq = 7, ///< ask the server to drain and exit
+    MigrateReq = 8,  ///< move the session to another shard
 
     OpenResp = 64,
     RunResp = 65,
@@ -54,6 +58,7 @@ enum class MsgType : std::uint8_t
     CloseResp = 68,
     StatsResp = 69,
     ShutdownResp = 70,
+    MigrateResp = 71,
     ErrorResp = 96, ///< request failed (message in `error`)
     BusyResp = 97,  ///< backpressure: request refused or shed
 };
@@ -88,6 +93,9 @@ struct Request
 
     // StepReq body.
     std::uint32_t stepCycles = 0;
+
+    // MigrateReq body (kAnyShard = server picks the target).
+    std::uint32_t targetShard = kAnyShard;
 };
 
 /** One decoded response. */
@@ -101,7 +109,8 @@ struct Response
     Cycle totalCycles = 0;    ///< machine's cumulative cycle count
     std::uint64_t retired = 0; ///< cumulative retired instructions
     bool idle = false;
-    std::uint64_t digest = 0; ///< QueryResp: run digest
+    std::uint64_t digest = 0; ///< Query/MigrateResp: run digest
+    std::uint32_t shard = 0;  ///< MigrateResp: shard now hosting it
 
     // StatsResp body: ordered (name, value) counters.
     std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -122,6 +131,49 @@ std::vector<std::uint8_t> encodeResponse(const Response &resp);
 
 /** Decode a response payload; fatal() on malformed input. */
 Response decodeResponse(const std::vector<std::uint8_t> &payload);
+
+/**
+ * Incremental frame decoder for nonblocking sockets. Bytes arrive in
+ * arbitrary slices (a length prefix may be split across reads, a
+ * payload may trickle in one byte at a time); feed() buffers them and
+ * next() yields complete payloads. A hostile length prefix makes the
+ * stream unrecoverable: next() returns Error once and the reader
+ * stays in the error state (the connection should be dropped — there
+ * is no way to resynchronise a length-prefixed stream).
+ */
+class FrameReader
+{
+  public:
+    enum class Status : std::uint8_t
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Frame,    ///< @p payload holds the next frame
+        Error,    ///< stream corrupt (see error()); unrecoverable
+    };
+
+    explicit FrameReader(std::uint32_t max_frame = kMaxFrameBytes)
+        : maxFrame_(max_frame)
+    {}
+
+    /** Append raw bytes received from the socket. */
+    void feed(const std::uint8_t *data, std::size_t size);
+
+    /** Extract the next complete frame, if any. */
+    Status next(std::vector<std::uint8_t> &payload);
+
+    /** Why the stream is unrecoverable (valid after Error). */
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (partial frame). */
+    std::size_t buffered() const { return buf_.size() - off_; }
+
+  private:
+    std::uint32_t maxFrame_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t off_ = 0; ///< consumed prefix of buf_
+    bool broken_ = false;
+    std::string error_;
+};
 
 /**
  * Read one length-prefixed frame from @p fd.

@@ -221,4 +221,14 @@ RequestScheduler::queuedTotal() const
     return n;
 }
 
+std::vector<std::size_t>
+RequestScheduler::queueDepths() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<std::size_t> out(kMaxTenants);
+    for (std::size_t i = 0; i < kMaxTenants; ++i)
+        out[i] = queues_[i].size();
+    return out;
+}
+
 } // namespace disc::serve

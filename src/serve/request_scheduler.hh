@@ -133,6 +133,9 @@ class RequestScheduler
     /** Sum of queued jobs over all tenants. */
     std::size_t queuedTotal() const;
 
+    /** Per-tenant queued-job depths (index = tenant id). */
+    std::vector<std::size_t> queueDepths() const;
+
     /** Counters. */
     const SchedulerMetrics &metrics() const { return metrics_; }
 

@@ -1,24 +1,39 @@
 /**
  * @file
  * ServeServer: the disc-serve front end — a loopback TCP listener
- * wiring the wire protocol to the SessionRegistry and the
- * RequestScheduler.
+ * wiring the wire protocol to N worker shards.
  *
- * Threading: one acceptor thread, one blocking reader thread per
- * connection, the scheduler's dispatcher thread, and the shared
- * ThreadPool executing batches. A connection thread only decodes
- * frames and submits jobs; replies are written by whichever thread
- * completes the job, under a per-connection write mutex, so clients
- * may pipeline any number of requests per connection.
+ * A *shard* is one EventLoop (nonblocking epoll I/O), one
+ * SessionRegistry (its own state subdirectory, `stateDir/shardK`) and
+ * one RequestScheduler (the full 16-slot ShareTable policy applies
+ * per shard). Sessions hash to a *home* shard (fnv1a64(id) mod
+ * workers); a route table tracks where each session currently lives,
+ * since migration moves sessions off their home shard. Accepted
+ * connections are spread round-robin across the loops; any connection
+ * can address any session — requests are submitted to the session's
+ * current shard's scheduler, and the registry is re-resolved when the
+ * job actually executes, so a request queued across a migration still
+ * lands on the right machine.
+ *
+ * Cross-shard migration (MigrateReq, or the periodic rebalancer) is
+ * park → detach → digest → rename into the target shard's dir →
+ * adopt → restore, digest-checked against the pre-move park-file
+ * digest (serve/session.hh migrateSession()). The rename is the
+ * commit point: a crash after it is recovered by the target shard's
+ * restoreDir() at next startup.
+ *
+ * Threading: N loop threads (frame I/O only — never simulate), N
+ * dispatcher threads, the shared ThreadPool executing batches, and an
+ * optional rebalancer thread. Replies are queued from pool threads
+ * via EventConn::sendFrame(), so clients may pipeline arbitrarily.
  *
  * Graceful shutdown (requestStop(), driven by SIGTERM in the
- * disc-serve tool or by a Shutdown request): stop accepting, half-
- * close every connection so readers stop submitting, drain the
+ * disc-serve tool or by a Shutdown request): stop the rebalancer,
+ * stop accepting, stop reading every connection, drain every shard's
  * scheduler — every accepted request executes and its reply is
- * written — then park every live session to the state directory. A
- * restarted server pointed at the same directory re-registers the
- * parked sessions (SessionRegistry::restoreDir()) and continues each
- * one bit-identically.
+ * flushed — then park every live session. A restarted server pointed
+ * at the same directory re-registers the parked sessions (wherever
+ * their shard dirs hold them) and continues each one bit-identically.
  */
 
 #ifndef DISC_SERVE_SERVER_HH
@@ -31,8 +46,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "serve/event_loop.hh"
 #include "serve/proto.hh"
 #include "serve/request_scheduler.hh"
 #include "serve/session.hh"
@@ -46,13 +64,13 @@ struct ServerConfig
     /** TCP port on 127.0.0.1 (0 = pick an ephemeral port). */
     std::uint16_t port = 0;
 
-    /** Directory for parked-session files. */
+    /** Directory for parked-session files (shard subdirs inside). */
     std::string stateDir = "disc-serve-state";
 
-    /** Residency bound for the session registry. */
+    /** Residency bound for each shard's session registry. */
     unsigned maxResident = 8;
 
-    /** Per-tenant request queue bound. */
+    /** Per-tenant request queue bound (per shard). */
     unsigned queueCap = 64;
 
     /** Number of tenants (1..16) when `shares` is empty (even split). */
@@ -63,6 +81,18 @@ struct ServerConfig
 
     /** Batch size cap; 0 = worker pool size. */
     unsigned batchMax = 0;
+
+    /** Worker shards: event loops + registries + schedulers. */
+    unsigned workers = 1;
+
+    /** Rebalancer period in ms; 0 disables it. */
+    unsigned rebalanceMs = 0;
+
+    /** Per-connection output bound before reads pause. */
+    std::size_t outBufSoft = 1u << 20;
+
+    /** Per-connection output bound before the connection drops. */
+    std::size_t outBufHard = 8u << 20;
 };
 
 /** The serving front end; see the file comment. */
@@ -78,9 +108,10 @@ class ServeServer
     ServeServer &operator=(const ServeServer &) = delete;
 
     /**
-     * Re-register parked sessions, bind the listener and start the
-     * acceptor and dispatcher threads. fatal() when the port is
-     * taken.
+     * Re-register parked sessions (legacy flat-layout files are
+     * rehomed into shard subdirs first), bind the listener and start
+     * the loop, dispatcher and rebalancer threads. fatal() when the
+     * port is taken.
      */
     void start();
 
@@ -90,6 +121,9 @@ class ServeServer
     /** Number of tenants the server accepts. */
     unsigned tenants() const { return cfg_.tenants; }
 
+    /** Number of worker shards. */
+    unsigned workers() const { return cfg_.workers; }
+
     /** Drain, park and stop; idempotent. Safe from any non-handler
      *  thread. */
     void requestStop();
@@ -98,11 +132,21 @@ class ServeServer
      *  main loop, then call requestStop()). */
     bool shutdownRequested() const { return shutdownReq_.load(); }
 
-    /** The session table. */
-    SessionRegistry &registry() { return registry_; }
+    /** A shard's session table. */
+    SessionRegistry &registry(unsigned shard = 0)
+    {
+        return *shards_[shard]->registry;
+    }
 
-    /** The request scheduler. */
-    RequestScheduler &scheduler() { return sched_; }
+    /** A shard's request scheduler. */
+    RequestScheduler &scheduler(unsigned shard = 0)
+    {
+        return *shards_[shard]->sched;
+    }
+
+    /** The shard currently hosting @p session (its home shard when
+     *  never migrated). */
+    unsigned shardOf(const std::string &session) const;
 
     /** Ordered service counters (the StatsResp body). */
     std::vector<std::pair<std::string, std::uint64_t>>
@@ -112,47 +156,85 @@ class ServeServer
     std::string metricsText() const;
 
   private:
-    /** One client connection. */
-    struct Conn
+    /** One worker: loop + registry + scheduler. */
+    struct Shard
     {
-        int fd = -1;
-        std::mutex wmu; ///< serialises reply frames
-
-        std::mutex omu;
-        std::condition_variable ocv;
-        unsigned outstanding = 0; ///< submitted, reply not yet sent
-
-        /** Write one reply frame; warns instead of throwing. */
-        void send(const std::vector<std::uint8_t> &payload);
-
-        void addOutstanding();
-        void doneOutstanding();
-        void waitIdle();
+        std::unique_ptr<SessionRegistry> registry;
+        std::unique_ptr<RequestScheduler> sched;
+        std::unique_ptr<EventLoop> loop;
     };
 
-    void acceptLoop();
-    void connLoop(std::shared_ptr<Conn> conn, unsigned idx);
-    void handle(const std::shared_ptr<Conn> &conn, const Request &req);
+    /** fnv1a64(id) mod workers: where a session starts out. */
+    unsigned homeShard(const std::string &session) const;
+
+    /** Move legacy flat-layout park files into shard subdirs. */
+    void rehomeFlatLayout();
+
+    /** Adopt an accepted fd onto the next loop, round-robin. */
+    void adoptConnection(int fd);
+
+    /** Frame handler (loop thread): decode, dispatch, reply. */
+    void handle(const std::shared_ptr<EventConn> &conn,
+                std::vector<std::uint8_t> &payload);
 
     /** Perform one session request (called on a pool thread). */
     Response execute(const Request &req);
 
+    /** Execute a MigrateReq: move the session and update the route. */
+    Response executeMigrate(const Request &req);
+
+    /** The move itself; caller brackets it with begin/endMigration. */
+    Response doMigrate(const Request &req);
+
+    /**
+     * Claim @p session for one migration (waits out a concurrent
+     * move of the same session first).
+     */
+    void beginMigration(const std::string &session);
+
+    /** Release the claim and wake requests parked on it. */
+    void endMigration(const std::string &session);
+
+    /**
+     * Mid-migration a session is registered on *no* shard for a
+     * moment; a request executing in that window would see "unknown
+     * session". Wait (bounded) until the move lands, then resolve.
+     */
+    void awaitMigration(const std::string &session);
+
+    /** One rebalancer pass: move a cold session off the hottest
+     *  shard. @return true when a session moved. */
+    bool rebalanceOnce();
+
+    void rebalancerLoop();
+
     ServerConfig cfg_;
-    SessionRegistry registry_;
-    RequestScheduler sched_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    // Session routing: current shard per session. Sessions not in the
+    // table live on their home shard. `migrating_` holds sessions
+    // whose park file is in flight between shard dirs; routeCv_ wakes
+    // requests waiting for such a move to land.
+    mutable std::mutex routeMu_;
+    std::unordered_map<std::string, unsigned> routes_;
+    std::unordered_set<std::string> migrating_;
+    std::condition_variable routeCv_;
 
     int listenFd_ = -1;
     std::uint16_t port_ = 0;
-    std::thread acceptThread_;
+    std::atomic<unsigned> nextLoop_{0};
 
-    std::mutex connMu_;
-    std::vector<std::shared_ptr<Conn>> conns_;
-    std::vector<std::thread> connThreads_;
+    std::thread rebalanceThread_;
+    std::atomic<bool> rebalanceStop_{false};
 
     std::atomic<bool> started_{false};
     std::atomic<bool> stopping_{false};
     std::atomic<bool> shutdownReq_{false};
     std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> streamErrors_{0};
+    std::atomic<std::uint64_t> migrationsOk_{0};
+    std::atomic<std::uint64_t> migrationsFailed_{0};
+    std::atomic<std::uint64_t> rebalanced_{0};
 };
 
 /** The share table a config describes (even split or explicit). */

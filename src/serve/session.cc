@@ -1,10 +1,14 @@
 #include "serve/session.hh"
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <thread>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 #include "isa/assembler.hh"
@@ -182,6 +186,8 @@ SessionRegistry::build(Session &s, bool start_streams)
 void
 SessionRegistry::park(Session &s)
 {
+    if (unsigned delay = parkDelayMs_.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
     Serializer out;
     out.put(kParkMagic);
     out.put(kParkVersion);
@@ -394,6 +400,73 @@ SessionRegistry::parkAll()
     }
 }
 
+std::string
+SessionRegistry::parkPath(const std::string &id) const
+{
+    return filePath(id);
+}
+
+std::string
+SessionRegistry::detach(const std::string &id)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return "";
+    Session *p = it->second.get();
+    // Holding mu_ means no new pin can start; an existing pin or a
+    // resident machine means someone may be (about to be) using it.
+    if (p->resident_.load() || p->pins_.load() != 0)
+        return "";
+    sessions_.erase(it);
+    return filePath(id);
+}
+
+std::string
+SessionRegistry::adoptFile(const std::string &path)
+{
+    std::vector<std::uint8_t> bytes = readFileBytes(path);
+    Deserializer in(bytes);
+    if (in.get<std::uint32_t>() != kParkMagic)
+        fatal("'%s' is not a session file", path.c_str());
+    if (in.get<std::uint16_t>() != kParkVersion)
+        fatal("session file version mismatch for '%s'", path.c_str());
+    SessionSpec spec = getSpec(in);
+    if (path != filePath(spec.id))
+        fatal("session file '%s' is not at its home path '%s'",
+              path.c_str(), filePath(spec.id).c_str());
+    // Copy the key out before moving the spec: emplace argument
+    // evaluation order is unspecified.
+    std::string id = spec.id;
+    std::lock_guard<std::mutex> g(mu_);
+    auto [it, inserted] = sessions_.emplace(
+        id, std::unique_ptr<Session>(new Session(std::move(spec))));
+    if (!inserted)
+        fatal("session '%s' already exists", id.c_str());
+    it->second->lastUsed_.store(clock_.fetch_add(1) + 1);
+    return it->first;
+}
+
+std::vector<std::string>
+SessionRegistry::coldestIdle(std::size_t max) const
+{
+    std::vector<std::pair<std::uint64_t, std::string>> cand;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        for (const auto &[id, s] : sessions_)
+            if (s->pins_.load() == 0)
+                cand.emplace_back(s->lastUsed_.load(), id);
+    }
+    std::sort(cand.begin(), cand.end());
+    if (cand.size() > max)
+        cand.resize(max);
+    std::vector<std::string> out;
+    out.reserve(cand.size());
+    for (auto &[stamp, id] : cand)
+        out.push_back(std::move(id));
+    return out;
+}
+
 std::size_t
 SessionRegistry::restoreDir()
 {
@@ -401,6 +474,16 @@ SessionRegistry::restoreDir()
     std::error_code ec;
     for (const auto &entry :
          std::filesystem::directory_iterator(dir_, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".tmp") {
+            // A crash between write and rename leaves the temp file
+            // behind; it was never the durable copy, so drop it.
+            warn("removing stale temp file '%s'",
+                 entry.path().c_str());
+            std::error_code rm_ec;
+            std::filesystem::remove(entry.path(), rm_ec);
+            continue;
+        }
         if (!entry.is_regular_file() ||
             entry.path().extension() != kParkExt)
             continue;
@@ -458,6 +541,92 @@ std::uint64_t
 sessionDigest(Session &s)
 {
     return runDigest(s.machine(), s.trace());
+}
+
+std::uint64_t
+parkFileDigest(const std::string &path)
+{
+    std::vector<std::uint8_t> bytes = readFileBytes(path);
+    Deserializer in(bytes);
+    if (in.get<std::uint32_t>() != kParkMagic)
+        fatal("'%s' is not a session file", path.c_str());
+    if (in.get<std::uint16_t>() != kParkVersion)
+        fatal("session file version mismatch for '%s'", path.c_str());
+    (void)getSpec(in);
+    std::vector<std::uint8_t> state = in.getBlob();
+    ExecTrace trace(kSessionTraceEntries);
+    trace.restore(in);
+    if (!in.exhausted())
+        fatal("session file '%s' has trailing bytes", path.c_str());
+    // Mirrors runDigest(): restoreState(state) then saveState() is
+    // byte-identical to `state`, so folding the blob directly gives
+    // the digest the restored session will report.
+    return fnv1a64(trace.render(), fnv1a64(state));
+}
+
+MigrationResult
+migrateSession(SessionRegistry &src, SessionRegistry &dst,
+               const std::string &id)
+{
+    MigrationResult res;
+    if (&src == &dst) {
+        res.error = "source and target shard are the same";
+        return res;
+    }
+
+    src.evict(id); // park it if resident; racing users surface below
+    std::string from = src.detach(id);
+    if (from.empty()) {
+        res.error = strprintf("session '%s' is busy or unknown",
+                              id.c_str());
+        return res;
+    }
+
+    try {
+        res.digest = parkFileDigest(from);
+    } catch (const FatalError &e) {
+        src.adoptFile(from); // put it back; the file never moved
+        res.error = e.what();
+        return res;
+    }
+
+    std::string to = dst.parkPath(id);
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) {
+        src.adoptFile(from);
+        res.error = strprintf("cannot move '%s' to '%s': %s",
+                              from.c_str(), to.c_str(),
+                              ec.message().c_str());
+        return res;
+    }
+
+    // The rename was atomic: from here the session's durable home is
+    // dst — a crash now is recovered by dst.restoreDir().
+    try {
+        dst.adoptFile(to);
+    } catch (const FatalError &e) {
+        res.error = e.what();
+        return res;
+    }
+
+    // Land it: restore on the target and check the digest survived
+    // the hop (release may park it again under dst's LRU policy).
+    std::uint64_t landed;
+    {
+        SessionLease lease = dst.acquire(id);
+        landed = sessionDigest(*lease);
+    }
+    if (landed != res.digest) {
+        res.error = strprintf(
+            "session '%s' digest mismatch after migration: "
+            "%016llx pre-move vs %016llx restored",
+            id.c_str(), static_cast<unsigned long long>(res.digest),
+            static_cast<unsigned long long>(landed));
+        return res;
+    }
+    res.ok = true;
+    return res;
 }
 
 } // namespace disc::serve

@@ -180,6 +180,36 @@ class SessionRegistry
      */
     std::size_t restoreDir();
 
+    /** Park file path for @p id inside this registry's state dir. */
+    std::string parkPath(const std::string &id) const;
+
+    /**
+     * Remove a parked, unpinned session from the registry, leaving
+     * its park file on disk — the migration departure step.
+     * @return the park file path, or "" when the session is unknown,
+     *         resident, or pinned (the caller should abort the move).
+     */
+    std::string detach(const std::string &id);
+
+    /**
+     * Register a park file already renamed into this registry's state
+     * dir — the migration landing step. The session stays parked
+     * until first acquire. fatal() on a malformed file, a duplicate
+     * id, or a file not at its home path. @return the session id.
+     */
+    std::string adoptFile(const std::string &path);
+
+    /**
+     * Ids of unpinned sessions, coldest LRU stamp first, at most
+     * @p max — the rebalancer's migration candidates. Unsynchronized
+     * snapshot: a candidate may be pinned again by the time the
+     * caller acts, which makes the move abort gracefully.
+     */
+    std::vector<std::string> coldestIdle(std::size_t max) const;
+
+    /** Test hook: stall every park() this long (models slow disks). */
+    void setParkDelayForTest(unsigned ms) { parkDelayMs_.store(ms); }
+
     /** True when the session exists (resident or parked). */
     bool has(const std::string &id) const;
 
@@ -232,6 +262,7 @@ class SessionRegistry
     std::atomic<unsigned> resident_{0};
     std::atomic<std::uint64_t> evicted_{0};
     std::atomic<std::uint64_t> restored_{0};
+    std::atomic<unsigned> parkDelayMs_{0};
 };
 
 /**
@@ -239,6 +270,34 @@ class SessionRegistry
  * text (sim/digest.hh). Call with the session leased.
  */
 std::uint64_t sessionDigest(Session &s);
+
+/**
+ * Digest a park file without building a machine: the checkpoint blob
+ * folded with the restored trace render — by construction equal to
+ * sessionDigest() of the session once restored. fatal() on a
+ * malformed file.
+ */
+std::uint64_t parkFileDigest(const std::string &path);
+
+/** What migrateSession() reports. */
+struct MigrationResult
+{
+    bool ok = false;
+    std::uint64_t digest = 0; ///< pre-move park-file digest
+    std::string error;        ///< why the move aborted (ok == false)
+};
+
+/**
+ * Move session @p id from @p src to @p dst: park → detach → digest
+ * the park file → rename into dst's state dir (atomic; a crash after
+ * the rename leaves the file where dst's restoreDir() finds it) →
+ * adopt → restore and digest-check against the pre-move digest.
+ * A busy session (leased, or re-acquired mid-move) aborts the move
+ * gracefully and stays where it was; a post-restore digest mismatch
+ * reports ok == false with the session hosted by @p dst.
+ */
+MigrationResult migrateSession(SessionRegistry &src, SessionRegistry &dst,
+                               const std::string &id);
 
 } // namespace disc::serve
 

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Cross-shard session migration tests: the park → detach → digest →
+ * rename → adopt → restore protocol (serve/session.hh), exercised as
+ * a randomized soak with digests compared at every hop, plus the
+ * crash-consistency cases — a kill between the rename and the
+ * restore must be recovered by the target's restoreDir(), and a stale
+ * write-side temp file must be ignored, not resurrected.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "serve/session.hh"
+#include "sim/digest.hh"
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+
+using namespace disc;
+using namespace disc::serve;
+
+namespace
+{
+
+/** An endless, never-idle workload with a per-session constant. */
+std::string
+loopSource(unsigned k)
+{
+    return strprintf(".org 0x20\n"
+                     "main:\n"
+                     "    ldi  r0, %u\n"
+                     "    ldi  r1, 1\n"
+                     "loop:\n"
+                     "    add  r1, r1, r0\n"
+                     "    mul  r2, r1, r0\n"
+                     "    sub  r3, r2, r1\n"
+                     "    jmp  loop\n",
+                     3 + k);
+}
+
+SessionSpec
+loopSpec(const std::string &id, TenantId tenant, unsigned k)
+{
+    SessionSpec spec;
+    spec.id = id;
+    spec.tenant = tenant;
+    spec.source = loopSource(k);
+    return spec;
+}
+
+/** The digest an offline machine reaches after @p cycles. */
+std::uint64_t
+offlineDigest(unsigned k, Cycle cycles)
+{
+    Program prog = assemble(loopSource(k));
+    Machine m;
+    m.load(prog);
+    ExecTrace trace(kSessionTraceEntries);
+    m.setExecTrace(&trace);
+    m.startStream(0, prog.symbol("main"));
+    m.run(cycles, false);
+    return runDigest(m, trace);
+}
+
+/** A fresh, empty state directory for one test. */
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir =
+        (std::filesystem::temp_directory_path() / name).string();
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(Migration, RoundTripAcrossRegistriesKeepsDigest)
+{
+    SessionRegistry a(freshDir("disc_mig_test_rt_a"), 4);
+    SessionRegistry b(freshDir("disc_mig_test_rt_b"), 4);
+    a.open(loopSpec("m0", 0, 0));
+    {
+        SessionLease lease = a.acquire("m0");
+        lease->machine().run(500, false);
+    }
+
+    MigrationResult out = migrateSession(a, b, "m0");
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.digest, offlineDigest(0, 500));
+    EXPECT_FALSE(a.has("m0"));
+    ASSERT_TRUE(b.has("m0"));
+    EXPECT_FALSE(std::filesystem::exists(a.parkPath("m0")));
+    EXPECT_TRUE(std::filesystem::exists(b.parkPath("m0")));
+
+    // Run on the new home, then move back: the digest chain holds.
+    {
+        SessionLease lease = b.acquire("m0");
+        lease->machine().run(500, false);
+    }
+    MigrationResult back = migrateSession(b, a, "m0");
+    ASSERT_TRUE(back.ok) << back.error;
+    EXPECT_EQ(back.digest, offlineDigest(0, 1000));
+    {
+        SessionLease lease = a.acquire("m0");
+        EXPECT_EQ(sessionDigest(*lease), offlineDigest(0, 1000));
+    }
+}
+
+TEST(Migration, RandomizedSoakDigestsCheckedEveryHop)
+{
+    constexpr unsigned kShards = 3;
+    constexpr unsigned kSessions = 6;
+    constexpr unsigned kRounds = 60;
+    constexpr Cycle kChunk = 100;
+
+    std::vector<std::unique_ptr<SessionRegistry>> shards;
+    for (unsigned i = 0; i < kShards; ++i)
+        shards.push_back(std::make_unique<SessionRegistry>(
+            freshDir(strprintf("disc_mig_test_soak_%u", i)), 2));
+
+    std::vector<unsigned> home(kSessions);
+    std::vector<Cycle> cycles(kSessions, 0);
+    for (unsigned s = 0; s < kSessions; ++s) {
+        home[s] = s % kShards;
+        shards[home[s]]->open(
+            loopSpec(strprintf("k%u", s), 0, s));
+    }
+
+    std::mt19937 rng(0xd15c);
+    unsigned moves = 0;
+    for (unsigned round = 0; round < kRounds; ++round) {
+        unsigned s = rng() % kSessions;
+        std::string id = strprintf("k%u", s);
+
+        // Run a chunk wherever the session currently lives.
+        {
+            SessionLease lease = shards[home[s]]->acquire(id);
+            lease->machine().run(kChunk, false);
+            cycles[s] += kChunk;
+        }
+
+        // Hop to a random other shard, digest-checked on both sides:
+        // migrateSession() compares pre-move park-file digest against
+        // the restored session; we additionally pin the pre-move
+        // digest to the offline ground truth.
+        unsigned to = (home[s] + 1 + rng() % (kShards - 1)) % kShards;
+        MigrationResult out =
+            migrateSession(*shards[home[s]], *shards[to], id);
+        ASSERT_TRUE(out.ok)
+            << id << " round " << round << ": " << out.error;
+        EXPECT_EQ(out.digest, offlineDigest(s, cycles[s]))
+            << id << " round " << round;
+        home[s] = to;
+        ++moves;
+    }
+    EXPECT_EQ(moves, kRounds);
+
+    // Final cross-check: every session, wherever it ended up, holds
+    // exactly the state its cycle count demands.
+    for (unsigned s = 0; s < kSessions; ++s) {
+        SessionLease lease =
+            shards[home[s]]->acquire(strprintf("k%u", s));
+        EXPECT_EQ(sessionDigest(*lease), offlineDigest(s, cycles[s]))
+            << "session k" << s;
+        EXPECT_EQ(lease->machine().stats().cycles, cycles[s]);
+    }
+}
+
+TEST(Migration, BusySessionAbortsMoveGracefully)
+{
+    SessionRegistry a(freshDir("disc_mig_test_busy_a"), 4);
+    SessionRegistry b(freshDir("disc_mig_test_busy_b"), 4);
+    a.open(loopSpec("busy", 0, 1));
+    {
+        // A held lease pins the session: the move must refuse and
+        // leave it exactly where it was.
+        SessionLease lease = a.acquire("busy");
+        MigrationResult out = migrateSession(a, b, "busy");
+        EXPECT_FALSE(out.ok);
+        EXPECT_NE(out.error.find("busy"), std::string::npos);
+        EXPECT_TRUE(a.has("busy"));
+        EXPECT_FALSE(b.has("busy"));
+        lease->machine().run(100, false);
+    }
+    // Released, the same move goes through.
+    MigrationResult out = migrateSession(a, b, "busy");
+    ASSERT_TRUE(out.ok) << out.error;
+    SessionLease lease = b.acquire("busy");
+    EXPECT_EQ(sessionDigest(*lease), offlineDigest(1, 100));
+}
+
+TEST(Migration, SameRegistryAndUnknownIdRefused)
+{
+    SessionRegistry a(freshDir("disc_mig_test_self_a"), 4);
+    SessionRegistry b(freshDir("disc_mig_test_self_b"), 4);
+    a.open(loopSpec("solo", 0, 2));
+    MigrationResult self = migrateSession(a, a, "solo");
+    EXPECT_FALSE(self.ok);
+    EXPECT_TRUE(a.has("solo"));
+    MigrationResult ghost = migrateSession(a, b, "ghost");
+    EXPECT_FALSE(ghost.ok);
+    EXPECT_FALSE(b.has("ghost"));
+}
+
+TEST(Migration, DetachRefusesResidentOrPinnedSessions)
+{
+    SessionRegistry a(freshDir("disc_mig_test_detach"), 4);
+    a.open(loopSpec("d0", 0, 3));
+    // Resident (never parked): detach must refuse.
+    EXPECT_EQ(a.detach("d0"), "");
+    ASSERT_TRUE(a.evict("d0"));
+    // Parked and idle: detach hands over the park file, which stays
+    // on disk while the registry forgets the session.
+    std::string path = a.detach("d0");
+    ASSERT_FALSE(path.empty());
+    EXPECT_FALSE(a.has("d0"));
+    EXPECT_TRUE(std::filesystem::exists(path));
+    // The orphaned file re-registers cleanly (the rollback path).
+    EXPECT_EQ(a.adoptFile(path), "d0");
+    ASSERT_TRUE(a.has("d0"));
+    SessionLease lease = a.acquire("d0");
+    EXPECT_EQ(sessionDigest(*lease), offlineDigest(3, 0));
+}
+
+TEST(Migration, AdoptRejectsForeignAndMalformedFiles)
+{
+    SessionRegistry a(freshDir("disc_mig_test_adopt_a"), 4);
+    SessionRegistry b(freshDir("disc_mig_test_adopt_b"), 4);
+    a.open(loopSpec("f0", 0, 4));
+    ASSERT_TRUE(a.evict("f0"));
+    // A file still sitting in a's dir is not at b's home path for the
+    // session — adopting it from there must refuse (the rename into
+    // the target dir is a protocol step, not a nicety).
+    EXPECT_THROW(b.adoptFile(a.parkPath("f0")), FatalError);
+    // Garbage on disk is a fatal parse, not UB.
+    std::string junk = b.stateDir() + "/junk.dsess";
+    {
+        std::ofstream out(junk, std::ios::binary);
+        out << "not a session";
+    }
+    EXPECT_THROW(b.adoptFile(junk), FatalError);
+}
+
+TEST(Migration, KillBetweenRenameAndRestoreIsRecovered)
+{
+    std::string dir_a = freshDir("disc_mig_test_crash_a");
+    std::string dir_b = freshDir("disc_mig_test_crash_b");
+    std::uint64_t pre_move;
+    {
+        SessionRegistry a(dir_a, 4);
+        SessionRegistry b(dir_b, 4); // creates dir_b
+        a.open(loopSpec("c0", 0, 5));
+        {
+            SessionLease lease = a.acquire("c0");
+            lease->machine().run(700, false);
+        }
+        // Replay the migration by hand and "crash" at the worst
+        // moment: after the rename committed the file to the target
+        // shard, before the target ever adopted it.
+        ASSERT_TRUE(a.evict("c0"));
+        std::string from = a.detach("c0");
+        ASSERT_FALSE(from.empty());
+        pre_move = parkFileDigest(from);
+        std::filesystem::rename(from, b.parkPath("c0"));
+        // ...process dies here; both registries go away.
+    }
+    // The restarted target finds the file in its directory and owns
+    // the session; the source has nothing — no split brain.
+    SessionRegistry a2(dir_a, 4);
+    SessionRegistry b2(dir_b, 4);
+    EXPECT_EQ(a2.restoreDir(), 0u);
+    EXPECT_EQ(b2.restoreDir(), 1u);
+    ASSERT_TRUE(b2.has("c0"));
+    {
+        SessionLease lease = b2.acquire("c0");
+        EXPECT_EQ(sessionDigest(*lease), pre_move);
+        EXPECT_EQ(sessionDigest(*lease), offlineDigest(5, 700));
+        // And it still runs bit-identically from there.
+        lease->machine().run(300, false);
+        EXPECT_EQ(sessionDigest(*lease), offlineDigest(5, 1000));
+    }
+}
+
+TEST(Migration, StaleTmpFileIgnoredAndRemovedOnRestart)
+{
+    std::string dir = freshDir("disc_mig_test_tmp");
+    {
+        SessionRegistry reg(dir, 4);
+        reg.open(loopSpec("t0", 0, 6));
+        {
+            SessionLease lease = reg.acquire("t0");
+            lease->machine().run(400, false);
+        }
+        reg.parkAll();
+    }
+    // A crash mid-park leaves a half-written temp file behind. It was
+    // never the durable copy: restart must drop it and resume only
+    // from the committed park file.
+    std::string stale = dir + "/t0.dsess.tmp";
+    {
+        std::ofstream out(stale, std::ios::binary);
+        out << "half-written checkpoint";
+    }
+    SessionRegistry reg2(dir, 4);
+    EXPECT_EQ(reg2.restoreDir(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    SessionLease lease = reg2.acquire("t0");
+    EXPECT_EQ(sessionDigest(*lease), offlineDigest(6, 400));
+}
+
+TEST(Migration, ConcurrentMigrationsOfDisjointSessionsAreClean)
+{
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kHops = 8;
+    SessionRegistry a(freshDir("disc_mig_test_conc_a"), kThreads);
+    SessionRegistry b(freshDir("disc_mig_test_conc_b"), kThreads);
+    for (unsigned i = 0; i < kThreads; ++i)
+        a.open(loopSpec(strprintf("p%u", i), 0, i));
+
+    // Each thread ping-pongs its own session between the registries,
+    // running a chunk on arrival — migrations in both directions at
+    // once, sharing the two registry locks and the two directories.
+    std::vector<std::thread> workers;
+    std::atomic<unsigned> failures{0};
+    for (unsigned i = 0; i < kThreads; ++i) {
+        workers.emplace_back([&, i] {
+            std::string id = strprintf("p%u", i);
+            for (unsigned hop = 0; hop < kHops; ++hop) {
+                SessionRegistry &src = hop % 2 ? b : a;
+                SessionRegistry &dst = hop % 2 ? a : b;
+                {
+                    SessionLease lease = src.acquire(id);
+                    lease->machine().run(50, false);
+                }
+                MigrationResult out = migrateSession(src, dst, id);
+                if (!out.ok)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(failures.load(), 0u);
+    for (unsigned i = 0; i < kThreads; ++i) {
+        SessionLease lease = a.acquire(strprintf("p%u", i));
+        EXPECT_EQ(sessionDigest(*lease),
+                  offlineDigest(i, kHops * 50))
+            << "session p" << i;
+    }
+}
+
+} // namespace

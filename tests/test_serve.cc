@@ -8,6 +8,7 @@
 
 #include <arpa/inet.h>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -392,6 +393,47 @@ TEST(SessionRegistry, CloseRemovesSessionAndParkFile)
     EXPECT_FALSE(reg.has("gone"));
     EXPECT_FALSE(
         std::filesystem::exists(dir + "/gone.dsess"));
+}
+
+TEST(SessionRegistry, OpenProceedsDuringSlowPark)
+{
+    // Regression guard for the locking contract: park I/O runs under
+    // the per-session mutex only, never the registry map lock, so a
+    // slow disk parking one session must not stall unrelated opens
+    // and acquires.
+    SessionRegistry reg(freshDir("disc_serve_test_slowpark"), 2);
+    reg.open(loopSpec("slow", 0, 0));
+    {
+        SessionLease lease = reg.acquire("slow");
+        lease->machine().run(300, false);
+    }
+    reg.setParkDelayForTest(600);
+    std::thread evictor([&reg] { EXPECT_TRUE(reg.evict("slow")); });
+    // Let the evictor get into park() (which stalls 600 ms first).
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    auto t0 = std::chrono::steady_clock::now();
+    reg.open(loopSpec("other", 1, 1));
+    {
+        SessionLease lease = reg.acquire("other");
+        lease->machine().run(100, false);
+    }
+    auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    evictor.join();
+    reg.setParkDelayForTest(0);
+    // The open+acquire finished while the park was still sleeping.
+    EXPECT_LT(elapsed.count(), 400)
+        << "registry lock held across park I/O";
+    // Nobody was corrupted by the overlap.
+    {
+        SessionLease lease = reg.acquire("slow");
+        EXPECT_EQ(sessionDigest(*lease), offlineDigest(0, 300));
+    }
+    {
+        SessionLease lease = reg.acquire("other");
+        EXPECT_EQ(sessionDigest(*lease), offlineDigest(1, 100));
+    }
 }
 
 TEST(SessionRegistry, RejectsHostileSessionIds)

@@ -18,11 +18,95 @@ alone, that the superblock tier is at least R times the uop tier on
 single_stream — the within-run ratio is host-speed-independent, so
 it is the one absolute performance promise CI can hold. Standard
 library only, so CI can run it anywhere.
+
+BENCH_serve.json files (schema "serve-2", written by disc-loadgen)
+are recognised too: the current file's digest_check must be "ok",
+every sweep must be fully accounted for (completed + busy == sent,
+zero transport errors), and the migration drill must report zero
+digest mismatches. --min-rps R and --min-migrations N add absolute
+floors on the best sweep's throughput and on successful migrations;
+when the baseline is also a serve file, the best sweep's throughput
+is additionally held to the regression tolerance.
 """
 
 import argparse
 import json
 import sys
+
+
+def best_rps(data):
+    """The highest sustained sweep throughput in a serve file."""
+    return max((float(s.get("throughput_rps", 0.0))
+                for s in data.get("sweeps", [])), default=0.0)
+
+
+def check_serve(base, cur, args) -> int:
+    """Gate a serve-2 BENCH_serve.json run; see the module docstring."""
+    failures = []
+
+    check = cur.get("digest_check")
+    print(f"digest_check: {check}")
+    if check != "ok":
+        failures.append(f"digest_check is {check!r}, want 'ok'")
+
+    mig = cur.get("migrations", {})
+    attempted = int(mig.get("attempted", 0))
+    ok = int(mig.get("ok", 0))
+    mismatches = int(mig.get("digest_mismatches", 0))
+    print(f"migrations: attempted {attempted}  ok {ok}  "
+          f"mismatches {mismatches}")
+    if mismatches:
+        failures.append(f"{mismatches} migration digest mismatch(es)")
+    if args.min_migrations is not None and ok < args.min_migrations:
+        failures.append(f"only {ok} successful migrations "
+                        f"(floor {args.min_migrations})")
+
+    for s in cur.get("sweeps", []):
+        sent = int(s.get("sent", 0))
+        completed = int(s.get("completed", 0))
+        busy = (int(s.get("busy_queue_full", 0)) +
+                int(s.get("busy_deadline", 0)) +
+                int(s.get("busy_draining", 0)))
+        errors = int(s.get("errors", 0))
+        rate = s.get("rate_rps")
+        ok = errors == 0 and completed + busy == sent
+        print(f"sweep {rate:>6} rps: sent {sent}  completed "
+              f"{completed}  busy {busy}  errors {errors}  "
+              f"{'ok' if ok else 'FAIL'}")
+        if errors:
+            failures.append(f"sweep {rate}: {errors} transport errors")
+        if completed + busy != sent:
+            failures.append(f"sweep {rate}: {sent - completed - busy} "
+                            f"requests unaccounted for")
+
+    rps = best_rps(cur)
+    if args.min_rps is not None:
+        ok = rps >= args.min_rps
+        print(f"best sweep {rps:.1f} rps (floor {args.min_rps:.0f})  "
+              f"{'ok' if ok else 'TOO LOW'}")
+        if not ok:
+            failures.append(f"best sweep {rps:.1f} rps is below the "
+                            f"{args.min_rps:.0f} rps floor")
+
+    if str(base.get("schema", "")).startswith("serve"):
+        base_rps = best_rps(base)
+        floor = (1.0 - args.tolerance) * base_rps
+        ok = rps >= floor
+        print(f"baseline best {base_rps:.1f} rps  current "
+              f"{rps:.1f} rps  {'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(f"best sweep {rps:.1f} rps regressed "
+                            f"below {floor:.1f} rps "
+                            f"({args.tolerance * 100:.0f}% under "
+                            f"baseline {base_rps:.1f})")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nserve results clean")
+    return 0
 
 
 def main() -> int:
@@ -35,6 +119,12 @@ def main() -> int:
     ap.add_argument("--superblock-min-ratio", type=float, default=None,
                     help="fail unless current dispatch.single_stream "
                          "superblock/uop cycles_per_sec >= this ratio")
+    ap.add_argument("--min-rps", type=float, default=None,
+                    help="serve files: fail unless the best sweep "
+                         "sustained at least this many req/s")
+    ap.add_argument("--min-migrations", type=int, default=None,
+                    help="serve files: fail unless at least this many "
+                         "migrations succeeded digest-clean")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -42,9 +132,11 @@ def main() -> int:
     with open(args.current) as f:
         cur = json.load(f)
 
+    if str(cur.get("schema", "")).startswith("serve"):
+        return check_serve(base, cur, args)
+
     # Only compare schemas this script understands; a result file from
-    # a newer tool (or a different bench, e.g. BENCH_serve.json) is
-    # skipped rather than misread.
+    # a newer tool is skipped rather than misread.
     known = (1, 2, 3)
     for name, data in (("baseline", base), ("current", cur)):
         schema = data.get("schema")

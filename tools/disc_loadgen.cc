@@ -3,36 +3,50 @@
  * disc-loadgen: open-loop load generator and correctness checker for
  * disc-serve.
  *
- * Opens N sessions (each a distinct infinite-loop workload), then
- * sweeps a list of arrival rates: at each rate it submits Run
+ * Opens N sessions (each a distinct infinite-loop workload) over any
+ * number of client connections — all multiplexed onto one epoll
+ * EventLoop, so thousands of concurrent connections cost one thread —
+ * then sweeps a list of arrival rates: at each rate it submits Run
  * requests on a fixed schedule — open-loop, so a slow server builds
  * queues instead of slowing the generator — and records per-request
  * latency from the *scheduled* arrival time (no coordinated
- * omission). Each sweep reports completed throughput and
- * p50/p95/p99 latency; `--out` writes the sweep table as
- * BENCH_serve.json (schema "serve-1").
+ * omission). A sampler polls the server's per-shard queue depths
+ * through the sweep. Each sweep reports completed throughput,
+ * p50/p95/p99 latency and the per-shard queue-depth high-water marks;
+ * `--out` writes the sweep table as BENCH_serve.json (schema
+ * "serve-2").
+ *
+ * With `--migrations R` the generator then drives R cross-shard
+ * migrations (Query the digest, Migrate to a server-picked shard,
+ * compare the returned pre-move digest) — every hop must be
+ * digest-identical.
  *
  * Correctness: after the sweeps every session is queried for its run
  * digest; with `--check` the same workload is re-run in-process for
  * the served cycle count and the digests must match bit-for-bit —
- * the serving path adds batching, eviction and restore, but never a
- * different result. `--resume` skips session creation so a restarted
- * server's resumed sessions can be driven and checked the same way.
+ * the serving path adds batching, eviction, migration and restore,
+ * but never a different result. `--resume` skips session creation so
+ * a restarted server's resumed sessions can be driven and checked the
+ * same way.
  *
  * Usage:
  *   disc-loadgen --port P [options]
  *     --sessions N       concurrent sessions (default 8)
  *     --tenants N        tenant count; session i belongs to tenant
  *                        i % N (must match the server; default 4)
- *     --conns N          client connections (default 2)
+ *     --conns N          client connections (default 16)
  *     --requests N       requests per sweep (default 2000)
  *     --rates A,B,...    arrival rates in req/s (default 200,400,800)
  *     --cycles N         cycle budget per Run request (default 200)
  *     --deadline-ms N    per-request deadline (0 = never shed)
+ *     --migrations R     cross-shard migration rounds (default 0)
  *     --out FILE         write BENCH_serve.json-style results
  *     --check            verify digests against in-process runs
  *     --fail-on-shed     exit 1 if any request was refused or shed
  *     --resume           sessions already exist (restarted server)
+ *     --tolerate-disconnect  a server that vanishes mid-run (e.g.
+ *                        SIGTERM drills) ends the run cleanly with
+ *                        exit 0 instead of failing
  *     --shutdown         send a Shutdown request when done
  *     --dump-workload K  print session K's assembly and exit
  *
@@ -46,6 +60,7 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,6 +68,7 @@
 #include <mutex>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
@@ -61,6 +77,7 @@
 
 #include "common/logging.hh"
 #include "isa/assembler.hh"
+#include "serve/event_loop.hh"
 #include "serve/proto.hh"
 #include "sim/digest.hh"
 #include "sim/machine.hh"
@@ -99,45 +116,68 @@ sessionName(unsigned index)
 }
 
 /**
- * One pipelined connection: a writer mutex plus a reader thread that
- * routes responses to per-sequence completion handlers.
+ * One pipelined connection on the shared client EventLoop: replies
+ * are routed to per-sequence completion handlers on the loop thread.
+ * When the connection dies, every pending (and future) handler fires
+ * with a synthesized "connection closed" ErrorResp, so no waiter can
+ * hang on a vanished server.
  */
 class Client
 {
   public:
     using Handler = std::function<void(const Response &)>;
 
-    void
+    explicit Client(EventLoop &loop)
+        : loop_(&loop)
+    {}
+
+    bool
     connect(std::uint16_t port)
     {
-        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd_ < 0)
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
             fatal("socket: %s", std::strerror(errno));
         int one = 1;
-        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
         addr.sin_port = htons(port);
-        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) < 0)
-            fatal("connect 127.0.0.1:%u: %s", port,
-                  std::strerror(errno));
-        reader_ = std::thread([this] { readerLoop(); });
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            warn("connect 127.0.0.1:%u: %s", port,
+                 std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        ec_ = loop_->addConnection(
+            fd,
+            [this](const std::shared_ptr<EventConn> &,
+                   std::vector<std::uint8_t> &payload) {
+                onFrame(payload);
+            },
+            [this](const std::shared_ptr<EventConn> &) { onClosed(); });
+        return true;
     }
 
-    /** Send a request; @p on_reply runs on the reader thread. */
+    /** Send a request; @p on_reply runs on the loop thread (or
+     *  inline, synthesized, when the connection is already dead). */
     void
     send(const Request &req, Handler on_reply)
     {
         {
             std::lock_guard<std::mutex> g(hmu_);
-            if (dead_)
-                fatal("connection is down");
-            handlers_.emplace(req.seq, std::move(on_reply));
+            if (!dead_) {
+                handlers_.emplace(req.seq, std::move(on_reply));
+                ec_->sendFrame(encodeRequest(req));
+                return;
+            }
         }
-        std::lock_guard<std::mutex> g(wmu_);
-        writeFrame(fd_, encodeRequest(req));
+        Response resp;
+        resp.type = MsgType::ErrorResp;
+        resp.seq = req.seq;
+        resp.error = "connection closed";
+        on_reply(resp);
     }
 
     /** Send and block for the reply. */
@@ -159,47 +199,42 @@ class Client
         return out;
     }
 
-    void
-    close()
+    bool
+    dead() const
     {
-        if (fd_ >= 0)
-            ::shutdown(fd_, SHUT_RDWR);
-        if (reader_.joinable())
-            reader_.join();
-        if (fd_ >= 0) {
-            ::close(fd_);
-            fd_ = -1;
-        }
+        std::lock_guard<std::mutex> g(hmu_);
+        return dead_;
     }
-
-    ~Client() { close(); }
 
   private:
     void
-    readerLoop()
+    onFrame(std::vector<std::uint8_t> &payload)
     {
-        std::vector<std::uint8_t> payload;
+        Response resp;
         try {
-            while (readFrame(fd_, payload)) {
-                Response resp = decodeResponse(payload);
-                Handler h;
-                {
-                    std::lock_guard<std::mutex> g(hmu_);
-                    auto it = handlers_.find(resp.seq);
-                    if (it == handlers_.end()) {
-                        warn("reply for unknown seq %llu",
-                             static_cast<unsigned long long>(resp.seq));
-                        continue;
-                    }
-                    h = std::move(it->second);
-                    handlers_.erase(it);
-                }
-                h(resp);
-            }
+            resp = decodeResponse(payload);
         } catch (const FatalError &e) {
-            warn("connection lost: %s", e.what());
+            warn("bad response frame: %s", e.what());
+            return;
         }
-        // Fail anything still pending so no waiter hangs forever.
+        Handler h;
+        {
+            std::lock_guard<std::mutex> g(hmu_);
+            auto it = handlers_.find(resp.seq);
+            if (it == handlers_.end()) {
+                warn("reply for unknown seq %llu",
+                     static_cast<unsigned long long>(resp.seq));
+                return;
+            }
+            h = std::move(it->second);
+            handlers_.erase(it);
+        }
+        h(resp);
+    }
+
+    void
+    onClosed()
+    {
         std::unordered_map<std::uint64_t, Handler> orphans;
         {
             std::lock_guard<std::mutex> g(hmu_);
@@ -215,11 +250,10 @@ class Client
         }
     }
 
-    int fd_ = -1;
-    std::mutex wmu_;
-    std::thread reader_;
+    EventLoop *loop_;
+    std::shared_ptr<EventConn> ec_;
 
-    std::mutex hmu_;
+    mutable std::mutex hmu_;
     bool dead_ = false;
     std::unordered_map<std::uint64_t, Handler> handlers_;
 };
@@ -237,6 +271,16 @@ struct SweepResult
     double wallSec = 0;
     double throughput = 0;
     std::uint64_t p50 = 0, p95 = 0, p99 = 0, maxUs = 0;
+    std::vector<std::uint64_t> shardQueueMax; ///< per-shard high water
+};
+
+/** Migration-drill tally. */
+struct MigrationStats
+{
+    std::uint64_t attempted = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;     ///< refused (busy) — not a bug
+    std::uint64_t mismatches = 0; ///< digest changed across the hop
 };
 
 std::uint64_t
@@ -272,8 +316,9 @@ parseRates(const char *v)
 void
 writeJson(const std::string &path,
           const std::vector<SweepResult> &sweeps, unsigned sessions,
-          unsigned tenants, unsigned conns, unsigned cycles,
-          std::uint64_t requests, const char *digest_check,
+          unsigned tenants, unsigned conns, unsigned workers,
+          unsigned cycles, std::uint64_t requests,
+          const char *digest_check, const MigrationStats &mig,
           const std::vector<std::pair<std::string, std::uint64_t>>
               &server_counters)
 {
@@ -281,14 +326,22 @@ writeJson(const std::string &path,
     if (!out)
         fatal("cannot write '%s'", path.c_str());
     out << "{\n"
-        << "  \"schema\": \"serve-1\",\n"
+        << "  \"schema\": \"serve-2\",\n"
         << strprintf("  \"sessions\": %u,\n", sessions)
         << strprintf("  \"tenants\": %u,\n", tenants)
         << strprintf("  \"conns\": %u,\n", conns)
+        << strprintf("  \"workers\": %u,\n", workers)
         << strprintf("  \"cycles_per_request\": %u,\n", cycles)
         << strprintf("  \"requests_per_sweep\": %llu,\n",
                      static_cast<unsigned long long>(requests))
         << strprintf("  \"digest_check\": \"%s\",\n", digest_check)
+        << strprintf(
+               "  \"migrations\": {\"attempted\": %llu, \"ok\": %llu, "
+               "\"failed\": %llu, \"digest_mismatches\": %llu},\n",
+               static_cast<unsigned long long>(mig.attempted),
+               static_cast<unsigned long long>(mig.ok),
+               static_cast<unsigned long long>(mig.failed),
+               static_cast<unsigned long long>(mig.mismatches))
         << "  \"sweeps\": [\n";
     for (std::size_t i = 0; i < sweeps.size(); ++i) {
         const SweepResult &s = sweeps[i];
@@ -299,7 +352,7 @@ writeJson(const std::string &path,
             "\"errors\": %llu, \"wall_sec\": %.3f, "
             "\"throughput_rps\": %.1f, \"latency_us\": "
             "{\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, "
-            "\"max\": %llu}}%s\n",
+            "\"max\": %llu}, \"shard_queue_max\": [",
             s.rate, static_cast<unsigned long long>(s.sent),
             static_cast<unsigned long long>(s.completed),
             static_cast<unsigned long long>(s.busyQueueFull),
@@ -309,8 +362,13 @@ writeJson(const std::string &path,
             s.throughput, static_cast<unsigned long long>(s.p50),
             static_cast<unsigned long long>(s.p95),
             static_cast<unsigned long long>(s.p99),
-            static_cast<unsigned long long>(s.maxUs),
-            i + 1 < sweeps.size() ? "," : "");
+            static_cast<unsigned long long>(s.maxUs));
+        for (std::size_t k = 0; k < s.shardQueueMax.size(); ++k)
+            out << strprintf("%s%llu", k ? ", " : "",
+                             static_cast<unsigned long long>(
+                                 s.shardQueueMax[k]));
+        out << strprintf("]}%s\n",
+                         i + 1 < sweeps.size() ? "," : "");
     }
     out << "  ],\n"
         << "  \"server\": {";
@@ -329,13 +387,13 @@ main(int argc, char **argv)
 {
     try {
         std::uint16_t port = 0;
-        unsigned sessions = 8, tenants = 4, conns = 2;
-        unsigned cycles = 200, deadline_ms = 0;
+        unsigned sessions = 8, tenants = 4, conns = 16;
+        unsigned cycles = 200, deadline_ms = 0, migrations = 0;
         std::uint64_t requests = 2000;
         std::vector<unsigned> rates = {200, 400, 800};
         const char *out_path = nullptr;
         bool check = false, fail_on_shed = false, resume = false;
-        bool want_shutdown = false;
+        bool want_shutdown = false, tolerate_disconnect = false;
 
         for (int i = 1; i < argc; ++i) {
             const char *a = argv[i];
@@ -366,6 +424,9 @@ main(int argc, char **argv)
             } else if (!std::strcmp(a, "--deadline-ms")) {
                 deadline_ms = static_cast<unsigned>(
                     std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--migrations")) {
+                migrations = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
             } else if (!std::strcmp(a, "--out")) {
                 out_path = value();
             } else if (!std::strcmp(a, "--check")) {
@@ -374,6 +435,8 @@ main(int argc, char **argv)
                 fail_on_shed = true;
             } else if (!std::strcmp(a, "--resume")) {
                 resume = true;
+            } else if (!std::strcmp(a, "--tolerate-disconnect")) {
+                tolerate_disconnect = true;
             } else if (!std::strcmp(a, "--shutdown")) {
                 want_shutdown = true;
             } else if (!std::strcmp(a, "--dump-workload")) {
@@ -391,15 +454,44 @@ main(int argc, char **argv)
         if (sessions == 0 || tenants == 0 || conns == 0)
             fatal("--sessions/--tenants/--conns must be >= 1");
 
+        // Thousands of connections need thousands of fds.
+        rlimit rl{};
+        if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 &&
+            rl.rlim_cur < rl.rlim_max) {
+            rl.rlim_cur = rl.rlim_max;
+            ::setrlimit(RLIMIT_NOFILE, &rl);
+        }
+        std::signal(SIGPIPE, SIG_IGN);
+
+        EventLoop loop;
+        loop.start("client");
+
         std::vector<std::unique_ptr<Client>> clients;
         for (unsigned c = 0; c < conns; ++c) {
-            clients.push_back(std::make_unique<Client>());
-            clients.back()->connect(port);
+            clients.push_back(std::make_unique<Client>(loop));
+            if (!clients.back()->connect(port))
+                fatal("cannot connect client %u of %u", c + 1, conns);
         }
+        Client stats_client(loop); // sampler's own connection
+        if (!stats_client.connect(port))
+            fatal("cannot connect the stats client");
+        inform("connected %u client connection(s)", conns);
         auto clientFor = [&](unsigned session) -> Client & {
             return *clients[session % conns];
         };
         std::atomic<std::uint64_t> seq{1};
+
+        auto serverLost = [&]() -> bool {
+            return stats_client.dead() || clients[0]->dead();
+        };
+        auto bailIfTolerated = [&](const char *phase) -> bool {
+            if (tolerate_disconnect && serverLost()) {
+                inform("server went away during %s (tolerated)",
+                       phase);
+                return true;
+            }
+            return false;
+        };
 
         // --- open (or re-find) the sessions ---------------------------
         for (unsigned s = 0; s < sessions; ++s) {
@@ -431,6 +523,35 @@ main(int argc, char **argv)
             std::vector<std::uint64_t> lat_us;
             std::condition_variable scv;
             std::uint64_t outstanding = 0;
+
+            // Queue-depth sampler: poll Stats on a dedicated
+            // connection and keep the per-shard high-water marks.
+            std::atomic<bool> sampling{true};
+            std::vector<std::uint64_t> shard_max;
+            std::thread sampler([&] {
+                while (sampling.load()) {
+                    Request r;
+                    r.type = MsgType::StatsReq;
+                    r.seq = seq.fetch_add(1);
+                    Response st = stats_client.transact(r);
+                    if (st.type != MsgType::StatsResp)
+                        return; // server gone; sweep will notice
+                    for (const auto &[name, v] : st.counters) {
+                        unsigned shard = 0;
+                        if (std::sscanf(name.c_str(), "shard%u_queued",
+                                        &shard) == 1 &&
+                            name == strprintf("shard%u_queued",
+                                              shard)) {
+                            if (shard_max.size() <= shard)
+                                shard_max.resize(shard + 1, 0);
+                            shard_max[shard] =
+                                std::max(shard_max[shard], v);
+                        }
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                }
+            });
 
             auto interval = std::chrono::nanoseconds(
                 1000000000ull / rate);
@@ -465,7 +586,11 @@ main(int argc, char **argv)
                     ++outstanding;
                 }
                 ++sw.sent;
-                clientFor(s).send(req, [&, due](const Response &resp) {
+                // Spread the *request stream* over every connection
+                // (sessions and connections vary independently, so a
+                // thousand connections all carry traffic).
+                Client &cl = *clients[i % conns];
+                cl.send(req, [&, due](const Response &resp) {
                     std::uint64_t us = static_cast<std::uint64_t>(
                         std::chrono::duration_cast<
                             std::chrono::microseconds>(Clock::now() -
@@ -493,6 +618,9 @@ main(int argc, char **argv)
                 std::unique_lock<std::mutex> lk(smu);
                 scv.wait(lk, [&] { return outstanding == 0; });
             }
+            sampling.store(false);
+            sampler.join();
+            sw.shardQueueMax = std::move(shard_max);
             sw.wallSec = std::chrono::duration<double>(Clock::now() -
                                                        start)
                              .count();
@@ -521,11 +649,65 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(sw.p95),
                         static_cast<unsigned long long>(sw.p99));
             sweeps.push_back(std::move(sw));
+            if (bailIfTolerated("a rate sweep"))
+                return 0;
         }
+
+        // --- migration drills -----------------------------------------
+        MigrationStats mig;
+        for (unsigned r = 0; r < migrations; ++r) {
+            unsigned s = r % sessions;
+            Client &cl = *clients[r % conns];
+            Request q;
+            q.type = MsgType::QueryReq;
+            q.seq = seq.fetch_add(1);
+            q.tenant = static_cast<TenantId>(s % tenants);
+            q.session = sessionName(s);
+            Response before = cl.transact(q);
+            if (before.type != MsgType::QueryResp) {
+                if (bailIfTolerated("the migration drill"))
+                    return 0;
+                fatal("pre-migration query %s failed: %s",
+                      q.session.c_str(), before.error.c_str());
+            }
+            Request m;
+            m.type = MsgType::MigrateReq;
+            m.seq = seq.fetch_add(1);
+            m.tenant = static_cast<TenantId>(s % tenants);
+            m.session = sessionName(s);
+            m.targetShard = kAnyShard;
+            Response moved = cl.transact(m);
+            ++mig.attempted;
+            if (moved.type != MsgType::MigrateResp) {
+                if (bailIfTolerated("the migration drill"))
+                    return 0;
+                ++mig.failed;
+                continue;
+            }
+            if (moved.digest != before.digest) {
+                warn("session %s: digest %016llx before migration, "
+                     "%016llx after (shard %u)",
+                     m.session.c_str(),
+                     static_cast<unsigned long long>(before.digest),
+                     static_cast<unsigned long long>(moved.digest),
+                     moved.shard);
+                ++mig.mismatches;
+            } else {
+                ++mig.ok;
+            }
+        }
+        if (migrations > 0)
+            std::printf("migrations: attempted=%llu ok=%llu "
+                        "failed=%llu digest_mismatches=%llu\n",
+                        static_cast<unsigned long long>(mig.attempted),
+                        static_cast<unsigned long long>(mig.ok),
+                        static_cast<unsigned long long>(mig.failed),
+                        static_cast<unsigned long long>(
+                            mig.mismatches));
 
         // --- digest verification --------------------------------------
         const char *digest_check = "skipped";
-        bool mismatch = false;
+        bool mismatch = mig.mismatches > 0;
         for (unsigned s = 0; s < sessions; ++s) {
             Request req;
             req.type = MsgType::QueryReq;
@@ -533,9 +715,12 @@ main(int argc, char **argv)
             req.tenant = static_cast<TenantId>(s % tenants);
             req.session = sessionName(s);
             Response resp = clientFor(s).transact(req);
-            if (resp.type != MsgType::QueryResp)
+            if (resp.type != MsgType::QueryResp) {
+                if (bailIfTolerated("digest verification"))
+                    return 0;
                 fatal("query %s failed: %s", req.session.c_str(),
                       resp.error.c_str());
+            }
             // Printed digests are comparable with
             // `disc-run --digest --free-run --cycles <cycles>` on the
             // same workload (--dump-workload prints it).
@@ -578,14 +763,19 @@ main(int argc, char **argv)
         Request stats_req;
         stats_req.type = MsgType::StatsReq;
         stats_req.seq = seq.fetch_add(1);
-        Response stats = clients[0]->transact(stats_req);
-        for (const auto &[name, valuev] : stats.counters)
+        Response stats = stats_client.transact(stats_req);
+        unsigned workers = 1;
+        for (const auto &[name, valuev] : stats.counters) {
             std::printf("server: %s=%llu\n", name.c_str(),
                         static_cast<unsigned long long>(valuev));
+            if (name == "workers")
+                workers = static_cast<unsigned>(valuev);
+        }
 
         if (out_path)
             writeJson(out_path, sweeps, sessions, tenants, conns,
-                      cycles, requests, digest_check, stats.counters);
+                      workers, cycles, requests, digest_check, mig,
+                      stats.counters);
 
         if (want_shutdown) {
             Request req;
@@ -593,8 +783,7 @@ main(int argc, char **argv)
             req.seq = seq.fetch_add(1);
             clients[0]->transact(req);
         }
-        for (auto &c : clients)
-            c->close();
+        loop.stop();
 
         if (mismatch)
             return 1;

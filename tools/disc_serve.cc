@@ -17,6 +17,10 @@
  *     --shares A,B,...   explicit per-tenant shares in sixteenths
  *                        (sum <= 16; overrides --tenants)
  *     --batch N          batch size cap (default: worker pool size)
+ *     --workers N        worker shards: event loops + registries +
+ *                        schedulers (default 1)
+ *     --rebalance-ms N   rebalancer period moving cold sessions off
+ *                        the hottest shard (default 0 = off)
  *
  * The server runs until SIGTERM/SIGINT or a Shutdown request, then
  * drains accepted requests, parks every live session and prints the
@@ -97,6 +101,12 @@ main(int argc, char **argv)
                 cfg.shares = parseShares(value());
             } else if (!std::strcmp(a, "--batch")) {
                 cfg.batchMax = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--workers")) {
+                cfg.workers = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 0));
+            } else if (!std::strcmp(a, "--rebalance-ms")) {
+                cfg.rebalanceMs = static_cast<unsigned>(
                     std::strtoul(value(), nullptr, 0));
             } else {
                 fatal("unknown option '%s'", a);
