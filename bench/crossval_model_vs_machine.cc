@@ -16,19 +16,46 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "arch/devices.hh"
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
+#include "stochastic/experiment.hh"
 
 using namespace disc;
 
 namespace
 {
 
-double
-machineJumpOnly(unsigned streams)
+/**
+ * The four machine cells (1..4 streams) of one workload, advanced as
+ * lanes of a single lockstep batch via runMachineReplicas: replica k
+ * is the (k+1)-stream machine. Bit-identical to four scalar runs.
+ */
+std::vector<double>
+machineUtilizations(const Program &p,
+                    std::vector<ExternalMemoryDevice> *devs)
+{
+    MachineFactory make = [&](unsigned rep, std::uint64_t) {
+        auto m = std::make_unique<Machine>();
+        if (devs)
+            m->attachDevice(0x1000, 64, &(*devs)[rep]);
+        m->load(p);
+        for (StreamId s = 0; s <= rep; ++s)
+            m->startStream(s, p.symbol("entry"));
+        return m;
+    };
+    auto machines = runMachineReplicas(make, kNumStreams, 100000);
+    std::vector<double> util;
+    for (const auto &m : machines)
+        util.push_back(m->stats().utilization());
+    return util;
+}
+
+std::vector<double>
+machineJumpOnly()
 {
     Program p = assemble(R"(
         .org 0x20
@@ -39,16 +66,11 @@ machineJumpOnly(unsigned streams)
             ldi r4, 4
             jmp entry
     )");
-    Machine m;
-    m.load(p);
-    for (StreamId s = 0; s < streams; ++s)
-        m.startStream(s, p.symbol("entry"));
-    m.run(100000, false);
-    return m.stats().utilization();
+    return machineUtilizations(p, nullptr);
 }
 
-double
-machineIoOnly(unsigned streams)
+std::vector<double>
+machineIoOnly()
 {
     Program p = assemble(R"(
         .org 0x20
@@ -66,14 +88,10 @@ machineIoOnly(unsigned streams)
             ld  r1, [g0]
             jmp loop
     )");
-    Machine m;
-    ExternalMemoryDevice dev(64, 6);
-    m.attachDevice(0x1000, 64, &dev);
-    m.load(p);
-    for (StreamId s = 0; s < streams; ++s)
-        m.startStream(s, p.symbol("entry"));
-    m.run(100000, false);
-    return m.stats().utilization();
+    // One private fixed-latency device per replica lane.
+    std::vector<ExternalMemoryDevice> devs(kNumStreams,
+                                           ExternalMemoryDevice(64, 6));
+    return machineUtilizations(p, &devs);
 }
 
 } // namespace
@@ -90,11 +108,12 @@ main()
         Table t("(a) jump-only workload, aljmp = 0.2");
         t.setHeader({"streams", "model PD", "machine PD"});
         LoadSpec spec{"jump", 0, 0, 0, 0, 0, 0, 0.2};
+        std::vector<double> util = machineJumpOnly();
         for (unsigned k = 1; k <= 4; ++k) {
             auto r = runPartitioned(cfg, spec, k, 3);
             t.addRow({Table::cell((long long)k),
                       bench::meanErr(r.pd),
-                      Table::cell(machineJumpOnly(k), 3)});
+                      Table::cell(util[k - 1], 3)});
         }
         t.print();
         std::printf("\n");
@@ -106,11 +125,12 @@ main()
         t.setHeader({"streams", "model PD", "machine PD"});
         LoadSpec spec{"io", 0, 0, /*meanReq=*/8, /*alpha=*/1.0,
                       /*tmem=*/6, /*meanIo=*/0, /*alJmp=*/0.0};
+        std::vector<double> util = machineIoOnly();
         for (unsigned k = 1; k <= 4; ++k) {
             auto r = runPartitioned(cfg, spec, k, 3);
             t.addRow({Table::cell((long long)k),
                       bench::meanErr(r.pd),
-                      Table::cell(machineIoOnly(k), 3)});
+                      Table::cell(util[k - 1], 3)});
         }
         t.print();
     }

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * BatchArena: structure-of-arrays storage for a batch of lockstep
+ * lanes.
+ *
+ * A batch steps N independent state machines (simulator Machines,
+ * stochastic replicas) through the same control loop. The loop's
+ * per-lane bookkeeping — budgets, horizons, candidate masks, peel
+ * state — is what the scheduler touches every round for every lane,
+ * so it lives here in contiguous per-field arrays rather than
+ * scattered across N heap objects: one field of all lanes occupies
+ * consecutive cache lines, and a sweep over the batch walks each
+ * array linearly.
+ *
+ * The arena owns only the hot scalar fields. The lanes' heavyweight
+ * state (memories, pipes, registers) stays inside the objects the
+ * lanes point at — it must, since checkpointing and serving hand
+ * those objects around whole.
+ */
+
+#ifndef DISC_COMMON_BATCH_ARENA_HH
+#define DISC_COMMON_BATCH_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace disc
+{
+
+/** Lifecycle of one lane inside a batch dispatch. */
+enum class LaneState : std::uint8_t
+{
+    Hot,    ///< eligible for the batched hot lane this round
+    Scalar, ///< peeled: advancing on the scalar reference path
+    Done,   ///< budget exhausted or idle; skipped by further rounds
+};
+
+/**
+ * Per-lane hot fields of one batch, one parallel array per field.
+ * Fixed capacity set at construction; lanes join with push() and the
+ * arrays never reallocate during a dispatch.
+ */
+template <typename LanePtr>
+class BatchArena
+{
+  public:
+    explicit BatchArena(std::size_t capacity)
+    {
+        lanes_.reserve(capacity);
+        remaining_.reserve(capacity);
+        advanced_.reserve(capacity);
+        state_.reserve(capacity);
+        candMask_.reserve(capacity);
+    }
+
+    /** Add a lane with @p budget cycles of work. */
+    void push(LanePtr lane, Cycle budget)
+    {
+        lanes_.push_back(lane);
+        remaining_.push_back(budget);
+        advanced_.push_back(0);
+        state_.push_back(LaneState::Hot);
+        candMask_.push_back(0);
+    }
+
+    /** Forget every lane (capacity is retained). */
+    void clear()
+    {
+        lanes_.clear();
+        remaining_.clear();
+        advanced_.clear();
+        state_.clear();
+        candMask_.clear();
+    }
+
+    std::size_t size() const { return lanes_.size(); }
+    bool empty() const { return lanes_.empty(); }
+
+    LanePtr lane(std::size_t i) const { return lanes_[i]; }
+
+    /** Cycles of budget this lane still owes. */
+    Cycle &remaining(std::size_t i) { return remaining_[i]; }
+
+    /** Cycles this lane has advanced inside the dispatch. */
+    Cycle &advanced(std::size_t i) { return advanced_[i]; }
+
+    LaneState &state(std::size_t i) { return state_[i]; }
+
+    /** Scratch per-lane mask (hot-lane candidate streams). */
+    std::uint8_t &candMask(std::size_t i) { return candMask_[i]; }
+
+    /** True while any lane still owes budget. */
+    bool anyLive() const
+    {
+        for (LaneState s : state_) {
+            if (s != LaneState::Done)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<LanePtr> lanes_;
+    std::vector<Cycle> remaining_;
+    std::vector<Cycle> advanced_;
+    std::vector<LaneState> state_;
+    std::vector<std::uint8_t> candMask_;
+};
+
+} // namespace disc
+
+#endif // DISC_COMMON_BATCH_ARENA_HH

@@ -60,6 +60,21 @@ ThreadPool::insideWorker()
 }
 
 void
+ThreadPool::parallelForGroups(
+    std::size_t n, std::size_t group,
+    const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (group == 0)
+        group = 1;
+    std::size_t groups = (n + group - 1) / group;
+    parallelFor(groups, [&](std::size_t g) {
+        std::size_t begin = g * group;
+        std::size_t end = begin + group < n ? begin + group : n;
+        body(begin, end);
+    });
+}
+
+void
 ThreadPool::runIndices(Job &job)
 {
     // Lock-free claim loop: fetch_add hands out each index exactly

@@ -69,6 +69,18 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
+    /**
+     * Run body(begin, end) for contiguous index groups of (up to)
+     * @p group indices covering [0, n). One group is one pool task,
+     * so a worker thread processes its whole group back-to-back —
+     * the batched-replica shape — instead of claiming indices one at
+     * a time. Grouping never affects results under the parallelFor
+     * contract (independent per-index slots, sequential reduce).
+     */
+    void parallelForGroups(std::size_t n, std::size_t group,
+                           const std::function<void(std::size_t,
+                                                    std::size_t)> &body);
+
     /** The process-wide shared pool (sized per DISC_THREADS). */
     static ThreadPool &global();
 

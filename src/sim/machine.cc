@@ -86,6 +86,10 @@ Machine::Machine(MachineConfig cfg)
     if (const char *env = std::getenv("DISC_NO_SUPERBLOCK");
         env && *env && std::strcmp(env, "0") != 0)
         sbEnabled_ = false;
+    batchEnabled_ = cfg_.batchExec;
+    if (const char *env = std::getenv("DISC_NO_BATCH");
+        env && *env && std::strcmp(env, "0") != 0)
+        batchEnabled_ = false;
 }
 
 void
@@ -111,6 +115,7 @@ Machine::reset()
         c = StreamCtx{};
     globals_.fill(0);
     std::fill(pipe_.begin(), pipe_.end(), PipeSlot{});
+    pipeHead_ = 0;
     stats_ = MachineStats{};
     latency_ = Histogram(128);
     nextTag_ = 'a';
@@ -280,7 +285,7 @@ Machine::squashYounger(StreamId s, unsigned ex_stage,
                        std::uint64_t *counter, PipeEvent ev)
 {
     for (unsigned i = 0; i < ex_stage; ++i) {
-        PipeSlot &slot = pipe_[i];
+        PipeSlot &slot = pipeAt(i);
         if (slot.valid && !slot.squashed && slot.stream == s) {
             slot.squashed = true;
             if (counter)
@@ -314,7 +319,7 @@ Machine::recordTrace()
         return;
     traceScratch_.resize(cfg_.pipeDepth);
     for (unsigned i = 0; i < cfg_.pipeDepth; ++i) {
-        const PipeSlot &slot = pipe_[i];
+        const PipeSlot &slot = pipeAt(i);
         traceScratch_[i] = {slot.valid, slot.squashed, slot.stream,
                             slot.tag};
     }
@@ -324,10 +329,11 @@ Machine::recordTrace()
 void
 Machine::advancePipe()
 {
-    // Retire WR implicitly, age everything one stage.
-    for (unsigned i = cfg_.pipeDepth - 1; i > 0; --i)
-        pipe_[i] = pipe_[i - 1];
-    pipe_[0] = PipeSlot{};
+    // Retire WR implicitly, age everything one stage: the ring head
+    // moves back one slot, and the slot it lands on — the old WR —
+    // is cleared to become the new IF.
+    pipeHead_ = pipeHead_ == 0 ? cfg_.pipeDepth - 1 : pipeHead_ - 1;
+    pipe_[pipeHead_] = PipeSlot{};
 }
 
 void

@@ -133,6 +133,15 @@ struct MachineConfig
 
     /** Maximum words per translated superblock (>= 1). */
     unsigned superblockMaxLen = 64;
+
+    /**
+     * Let a MachineBatch (sim/batch.hh) drive this machine through
+     * its batched hot lane when several machines run in lockstep.
+     * Bit-identical to scalar stepping; the DISC_NO_BATCH environment
+     * variable (set non-zero) overrides this to false, forcing every
+     * batch member onto the scalar path.
+     */
+    bool batchExec = true;
 };
 
 /** Counters exposed by the machine. */
@@ -252,6 +261,12 @@ class Machine
     /** Override the superblock setting (tests, tools). */
     void setSuperblockExec(bool on) { sbEnabled_ = on; }
 
+    /** True when a batch may use the hot lane (config + environment). */
+    bool batchExecEnabled() const { return batchEnabled_; }
+
+    /** Override the batched-execution setting (tests, tools). */
+    void setBatchExec(bool on) { batchEnabled_ = on; }
+
     /** Superblock engine (cache inspection in tests/diagnostics). */
     const SuperblockEngine &superblocks() const { return sblock_; }
 
@@ -339,6 +354,7 @@ class Machine
     friend class AbiStage;
     friend class TimingKernel;
     friend class SuperblockEngine;
+    friend class MachineBatch;
     friend struct ExecOps;
 
     MachineConfig cfg_;
@@ -354,7 +370,13 @@ class Machine
     std::vector<std::unique_ptr<StackWindow>> windows_;
     std::array<StreamCtx, kNumStreams> streams_;
     std::array<Word, kNumGlobalRegs> globals_{};
-    std::vector<PipeSlot> pipe_; ///< index 0 = IF .. depth-1 = WR
+    /// Pipeline slots as a ring: stage i lives at
+    /// pipe_[(pipeHead_ + i) % depth], stage 0 = IF .. depth-1 = WR.
+    /// advancePipe() rotates the head instead of copying slots; use
+    /// pipeAt() for stage-indexed access, plain iteration for
+    /// order-independent scans (interlocks, engaged()).
+    std::vector<PipeSlot> pipe_;
+    unsigned pipeHead_ = 0; ///< ring index of the IF stage
     MachineStats stats_;
     Histogram latency_;
     PipeTrace *trace_ = nullptr;
@@ -366,6 +388,7 @@ class Machine
     bool ffEnabled_ = true;
     bool uopsEnabled_ = true;
     bool sbEnabled_ = true;
+    bool batchEnabled_ = true;
 
     // Stage modules and the timing kernel (sim/stages.hh). Declared
     // last so they are constructed after the state they reference.
@@ -379,6 +402,24 @@ class Machine
     // -- shared helpers (machine.cc) --
     StreamCtx &ctx(StreamId s);
     const StreamCtx &ctx(StreamId s) const;
+
+    /** Slot at pipeline stage @p stage (0 = IF .. depth-1 = WR). */
+    PipeSlot &
+    pipeAt(unsigned stage)
+    {
+        unsigned i = pipeHead_ + stage;
+        if (i >= cfg_.pipeDepth)
+            i -= cfg_.pipeDepth;
+        return pipe_[i];
+    }
+    const PipeSlot &
+    pipeAt(unsigned stage) const
+    {
+        unsigned i = pipeHead_ + stage;
+        if (i >= cfg_.pipeDepth)
+            i -= cfg_.pipeDepth;
+        return pipe_[i];
+    }
     StackWindow &win(StreamId s);
     const StackWindow &win(StreamId s) const;
 

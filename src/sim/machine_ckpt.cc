@@ -61,7 +61,10 @@ Machine::saveState() const
     sched_.save(out);
     abi_.save(out);
 
-    for (const PipeSlot &slot : pipe_) {
+    // Stage order (IF..WR), not ring memory order, so the byte format
+    // is independent of where the head happens to sit.
+    for (unsigned i = 0; i < cfg_.pipeDepth; ++i) {
+        const PipeSlot &slot = pipeAt(i);
         out.putBool(slot.valid);
         out.putBool(slot.squashed);
         out.putBool(slot.executed);
@@ -137,6 +140,7 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes)
     sched_.restore(in);
     abi_.restore(in);
 
+    pipeHead_ = 0; // slots arrive in stage order; restore canonical
     for (PipeSlot &slot : pipe_) {
         slot.valid = in.getBool();
         slot.squashed = in.getBool();

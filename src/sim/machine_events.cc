@@ -221,7 +221,7 @@ Machine::skippableCycles(Cycle budget) const
 {
     if (!haltedUntilBusDone_) {
         // Cheap CPU-bound early-out: something issued last cycle.
-        const PipeSlot &s0 = pipe_[0];
+        const PipeSlot &s0 = pipeAt(0);
         if (s0.valid && !s0.squashed)
             return 0;
     }

@@ -50,7 +50,7 @@ ExecuteStage::redirect(StreamId s, PAddr target, unsigned ex_stage)
     // below EX), squash the rest.
     unsigned spared = 0;
     for (unsigned i = ex_stage; i-- > 0;) {
-        PipeSlot &slot = m_.pipe_[i];
+        PipeSlot &slot = m_.pipeAt(i);
         if (!slot.valid || slot.squashed || slot.stream != s)
             continue;
         if (spared < m_.cfg_.branchDelaySlots) {
@@ -886,10 +886,16 @@ execHandler(Uop u)
     return kExecTable[u];
 }
 
+const UopTable<ExecFn> &
+execTable()
+{
+    return kExecTable;
+}
+
 void
 ExecuteStage::tick()
 {
-    PipeSlot &slot = m_.pipe_[m_.cfg_.pipeDepth - 2];
+    PipeSlot &slot = m_.pipeAt(m_.cfg_.pipeDepth - 2);
     if (!slot.valid || slot.squashed || slot.executed)
         return;
     slot.executed = true;

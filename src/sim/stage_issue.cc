@@ -108,7 +108,7 @@ IssueStage::tick()
         return;
     }
 
-    PipeSlot &slot = m_.pipe_[0];
+    PipeSlot &slot = m_.pipeAt(0);
     slot.valid = true;
     slot.squashed = false;
     slot.executed = false;

@@ -554,6 +554,15 @@ SuperblockEngine::execute(Cycle budget)
             return 0;
     }
 
+    // blockLoop seeds its rings by raw index and rotates back to
+    // index 0 = IF on exit: realign the machine's pipe ring to that
+    // canonical order before engaging (one rotate per engagement).
+    if (m.pipeHead_ != 0) {
+        std::rotate(m.pipe_.begin(), m.pipe_.begin() + m.pipeHead_,
+                    m.pipe_.end());
+        m.pipeHead_ = 0;
+    }
+
     SbBail reason = SbBail::Budget;
     std::uint64_t issued = 0;
     bool trap_issued = false;

@@ -64,6 +64,13 @@ using ExecFn = void (*)(ExecuteStage &, PipeSlot &);
 /** Resolve a micro-op to its EX handler (sim/stage_execute.cc). */
 ExecFn execHandler(Uop u);
 
+/**
+ * The whole EX handler table, indexed by Uop. Hot loops fetch it once
+ * per span so the per-cycle dispatch is a single indexed indirect
+ * call.
+ */
+const UopTable<ExecFn> &execTable();
+
 /** Why a superblock run handed control back to the interpreter. */
 enum class SbBail : std::uint8_t
 {

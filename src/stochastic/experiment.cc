@@ -1,6 +1,10 @@
 #include "stochastic/experiment.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "sim/batch.hh"
+#include "sim/machine.hh"
 
 namespace disc
 {
@@ -69,23 +73,34 @@ runExperiment(const StochasticConfig &cfg,
     // in replication order so the aggregate does not depend on the
     // pool size.
     std::vector<ReplicaArena> reps(replications);
-    pool->parallelFor(replications, [&](std::size_t rep) {
-        std::vector<std::unique_ptr<WorkSource>> sources;
-        sources.reserve(streams.size());
-        for (std::size_t s = 0; s < streams.size(); ++s)
-            sources.push_back(
-                streams[s](mixSeed(base_seed + rep, s)));
-        StochasticModel model(cfg, std::move(sources));
-        RunTotals t = model.run();
-        ExperimentResult &r = reps[rep].result;
-        r.pd.add(t.pd());
-        r.ps.add(t.ps(cfg.pipeDepth));
-        r.delta.add(t.delta(cfg.pipeDepth));
-        r.busyFraction.add(
-            t.cycles ? static_cast<double>(t.busyCycles) /
-                           static_cast<double>(t.cycles)
-                     : 0.0);
-    });
+    // Replicas are handed out in contiguous groups — one pool task
+    // per group, two groups per thread for balance — so each worker
+    // runs its replicas back-to-back instead of claiming them one at
+    // a time. Seeds depend only on (base_seed, rep), so the grouping
+    // cannot change any result.
+    std::size_t group = replications / (2 * pool->size());
+    if (group == 0)
+        group = 1;
+    pool->parallelForGroups(
+        replications, group, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t rep = begin; rep < end; ++rep) {
+                std::vector<std::unique_ptr<WorkSource>> sources;
+                sources.reserve(streams.size());
+                for (std::size_t s = 0; s < streams.size(); ++s)
+                    sources.push_back(
+                        streams[s](mixSeed(base_seed + rep, s)));
+                StochasticModel model(cfg, std::move(sources));
+                RunTotals t = model.run();
+                ExperimentResult &r = reps[rep].result;
+                r.pd.add(t.pd());
+                r.ps.add(t.ps(cfg.pipeDepth));
+                r.delta.add(t.delta(cfg.pipeDepth));
+                r.busyFraction.add(
+                    t.cycles ? static_cast<double>(t.busyCycles) /
+                                   static_cast<double>(t.cycles)
+                             : 0.0);
+            }
+        });
 
     ExperimentResult result;
     for (const ReplicaArena &a : reps) {
@@ -106,6 +121,44 @@ runPartitioned(const StochasticConfig &cfg, const LoadSpec &spec,
         fatal("cannot partition into %u streams", k);
     std::vector<SourceFactory> streams(k, makeLoadFactory(spec));
     return runExperiment(cfg, streams, replications, base_seed, pool);
+}
+
+std::vector<std::unique_ptr<Machine>>
+runMachineReplicas(const MachineFactory &make, unsigned replications,
+                   Cycle horizon, std::uint64_t base_seed,
+                   ThreadPool *pool, std::size_t width)
+{
+    if (replications == 0)
+        fatal("experiment needs at least one replication");
+    if (width == 0)
+        width = 1;
+    if (!pool)
+        pool = &ThreadPool::global();
+
+    std::vector<std::unique_ptr<Machine>> machines(replications);
+    // Same grouping as runExperiment(); within a group the replicas
+    // advance as MachineBatch lanes of up to `width` in lockstep.
+    // batch.run(horizon, false) is bit-identical per machine to
+    // m.run(horizon, false), so neither grouping nor width is
+    // observable in the results.
+    std::size_t group = replications / (2 * pool->size());
+    if (group == 0)
+        group = 1;
+    pool->parallelForGroups(
+        replications, group, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t rep = begin; rep < end; ++rep)
+                machines[rep] = make(static_cast<unsigned>(rep),
+                                     mixSeed(base_seed, rep));
+            MachineBatch batch(width);
+            for (std::size_t at = begin; at < end; at += width) {
+                std::size_t hi = std::min(end, at + width);
+                batch.clear();
+                for (std::size_t rep = at; rep < hi; ++rep)
+                    batch.add(machines[rep].get());
+                batch.run(horizon, false);
+            }
+        });
+    return machines;
 }
 
 } // namespace disc

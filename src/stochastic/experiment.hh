@@ -1,8 +1,10 @@
 /**
  * @file
- * Replicated-run experiment driver for the stochastic model: builds
- * stream configurations (partitioned loads, combined loads, mixes),
- * runs several seeds and aggregates PD / Ps / delta.
+ * Replicated-run experiment driver: builds stream configurations
+ * (partitioned loads, combined loads, mixes) for the stochastic
+ * model, runs several seeds and aggregates PD / Ps / delta; plus the
+ * cycle-accurate counterpart, which advances replica Machines in
+ * lockstep batches (sim/batch.hh) per pool thread.
  */
 
 #ifndef DISC_STOCHASTIC_EXPERIMENT_HH
@@ -63,6 +65,35 @@ ExperimentResult runPartitioned(const StochasticConfig &cfg,
                                 unsigned replications,
                                 std::uint64_t base_seed = 1,
                                 ThreadPool *pool = nullptr);
+
+class Machine;
+
+/**
+ * Builds one replication's fully-prepared Machine: program loaded,
+ * streams started, devices attached (any device a replica needs must
+ * be owned by the factory's captures, indexed by @p rep so slots are
+ * never shared). Invoked concurrently; must be thread-safe.
+ */
+using MachineFactory =
+    std::function<std::unique_ptr<Machine>(unsigned rep,
+                                           std::uint64_t seed)>;
+
+/**
+ * Run @p replications cycle-accurate replicas for @p horizon cycles
+ * and return the Machines in replication order for inspection.
+ *
+ * Replicas are distributed over @p pool (the global pool when
+ * nullptr) in contiguous groups, and each group advances through a
+ * MachineBatch of up to @p width lanes in lockstep rather than one
+ * Machine per task. Per-machine state is bit-identical to scalar
+ * Machine::run(horizon, false) for every pool size and width (the
+ * MachineBatch contract), so grouping is purely a throughput choice.
+ * Seeds depend only on (base_seed, rep).
+ */
+std::vector<std::unique_ptr<Machine>>
+runMachineReplicas(const MachineFactory &make, unsigned replications,
+                   Cycle horizon, std::uint64_t base_seed = 1,
+                   ThreadPool *pool = nullptr, std::size_t width = 16);
 
 } // namespace disc
 

@@ -17,8 +17,9 @@ constexpr std::size_t kDenseSize =
     static_cast<std::size_t>(kNumOpcodes) * kNumPipeEvents *
     kActiveBuckets * kSkipBuckets * kUopBuckets;
 // Dense (op x event x active x skip x uop) block, then one slot per
-// superblock bail reason.
-constexpr std::size_t kMapSize = kDenseSize + kNumSbBails;
+// superblock bail reason, then one per batch peel reason.
+constexpr std::size_t kMapSize =
+    kDenseSize + kNumSbBails + kNumBatchPeels;
 } // namespace
 
 CoverageMap::CoverageMap() : hits_(kMapSize, 0) {}
@@ -57,6 +58,17 @@ CoverageMap::recordBail(SbBail b)
     if (i >= kNumSbBails)
         panic("bail reason %zu out of range", i);
     std::uint32_t &h = hits_[kDenseSize + i];
+    if (h != std::numeric_limits<std::uint32_t>::max())
+        ++h;
+}
+
+void
+CoverageMap::recordPeel(BatchPeel p)
+{
+    auto i = static_cast<std::size_t>(p);
+    if (i >= kNumBatchPeels)
+        panic("peel reason %zu out of range", i);
+    std::uint32_t &h = hits_[kDenseSize + kNumSbBails + i];
     if (h != std::numeric_limits<std::uint32_t>::max())
         ++h;
 }

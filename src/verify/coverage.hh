@@ -18,7 +18,11 @@
  * each SbBail value the run triggered at least once is its own
  * coverage point, so the corpus keeps inputs that drive the
  * translation tier out through exits (interrupt expiry, ABI waits,
- * budget edges) earlier inputs never took.
+ * budget edges) earlier inputs never took. Batch peel reasons are a
+ * third family of the same shape: each BatchPeel value a batched
+ * replay triggered keeps inputs that push lanes out of the lockstep
+ * hot lane through distinct exits (event horizon, excluded ops,
+ * stalls, opt-outs).
  */
 
 #ifndef DISC_VERIFY_COVERAGE_HH
@@ -29,6 +33,7 @@
 
 #include "common/types.hh"
 #include "isa/opcodes.hh"
+#include "sim/batch.hh"
 #include "sim/observer.hh"
 #include "sim/superblock.hh"
 
@@ -59,6 +64,9 @@ class CoverageMap
     /** Record that the superblock tier bailed for reason @p b. */
     void recordBail(SbBail b);
 
+    /** Record that a batched lane peeled to scalar for reason @p p. */
+    void recordPeel(BatchPeel p);
+
     /** Number of distinct points hit at least once. */
     std::size_t pointsHit() const;
 
@@ -77,7 +85,8 @@ class CoverageMap
   private:
     // Indexed [op][event][active][skip][uop]; one 32-bit saturating
     // counter each. The superblock bail-reason points live in a
-    // kNumSbBails-long tail after the dense block.
+    // kNumSbBails-long tail after the dense block, followed by a
+    // kNumBatchPeels-long tail for the batch peel reasons.
     std::vector<std::uint32_t> hits_;
 
     static std::size_t index(Opcode op, PipeEvent ev, unsigned active,

@@ -3,21 +3,25 @@
 
 Usage: check_perf.py BASELINE.json CURRENT.json [--tolerance 0.25]
 
-Reads two BENCH_throughput.json files (schema 3; schema 1/2
+Reads two BENCH_throughput.json files (schema 4; schema 1/2/3
 baselines still work for the sections they carry) and fails with exit
 status 1 if any machine scenario's cycles_per_sec dropped by more
 than the tolerance relative to the baseline. Schema-3 files also
 carry a "dispatch" section (per execution tier: interp/uop/
-superblock); those scenarios are compared the same way when both
-files have them. Improvements and absolute cross-host differences
-never fail the check; the point is to catch a change that makes the
-simulator dramatically slower, not to pin the host.
+superblock) and schema-4 files a "batch" section (lockstep
+MachineBatch vs scalar at several batch widths); those scenarios are
+compared the same way when both files have them. Improvements and
+absolute cross-host differences never fail the check; the point is
+to catch a change that makes the simulator dramatically slower, not
+to pin the host.
 
 --superblock-min-ratio R additionally asserts, on the CURRENT file
 alone, that the superblock tier is at least R times the uop tier on
-single_stream — the within-run ratio is host-speed-independent, so
-it is the one absolute performance promise CI can hold. Standard
-library only, so CI can run it anywhere.
+single_stream, and --batch-min-ratio R that batched execution at
+width 16 is at least R times the scalar path — both within-run
+ratios are host-speed-independent, so they are the absolute
+performance promises CI can hold. Standard library only, so CI can
+run it anywhere.
 
 BENCH_serve.json files (schema "serve-2", written by disc-loadgen)
 are recognised too: the current file's digest_check must be "ok",
@@ -119,6 +123,9 @@ def main() -> int:
     ap.add_argument("--superblock-min-ratio", type=float, default=None,
                     help="fail unless current dispatch.single_stream "
                          "superblock/uop cycles_per_sec >= this ratio")
+    ap.add_argument("--batch-min-ratio", type=float, default=None,
+                    help="fail unless the current batch sweep's "
+                         "width-16 batched/scalar ratio >= this ratio")
     ap.add_argument("--min-rps", type=float, default=None,
                     help="serve files: fail unless the best sweep "
                          "sustained at least this many req/s")
@@ -137,7 +144,7 @@ def main() -> int:
 
     # Only compare schemas this script understands; a result file from
     # a newer tool is skipped rather than misread.
-    known = (1, 2, 3)
+    known = (1, 2, 3, 4)
     for name, data in (("baseline", base), ("current", cur)):
         schema = data.get("schema")
         if schema not in known:
@@ -192,6 +199,49 @@ def main() -> int:
                     f"{(1 - ratio) * 100:.0f}% below baseline "
                     f"{bv / 1e6:.2f}M/s (tolerance "
                     f"{args.tolerance * 100:.0f}%)")
+
+    # Schema-4 batch section: regression rule on the batched rate per
+    # width when both files carry the sweep.
+    base_widths = {int(w.get("width", 0)): w
+                   for w in base.get("batch", {}).get("widths", [])}
+    cur_widths = {int(w.get("width", 0)): w
+                  for w in cur.get("batch", {}).get("widths", [])}
+    for width, b in sorted(base_widths.items()):
+        c = cur_widths.get(width)
+        name = f"batch.width{width}"
+        if c is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        bv = float(b["batched_cycles_per_sec"])
+        cv = float(c["batched_cycles_per_sec"])
+        ratio = cv / bv if bv > 0 else 0.0
+        ok = ratio >= floor
+        print(f"{name:32s} baseline {bv / 1e6:9.2f}M/s  "
+              f"current {cv / 1e6:9.2f}M/s  ratio {ratio:5.2f}  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(
+                f"{name}: {cv / 1e6:.2f}M/s is "
+                f"{(1 - ratio) * 100:.0f}% below baseline "
+                f"{bv / 1e6:.2f}M/s (tolerance "
+                f"{args.tolerance * 100:.0f}%)")
+
+    if args.batch_min_ratio is not None:
+        c = cur_widths.get(16)
+        if c is None:
+            failures.append("batch-min-ratio: current file has no "
+                            "batch sweep point at width 16")
+        else:
+            ratio = float(c.get("ratio", 0.0))
+            ok = ratio >= args.batch_min_ratio
+            print(f"batch/scalar width-16 ratio {ratio:5.2f}  "
+                  f"(floor {args.batch_min_ratio:.2f})  "
+                  f"{'ok' if ok else 'TOO LOW'}")
+            if not ok:
+                failures.append(
+                    f"batched execution at width 16 is only "
+                    f"{ratio:.2f}x the scalar path (floor "
+                    f"{args.batch_min_ratio:.2f}x)")
 
     if args.superblock_min_ratio is not None:
         tiers = cur.get("dispatch", {}).get("single_stream", {})

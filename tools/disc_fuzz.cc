@@ -6,11 +6,15 @@
  * Each fuzz case is a (seed, options) pair fed to the multi-stream
  * workload generator; the resulting program runs on the pipelined
  * Machine under the invariant checker and is then compared, stream by
- * stream, against the sequential golden model. Coverage is the set of
- * (opcode x pipeline event x active-stream-count) points the run
- * touched, plus one point per superblock bail reason the run
- * triggered; cases that reach new points join the corpus and later
- * cases mutate corpus entries instead of starting fresh.
+ * stream, against the sequential golden model. Cases with the batch
+ * axis set additionally replay the same program through a MachineBatch
+ * lane (no observer, so the lockstep hot lane can engage) and demand a
+ * checkpoint bit-identical to the observed scalar run. Coverage is the
+ * set of (opcode x pipeline event x active-stream-count) points the
+ * run touched, plus one point per superblock bail reason and one per
+ * batch peel reason the run triggered; cases that reach new points
+ * join the corpus and later cases mutate corpus entries instead of
+ * starting fresh.
  *
  * Usage:
  *   disc-fuzz [options]
@@ -46,6 +50,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "isa/assembler.hh"
+#include "sim/batch.hh"
 #include "verify/differential.hh"
 #include "verify/invariants.hh"
 
@@ -65,6 +70,8 @@ struct FuzzCase
     bool useUops = true;
     /** Run with the superblock translation tier (coverage axis). */
     bool useSuperblock = true;
+    /** Replay through a MachineBatch lane and diff (coverage axis). */
+    bool useBatch = false;
 };
 
 struct RunResult
@@ -109,6 +116,32 @@ runCase(const FuzzCase &c, CoverageMap *cov)
     res.failed = !out.ok() || !chk.ok();
     if (res.failed)
         res.detail = out.summary() + chk.report();
+
+    if (c.useBatch) {
+        // Replay without an observer so the lockstep hot lane can
+        // engage; the batched machine's checkpoint must reproduce the
+        // observed scalar run's bit for bit.
+        MachineRig brig(msp, cfg);
+        if (c.defect)
+            brig.machine().interrupts().setDefectLowPriorityVector(
+                true);
+        brig.start();
+        MachineBatch mb(1);
+        mb.add(&brig.machine());
+        mb.run(g_max_cycles ? g_max_cycles : brig.cycleBudget());
+        if (cov) {
+            const BatchStats &bs = mb.stats();
+            for (unsigned p = 0; p < kNumBatchPeels; ++p)
+                if (bs.peels[p] > 0)
+                    cov->recordPeel(static_cast<BatchPeel>(p));
+        }
+        if (brig.machine().saveState() != rig.machine().saveState()) {
+            res.failed = true;
+            res.detail +=
+                "batched execution diverged from scalar stepping "
+                "(checkpoint mismatch)\n";
+        }
+    }
     return res;
 }
 
@@ -149,6 +182,14 @@ shrinkCase(FuzzCase c)
             if (stillFails(t))
                 c = t;
         }
+    }
+    if (c.useBatch) {
+        // Prefer a repro that fails on the scalar path alone, without
+        // the batched replay.
+        FuzzCase t = c;
+        t.useBatch = false;
+        if (stillFails(t))
+            c = t;
     }
     if (c.fastForward) {
         // Prefer a repro that fails in plain per-cycle stepping too.
@@ -208,6 +249,7 @@ reproText(const FuzzCase &c, const std::string &detail)
     out << "fastforward=" << (c.fastForward ? 1 : 0) << "\n";
     out << "uops=" << (c.useUops ? 1 : 0) << "\n";
     out << "superblock=" << (c.useSuperblock ? 1 : 0) << "\n";
+    out << "batch=" << (c.useBatch ? 1 : 0) << "\n";
     out << "# instructions="
         << msp.program.code.size() - kVectorTableEnd << "\n";
     out << "# failure:\n";
@@ -257,6 +299,8 @@ parseRepro(const char *path)
             c.useUops = val != 0;
         else if (key == "superblock")
             c.useSuperblock = val != 0;
+        else if (key == "batch")
+            c.useBatch = val != 0;
         else
             fatal("unknown repro key '%s'", key.c_str());
     }
@@ -279,6 +323,7 @@ freshCase(std::uint64_t seed, bool defect)
     c.fastForward = !rng.chance(0.25);
     c.useUops = !rng.chance(0.25);
     c.useSuperblock = !rng.chance(0.25);
+    c.useBatch = !rng.chance(0.25);
     return c;
 }
 
@@ -287,7 +332,7 @@ FuzzCase
 mutateCase(const FuzzCase &base, Rng &rng)
 {
     FuzzCase c = base;
-    switch (rng.below(8)) {
+    switch (rng.below(9)) {
       case 0:
         c.seed = rng.next64();
         break;
@@ -310,6 +355,9 @@ mutateCase(const FuzzCase &base, Rng &rng)
         break;
       case 6:
         c.useSuperblock = !c.useSuperblock;
+        break;
+      case 7:
+        c.useBatch = !c.useBatch;
         break;
       default:
         c.opts.useInterrupts = !c.opts.useInterrupts;
