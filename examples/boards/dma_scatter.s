@@ -1,0 +1,101 @@
+; dma_scatter.s - scatter one block to two destinations via DMA
+; (see dma_scatter.board).
+
+.equ DONE,  0x80       ; transfers completed
+.equ SUM1,  0x81       ; checksum of destination block 1
+.equ SUM2,  0x82       ; checksum of destination block 2
+.equ BUSY,  0x83       ; foreground work performed during the copies
+
+; --- vector table ---
+.org 3                 ; stream 0, level 3: DMA completion
+    jmp done_isr
+
+.org 0x40
+main:
+    ldi  g0, 0x00
+    ldih g0, 0x20      ; RAM base (0x2000)
+    ldi  g1, 0x00
+    ldih g1, 0x22      ; DMA register base (0x2200)
+
+    ; Stage the source block: ram[i] = 11 + 7*i, i = 0..7.
+    mov  g2, g0
+    ldi  r1, 11
+    ldi  r2, 8
+fill:
+    st   r1, [g2]
+    addi g2, g2, 1
+    addi r1, r1, 7
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  fill
+
+    ; Scatter transfer 1: offsets 0..7 -> 64..71.
+    ldi  r1, 0
+    st   r1, [g1]      ; src
+    ldi  r1, 64
+    st   r1, [g1+1]    ; dst
+    ldi  r1, 8
+    st   r1, [g1+2]    ; count: starts the engine
+    jmp  wait1
+
+compute:               ; foreground work while the DMA runs
+    ldmd r4, [BUSY]
+    addi r4, r4, 1
+    stmd r4, [BUSY]
+wait1:
+    ldmd r3, [DONE]
+    cmpi r3, 1
+    bne  compute
+
+    ; Scatter transfer 2: offsets 0..7 -> 96..103.
+    ldi  r1, 0
+    st   r1, [g1]
+    ldi  r1, 96
+    st   r1, [g1+1]
+    ldi  r1, 8
+    st   r1, [g1+2]
+    jmp  wait2
+
+compute2:
+    ldmd r4, [BUSY]
+    addi r4, r4, 1
+    stmd r4, [BUSY]
+wait2:
+    ldmd r3, [DONE]
+    cmpi r3, 2
+    bne  compute2
+
+    ; Verify both destination blocks.
+    ldi  r5, 64
+    add  g2, g0, r5
+    ldi  r6, 0
+    ldi  r2, 8
+sum1:
+    ld   r1, [g2]
+    add  r6, r6, r1
+    addi g2, g2, 1
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  sum1
+    stmd r6, [SUM1]
+
+    ldi  r5, 96
+    add  g2, g0, r5
+    ldi  r6, 0
+    ldi  r2, 8
+sum2:
+    ld   r1, [g2]
+    add  r6, r6, r1
+    addi g2, g2, 1
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  sum2
+    stmd r6, [SUM2]
+    halt
+
+done_isr:
+    ldmd r1, [DONE]    ; handler r1 aliases main's r0 (the vector
+    addi r1, r1, 1     ; push slides the window one word) — r0 is
+    stmd r1, [DONE]    ; the one register main never uses
+    clri 3
+    reti

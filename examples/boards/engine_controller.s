@@ -1,0 +1,95 @@
+; engine_controller.s - engine management unit
+; (see engine_controller.board). Runs forever; use --free-run.
+;
+; Register discipline: g0..g3 are SHARED across streams, so each
+; stream owns the global matching its number (stream 0 -> g0 base
+; pointer, stream 1 -> g1, stream 2 -> g2) and everything else lives
+; in the stream's private window registers. A handler's rN aliases
+; the interrupted frame's r(N-1) — the vector push slides the window
+; by one word — so the background loop keeps nothing live in r0..r6
+; across an iteration.
+
+.equ EDGES,  0x80      ; crank rising edges seen
+.equ TICKS,  0x81      ; control ticks taken
+.equ STALLS, 0x82      ; watchdog bites (0 while healthy)
+.equ IDLE,   0x83      ; background loop iterations
+
+; --- vector table ---
+.org 2                 ; stream 0, level 2: control tick
+    jmp tick_isr
+.org 11                ; stream 1, level 3: crank edge
+    jmp edge_isr
+.org 21                ; stream 2, level 5: watchdog bite
+    jmp stall_isr
+
+.org 0x40
+main:
+    ; Critical init: mask the control tick while the fuel map is
+    ; staged, so the handler cannot interleave with the fill loop.
+    ldi  r1, 0xfb      ; all levels except bit 2
+    mov  imr, r1
+    ; Stage a tiny fuel map in external RAM: map[i] = 40 + 4*i.
+    ldi  g0, 0x00
+    ldih g0, 0x20      ; fuel map base (0x2000)
+    ldi  r1, 40
+    ldi  r2, 8
+fill:
+    st   r1, [g0]
+    addi g0, g0, 1
+    addi r1, r1, 4
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  fill
+    ; Park g0 on the watchdog for the background kicker and unmask.
+    ldi  g0, 0x00
+    ldih g0, 0x24      ; watchdog base (0x2400)
+    ldi  r1, 0xff
+    mov  imr, r1
+background:            ; idle loop: keep the dog fed regardless
+    st   r1, [g0]      ; kick
+    ldmd r3, [IDLE]
+    addi r3, r3, 1
+    stmd r3, [IDLE]
+    jmp  background
+
+tick_isr:              ; the control law, paced by the timer
+    ; Scratch is r1,r2,r5,r6,r7 — never r4: handler r4 aliases the
+    ; background loop's live r3 (the IDLE counter mid-update).
+    ldmd r1, [EDGES]
+    andi r2, r1, 7     ; fold the edge count into the map
+    ldi  r6, 0x00
+    ldih r6, 0x20      ; fuel map base (0x2000)
+    add  r6, r6, r2
+    ld   r5, [r6]      ; fuel map lookup
+    add  r5, r5, r1    ; plus a rate term
+    ldi  r6, 0x00
+    ldih r6, 0x23      ; injector (0x2300)
+    st   r5, [r6]      ; drive the pulse width
+    ldi  r6, 0x00
+    ldih r6, 0x24      ; watchdog (0x2400)
+    st   r5, [r6]      ; kick the dog from the control path too
+    ldmd r7, [TICKS]
+    addi r7, r7, 1
+    stmd r7, [TICKS]
+    clri 2
+    reti
+
+edge_isr:              ; stream 1: count crank rising edges
+    ldi  g1, 0x02
+    ldih g1, 0x22      ; gpio pending register (0x2202)
+    ld   r1, [g1]      ; read clears the latched edges
+    ldmd r2, [EDGES]
+    addi r2, r2, 1
+    stmd r2, [EDGES]
+    clri 3
+    reti
+
+stall_isr:             ; stream 2: watchdog bite — log and recover
+    ldmd r1, [STALLS]
+    addi r1, r1, 1
+    stmd r1, [STALLS]
+    ldi  g2, 0x00
+    ldih g2, 0x24
+    st   r1, [g2]      ; emergency kick
+    clri 5
+    reti

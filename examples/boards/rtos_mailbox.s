@@ -1,0 +1,84 @@
+; rtos_mailbox.s - hardware-mailbox IPC (see rtos_mailbox.board).
+;
+; The board's start lines launch worker1 on stream 1 and worker2 on
+; stream 2; each posts three words to the mailbox's push register and
+; halts. Every delivery wakes the kernel stream (3, level 4), which
+; acknowledges the request bit FIRST and then drains the FIFO:
+; delivery interrupts that arrive while the handler is running
+; coalesce into the one pending bit, so a handler that popped a
+; single word — or that cleared the bit after draining — would
+; strand or lose deliveries. Acknowledge-then-consume only works
+; because the kernel stream is started as a background loop (its
+; level-0 bit stays set, so the early clri cannot deactivate it).
+; Stream 0 polls the consumed count, flags the kernel down at six,
+; and halts.
+
+.equ COUNT, 0x80       ; messages consumed by the kernel
+.equ SUM,   0x81       ; running sum of consumed words
+.equ STOP,  0x82       ; set by stream 0 when the demo is over
+
+; --- vector table ---
+.org 28                ; stream 3, level 4: mailbox delivery
+    jmp deliver_isr
+
+.org 0x40
+main:
+    ldmd r1, [COUNT]
+    cmpi r1, 6
+    bne  main
+    ldi  r2, 1
+    stmd r2, [STOP]    ; wave the kernel stream off
+    halt
+
+kernel:                ; started by the board: idle until stopped
+    ldmd r1, [STOP]
+    cmpi r1, 1
+    bne  kernel
+    halt
+
+; Post r2, then r2+step, then r2+2*step; \base = push register.
+; Each worker addresses through its own global — g0..g3 are shared
+; across streams, so concurrent streams must not stage addresses in
+; the same one (even a same-valued reload is a two-instruction
+; ldi/ldih sequence another stream can observe half-done).
+.macro worker start, step, base
+    ldi  \base, 0x01
+    ldih \base, 0x21   ; mailbox push register (0x2101)
+    ldi  r2, \start
+    ldi  r3, 3
+post\@:
+    st   r2, [\base]
+    addi r2, r2, \step
+    addi r3, r3, -1
+    cmpi r3, 0
+    bne  post\@
+    halt
+.endm
+
+worker1:
+    worker 10, 10, g1
+worker2:
+    worker 100, 5, g2
+
+deliver_isr:
+    clri 4             ; acknowledge FIRST: a delivery that lands
+                       ; mid-drain re-raises the level and re-enters
+                       ; after reti, instead of being wiped by a
+                       ; clear at the end (lost wakeup); safe only
+                       ; because the kernel's level-0 bit is set
+    ldi  g3, 0x00
+    ldih g3, 0x21      ; mailbox base (0x2100)
+drain:
+    ld   r3, [g3+2]    ; occupancy
+    cmpi r3, 0
+    beq  drained
+    ld   r1, [g3]      ; pop one delivered word
+    ldmd r2, [SUM]
+    add  r2, r2, r1
+    stmd r2, [SUM]
+    ldmd r2, [COUNT]
+    addi r2, r2, 1
+    stmd r2, [COUNT]
+    jmp  drain
+drained:
+    reti

@@ -1,0 +1,40 @@
+; sensor_fusion.s - fuse two sensor rates onto an actuator
+; (see sensor_fusion.board). Runs forever; use --free-run --cycles N.
+
+.equ FAST,  0x80       ; latest fast-sensor sample
+.equ SLOW,  0x81       ; latest slow-sensor sample
+.equ FUSED, 0x82       ; last value sent to the actuator
+
+; --- vector table ---
+.org 12                ; stream 1, level 4: fast sensor ready
+    jmp fast_isr
+.org 20                ; stream 2, level 4: slow sensor ready
+    jmp slow_isr
+
+.org 0x40
+main:
+    ldi  g0, 0x00
+    ldih g0, 0x23      ; actuator base (0x2300)
+loop:
+    ldmd r1, [FAST]
+    ldmd r2, [SLOW]
+    add  r3, r1, r2    ; fuse: sum of the freshest samples
+    stmd r3, [FUSED]
+    st   r3, [g0]      ; drive the actuator
+    jmp  loop
+
+fast_isr:
+    ldi  g1, 0x00
+    ldih g1, 0x21      ; fast sensor base (0x2100)
+    ld   r1, [g1]      ; freshest sample; stale ones are gone forever
+    stmd r1, [FAST]
+    clri 4
+    reti
+
+slow_isr:
+    ldi  g2, 0x00      ; g2, not g1: globals are shared machine-wide,
+    ldih g2, 0x22      ; and fast_isr on stream 1 owns g1
+    ld   r1, [g2]
+    stmd r1, [SLOW]
+    clri 4
+    reti

@@ -1,0 +1,33 @@
+; uart_echo.s - interrupt-driven serial echo (see uart_echo.board).
+;
+; Stream 1 sleeps until the UART receives a word, echoes it
+; incremented to TX, records it, and goes back to sleep. Stream 0
+; watches the echo counter and halts the run once every scripted word
+; has been served, so the machine reaches quiescence on its own.
+
+.equ COUNT, 0x80       ; words echoed so far
+.equ LAST,  0x81       ; most recent echoed value
+
+; --- vector table ---
+.org 12                ; stream 1, level 4: UART RX ready
+    jmp rx_isr
+
+.org 0x40
+main:
+    ldmd r1, [COUNT]
+    cmpi r1, 8
+    bne  main          ; keep watching until the script drains
+    halt
+
+rx_isr:
+    ldi  g1, 0x00
+    ldih g1, 0x21      ; UART register base (0x2100)
+    ld   r1, [g1]      ; RX (read clears data-ready)
+    addi r1, r1, 1
+    st   r1, [g1+1]    ; echo to TX
+    stmd r1, [LAST]
+    ldmd r2, [COUNT]
+    addi r2, r2, 1
+    stmd r2, [COUNT]
+    clri 4
+    reti

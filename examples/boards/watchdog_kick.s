@@ -1,0 +1,43 @@
+; watchdog_kick.s - kick the dog, then wedge and let it reset us
+; (see watchdog_kick.board).
+
+.equ BITES,     0x80   ; bite interrupts observed
+.equ RECOVERED, 0x81   ; reset handler ran
+
+; --- vector table ---
+.org 6                 ; stream 0, level 6: watchdog reset
+    jmp reset_isr
+.org 13                ; stream 1, level 5: watchdog bite
+    jmp bite_isr
+
+.org 0x40
+main:
+    ldi  g0, 0x00
+    ldih g0, 0x21      ; watchdog register base (0x2100)
+    ldi  r2, 5         ; healthy kicks before the "hang"
+kick_loop:
+    st   r2, [g0]      ; kick: any write re-arms the count
+    ldi  r3, 20
+pause:
+    addi r3, r3, -1
+    cmpi r3, 0
+    bne  pause
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  kick_loop
+wedge:                 ; simulated firmware hang: no more kicks
+    jmp  wedge
+
+bite_isr:              ; stream 1: log the bite, don't rescue
+    ldmd r1, [BITES]
+    addi r1, r1, 1
+    stmd r1, [BITES]
+    clri 5
+    reti
+
+reset_isr:             ; stream 0, level 6: recovery path
+    ldi  r1, 1
+    stmd r1, [RECOVERED]
+    clri 0             ; silence the wedged background loop
+    clri 6
+    reti

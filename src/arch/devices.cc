@@ -360,6 +360,261 @@ DmaDevice::onEvent(Cycle cycles)
     return std::nullopt;
 }
 
+WatchdogDevice::WatchdogDevice(unsigned timeout, unsigned grace,
+                               unsigned latency)
+    : timeout_(timeout), grace_(grace), latency_(latency),
+      countdown_(timeout)
+{
+    if (timeout == 0)
+        fatal("watchdog timeout must be positive");
+    if (grace == 0)
+        fatal("watchdog grace must be positive");
+}
+
+void
+WatchdogDevice::setBiteInterrupt(StreamId stream, unsigned bit)
+{
+    biteEnabled_ = true;
+    biteReq_ = {stream, bit};
+}
+
+void
+WatchdogDevice::setResetInterrupt(StreamId stream, unsigned bit)
+{
+    resetEnabled_ = true;
+    resetReq_ = {stream, bit};
+}
+
+unsigned
+WatchdogDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return latency_;
+}
+
+Word
+WatchdogDevice::read(Addr offset)
+{
+    switch (offset) {
+      case 0: return static_cast<Word>(countdown_ & 0xffff);
+      case 1: return inGrace_ ? 1 : 0;
+      case 2: return static_cast<Word>(bites_ & 0xffff);
+      case 3: return static_cast<Word>(resets_ & 0xffff);
+      default: return 0;
+    }
+}
+
+void
+WatchdogDevice::write(Addr offset, Word value)
+{
+    (void)value;
+    if (offset != 0)
+        return;
+    // A kick always returns the dog to the watching phase, including
+    // from the grace window (the bite handler's recovery path).
+    inGrace_ = false;
+    countdown_ = timeout_;
+}
+
+Cycle
+WatchdogDevice::nextEventIn() const
+{
+    return countdown_; // a watchdog is never quiescent
+}
+
+std::optional<IntRequest>
+WatchdogDevice::onEvent(Cycle cycles)
+{
+    countdown_ -= static_cast<unsigned>(cycles);
+    if (countdown_ != 0)
+        return std::nullopt;
+    if (!inGrace_) {
+        inGrace_ = true;
+        countdown_ = grace_;
+        ++bites_;
+        if (biteEnabled_)
+            return biteReq_;
+        return std::nullopt;
+    }
+    inGrace_ = false;
+    countdown_ = timeout_;
+    ++resets_;
+    if (resetEnabled_)
+        return resetReq_;
+    return std::nullopt;
+}
+
+GpioDevice::GpioDevice(unsigned period, std::vector<Word> pattern,
+                       Edge edge, unsigned latency)
+    : period_(period), pattern_(std::move(pattern)), edge_(edge),
+      latency_(latency), countdown_(period)
+{
+    if (period == 0)
+        fatal("gpio period must be positive");
+    if (pattern_.empty())
+        fatal("gpio pattern must be non-empty");
+}
+
+void
+GpioDevice::setEdgeInterrupt(StreamId stream, unsigned bit)
+{
+    intEnabled_ = true;
+    intReq_ = {stream, bit};
+}
+
+unsigned
+GpioDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return latency_;
+}
+
+Word
+GpioDevice::read(Addr offset)
+{
+    switch (offset) {
+      case 0:
+        return input_;
+      case 1:
+        return latch_;
+      case 2: {
+        Word p = pending_;
+        pending_ = 0;
+        return p;
+      }
+      case 3:
+        return static_cast<Word>(steps_ & 0xffff);
+      default:
+        return 0;
+    }
+}
+
+void
+GpioDevice::write(Addr offset, Word value)
+{
+    if (offset == 1)
+        latch_ = value;
+}
+
+Cycle
+GpioDevice::nextEventIn() const
+{
+    return countdown_;
+}
+
+std::optional<IntRequest>
+GpioDevice::onEvent(Cycle cycles)
+{
+    countdown_ -= static_cast<unsigned>(cycles);
+    if (countdown_ != 0)
+        return std::nullopt;
+    countdown_ = period_;
+    Word next = pattern_[idx_];
+    idx_ = (idx_ + 1) % static_cast<std::uint32_t>(pattern_.size());
+    Word rise = static_cast<Word>(next & ~input_);
+    Word fall = static_cast<Word>(~next & input_);
+    Word sensed = edge_ == Edge::Rise   ? rise
+                  : edge_ == Edge::Fall ? fall
+                                        : static_cast<Word>(rise | fall);
+    input_ = next;
+    ++steps_;
+    if (sensed == 0)
+        return std::nullopt;
+    pending_ |= sensed;
+    if (intEnabled_)
+        return intReq_;
+    return std::nullopt;
+}
+
+MailboxDevice::MailboxDevice(unsigned depth, unsigned delay,
+                             unsigned latency)
+    : depth_(depth), delay_(delay), latency_(latency)
+{
+    if (depth == 0)
+        fatal("mailbox depth must be positive");
+    if (delay == 0)
+        fatal("mailbox delivery delay must be positive");
+}
+
+void
+MailboxDevice::setDeliveryInterrupt(StreamId stream, unsigned bit)
+{
+    intEnabled_ = true;
+    intReq_ = {stream, bit};
+}
+
+unsigned
+MailboxDevice::latency(Addr offset, bool is_write) const
+{
+    (void)offset;
+    (void)is_write;
+    return latency_;
+}
+
+Word
+MailboxDevice::read(Addr offset)
+{
+    switch (offset) {
+      case 0: {
+        if (fifo_.empty())
+            return 0;
+        Word w = fifo_.front();
+        fifo_.pop_front();
+        return w;
+      }
+      case 2:
+        return static_cast<Word>(fifo_.size() & 0xffff);
+      case 3:
+        return static_cast<Word>((fifo_.empty() ? 0 : 1) |
+                                 (fifo_.size() >= depth_ ? 2 : 0));
+      case 4:
+        return static_cast<Word>(overflows_ & 0xffff);
+      default:
+        return 0;
+    }
+}
+
+void
+MailboxDevice::write(Addr offset, Word value)
+{
+    if (offset != 1)
+        return;
+    if (fifo_.size() >= depth_) {
+        ++overflows_;
+        return;
+    }
+    fifo_.push_back(value);
+    // First undelivered post arms the delivery countdown; the timing
+    // kernel re-queries nextEventIn() after every bus access, so no
+    // out-of-band notify is needed on this path.
+    if (undelivered_++ == 0)
+        countdown_ = delay_;
+}
+
+Cycle
+MailboxDevice::nextEventIn() const
+{
+    return undelivered_ == 0 ? kNoDeviceEvent : countdown_;
+}
+
+std::optional<IntRequest>
+MailboxDevice::onEvent(Cycle cycles)
+{
+    if (undelivered_ == 0)
+        return std::nullopt;
+    countdown_ -= static_cast<unsigned>(cycles);
+    if (countdown_ != 0)
+        return std::nullopt;
+    --undelivered_;
+    if (undelivered_ > 0)
+        countdown_ = delay_;
+    if (intEnabled_)
+        return intReq_;
+    return std::nullopt;
+}
+
 void
 ExternalMemoryDevice::save(Serializer &out) const
 {
@@ -482,6 +737,69 @@ DmaDevice::restore(Deserializer &in)
     dst_ = in.get<Word>();
     remaining_ = in.get<Word>();
     done_ = in.get<std::uint64_t>();
+}
+
+void
+WatchdogDevice::save(Serializer &out) const
+{
+    out.put<std::uint32_t>(countdown_);
+    out.putBool(inGrace_);
+    out.put<std::uint64_t>(bites_);
+    out.put<std::uint64_t>(resets_);
+}
+
+void
+WatchdogDevice::restore(Deserializer &in)
+{
+    countdown_ = in.get<std::uint32_t>();
+    inGrace_ = in.getBool();
+    bites_ = in.get<std::uint64_t>();
+    resets_ = in.get<std::uint64_t>();
+}
+
+void
+GpioDevice::save(Serializer &out) const
+{
+    out.put<std::uint32_t>(countdown_);
+    out.put<std::uint32_t>(idx_);
+    out.put(input_);
+    out.put(pending_);
+    out.put(latch_);
+    out.put<std::uint64_t>(steps_);
+}
+
+void
+GpioDevice::restore(Deserializer &in)
+{
+    countdown_ = in.get<std::uint32_t>();
+    idx_ = in.get<std::uint32_t>();
+    input_ = in.get<Word>();
+    pending_ = in.get<Word>();
+    latch_ = in.get<Word>();
+    steps_ = in.get<std::uint64_t>();
+}
+
+void
+MailboxDevice::save(Serializer &out) const
+{
+    out.put<std::uint32_t>(countdown_);
+    out.put<std::uint32_t>(static_cast<std::uint32_t>(fifo_.size()));
+    for (Word w : fifo_)
+        out.put(w);
+    out.put<std::uint32_t>(undelivered_);
+    out.put<std::uint64_t>(overflows_);
+}
+
+void
+MailboxDevice::restore(Deserializer &in)
+{
+    countdown_ = in.get<std::uint32_t>();
+    auto n = in.get<std::uint32_t>();
+    fifo_.clear();
+    for (std::uint32_t i = 0; i < n; ++i)
+        fifo_.push_back(in.get<Word>());
+    undelivered_ = in.get<std::uint32_t>();
+    overflows_ = in.get<std::uint64_t>();
 }
 
 } // namespace disc

@@ -1,0 +1,230 @@
+#include "board/board.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/program.hh"
+#include "sim/interp.hh"
+#include "sim/machine.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+/** Split a line into whitespace-separated tokens, dropping comments. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#' || c == ';')
+            break;
+        if (c == ' ' || c == '\t' || c == '\r') {
+            if (!cur.empty())
+                tokens.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        tokens.push_back(std::move(cur));
+    return tokens;
+}
+
+unsigned
+parseNum(const std::string &origin, int lineno, const std::string &what,
+         const std::string &text)
+{
+    char *end = nullptr;
+    unsigned long v =
+        text.empty() ? 0 : std::strtoul(text.c_str(), &end, 0);
+    if (text.empty() || end == nullptr || *end != '\0')
+        fatal("%s:%d: bad %s '%s'", origin.c_str(), lineno, what.c_str(),
+              text.c_str());
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+std::string
+BoardSpec::canonicalText() const
+{
+    std::ostringstream out;
+    char buf[32];
+    for (const auto &d : devices) {
+        std::snprintf(buf, sizeof buf, "0x%04x", d.base);
+        out << "device " << d.type << ' ' << d.name << " base=" << buf
+            << " size=" << d.size;
+        for (const auto &kv : d.params) // map: sorted by key
+            out << ' ' << kv.first << '=' << kv.second;
+        out << '\n';
+    }
+    for (const auto &s : starts)
+        out << "start " << s.stream << ' ' << s.label << '\n';
+    return out.str();
+}
+
+BoardSpec
+parseBoardSpec(const std::string &text, const std::string &origin)
+{
+    const DeviceRegistry &registry = DeviceRegistry::builtin();
+    BoardSpec spec;
+    std::set<std::string> names;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::vector<std::string> tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        if (tokens[0] == "device") {
+            if (tokens.size() < 3)
+                fatal("%s:%d: device line needs a type and a name",
+                      origin.c_str(), lineno);
+            BoardDeviceSpec d;
+            d.type = tokens[1];
+            d.name = tokens[2];
+            if (!registry.has(d.type))
+                fatal("%s:%d: unknown device type '%s'", origin.c_str(),
+                      lineno, d.type.c_str());
+            if (!names.insert(d.name).second)
+                fatal("%s:%d: duplicate device name '%s'", origin.c_str(),
+                      lineno, d.name.c_str());
+            bool haveBase = false, haveSize = false;
+            for (std::size_t i = 3; i < tokens.size(); ++i) {
+                std::size_t eq = tokens[i].find('=');
+                if (eq == std::string::npos || eq == 0)
+                    fatal("%s:%d: '%s' is not key=value", origin.c_str(),
+                          lineno, tokens[i].c_str());
+                std::string key = tokens[i].substr(0, eq);
+                std::string value = tokens[i].substr(eq + 1);
+                if (key == "base") {
+                    d.base = static_cast<Addr>(
+                        parseNum(origin, lineno, "base", value));
+                    haveBase = true;
+                } else if (key == "size") {
+                    d.size = static_cast<Addr>(
+                        parseNum(origin, lineno, "size", value));
+                    haveSize = true;
+                } else if (!d.params.emplace(key, value).second) {
+                    fatal("%s:%d: duplicate parameter '%s'",
+                          origin.c_str(), lineno, key.c_str());
+                }
+            }
+            if (!haveBase || !haveSize)
+                fatal("%s:%d: device '%s' needs base= and size=",
+                      origin.c_str(), lineno, d.name.c_str());
+            if (d.size == 0)
+                fatal("%s:%d: device '%s' has zero size", origin.c_str(),
+                      lineno, d.name.c_str());
+            if (static_cast<std::uint32_t>(d.base) + d.size > 0x10000)
+                fatal("%s:%d: device '%s' range [0x%04x, +%u) leaves the "
+                      "16-bit address space",
+                      origin.c_str(), lineno, d.name.c_str(), d.base,
+                      d.size);
+            for (const auto &prev : spec.devices) {
+                bool overlap = d.base < prev.base + prev.size &&
+                               prev.base < d.base + d.size;
+                if (overlap)
+                    fatal("%s:%d: device '%s' overlaps '%s'",
+                          origin.c_str(), lineno, d.name.c_str(),
+                          prev.name.c_str());
+            }
+            spec.devices.push_back(std::move(d));
+        } else if (tokens[0] == "start") {
+            if (tokens.size() != 3)
+                fatal("%s:%d: start line is 'start <stream> <label>'",
+                      origin.c_str(), lineno);
+            BoardStreamStart s;
+            s.stream = parseNum(origin, lineno, "stream", tokens[1]);
+            if (s.stream >= kNumStreams)
+                fatal("%s:%d: start stream %u out of range (max %u)",
+                      origin.c_str(), lineno, s.stream, kNumStreams - 1);
+            s.label = tokens[2];
+            spec.starts.push_back(std::move(s));
+        } else {
+            fatal("%s:%d: unknown directive '%s'", origin.c_str(), lineno,
+                  tokens[0].c_str());
+        }
+    }
+    return spec;
+}
+
+BoardSpec
+parseBoardFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open board file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseBoardSpec(text.str(), path);
+}
+
+Device *
+Board::find(const std::string &name) const
+{
+    // Bounded by devices_, not the spec: during buildBoard() only the
+    // devices declared so far exist, which is exactly the set a
+    // cross-device parameter may legally reference.
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+        if (spec_.devices[i].name == name)
+            return devices_[i].get();
+    return nullptr;
+}
+
+void
+Board::attachTo(Machine &m) const
+{
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+        m.attachDevice(spec_.devices[i].base, spec_.devices[i].size,
+                       devices_[i].get());
+    m.setBoardSpec(spec_.canonicalText());
+}
+
+void
+Board::attachTo(Interp &interp) const
+{
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+        interp.attachDevice(spec_.devices[i].base, spec_.devices[i].size,
+                            devices_[i].get());
+}
+
+void
+Board::startStreams(Machine &m, const Program &prog) const
+{
+    for (const auto &s : spec_.starts)
+        m.startStream(static_cast<StreamId>(s.stream),
+                      prog.symbol(s.label));
+}
+
+std::string
+extmemSugarLine(unsigned index, Addr base, Addr size, unsigned latency)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "device extmem extmem_cli%u base=0x%04x size=%u "
+                  "latency=%u\n",
+                  index, base, size, latency);
+    return buf;
+}
+
+Board
+buildBoard(const BoardSpec &spec, const DeviceRegistry &registry)
+{
+    Board board;
+    board.spec_ = spec;
+    for (const auto &d : spec.devices)
+        board.devices_.push_back(registry.make(d, board));
+    return board;
+}
+
+} // namespace disc

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Board descriptions: a text format composing a device graph onto the
+ * ABI bus (ROADMAP item 4, after the qemu board-file pattern).
+ *
+ * A board spec is a line-oriented text file:
+ *
+ *     # comment (';' also starts a comment)
+ *     device <type> <name> base=0xNNNN size=N [key=value ...]
+ *     start <stream> <label>
+ *
+ * `device` lines declare peripherals; declaration order is bus attach
+ * order (and therefore checkpoint order), which keeps every board
+ * composition deterministic. `start` lines name program labels to
+ * launch on additional streams once the program is loaded — the board
+ * analogue of `disc-run --stream`.
+ *
+ * parseBoardSpec() performs structural validation (unknown type,
+ * duplicate name, zero size, address wrap, range overlap, bad stream)
+ * and the factories validate their own parameters, so a spec that
+ * builds is a spec that runs. BoardSpec::canonicalText() renders the
+ * parsed spec back to a normalized form; Machine embeds that string
+ * in checkpoint v3 headers so park/restore and cross-shard migration
+ * can verify the receiving side composed the same board.
+ */
+
+#ifndef DISC_BOARD_BOARD_HH
+#define DISC_BOARD_BOARD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "board/registry.hh"
+#include "common/logging.hh"
+
+namespace disc
+{
+
+class Machine;
+class Interp;
+class Program;
+
+/** A `start <stream> <label>` line: launch @p label on @p stream. */
+struct BoardStreamStart
+{
+    unsigned stream = 0;
+    std::string label;
+};
+
+/** A parsed board description. */
+struct BoardSpec
+{
+    std::vector<BoardDeviceSpec> devices;
+    std::vector<BoardStreamStart> starts;
+
+    /**
+     * Normalized rendering: one `device` line per declaration in
+     * order, parameters sorted by key, then `start` lines. Two specs
+     * that differ only in comments/whitespace render identically;
+     * this string is what checkpoint v3 embeds.
+     */
+    std::string canonicalText() const;
+};
+
+/**
+ * Parse a board spec from text. @p origin names the source (file
+ * name) for error messages. Structural errors are fatal().
+ */
+BoardSpec parseBoardSpec(const std::string &text,
+                         const std::string &origin = "<board>");
+
+/** Parse a board spec from a file; fatal() when unreadable. */
+BoardSpec parseBoardFile(const std::string &path);
+
+/**
+ * A built board: the devices constructed from a BoardSpec, owned and
+ * ordered, ready to attach to a timing machine or a golden-model
+ * interpreter. Movable so rigs can hold one by value.
+ */
+class Board
+{
+  public:
+    Board() = default;
+    Board(Board &&) = default;
+    Board &operator=(Board &&) = default;
+
+    /** The spec this board was built from. */
+    const BoardSpec &spec() const { return spec_; }
+
+    std::size_t numDevices() const { return devices_.size(); }
+
+    /** Device by declaration index. */
+    Device &device(std::size_t idx) const { return *devices_[idx]; }
+
+    /** Device by instance name, or nullptr. */
+    Device *find(const std::string &name) const;
+
+    /** Device by name, downcast to its concrete type; fatal() when
+     *  absent. The caller asserts the type via the board spec. */
+    template <typename T> T &findAs(const std::string &name) const
+    {
+        Device *dev = find(name);
+        if (dev == nullptr)
+            fatal("board: no device named '%s'", name.c_str());
+        return static_cast<T &>(*dev);
+    }
+
+    /**
+     * Attach every device to @p m's bus in declaration order and
+     * record the canonical spec text in the machine so checkpoints
+     * carry the board identity.
+     */
+    void attachTo(Machine &m) const;
+
+    /** Attach every device to a golden-model interpreter. */
+    void attachTo(Interp &interp) const;
+
+    /**
+     * Launch the spec's `start` lines on @p m. Labels resolve
+     * against @p prog; an undefined label is fatal().
+     */
+    void startStreams(Machine &m, const Program &prog) const;
+
+  private:
+    friend Board buildBoard(const BoardSpec &, const DeviceRegistry &);
+
+    BoardSpec spec_;
+    std::vector<std::unique_ptr<Device>> devices_;
+};
+
+/**
+ * Construct every device of @p spec via @p registry in declaration
+ * order. Factories see the partially built board, so cross-device
+ * parameters (dma target=) resolve against earlier declarations.
+ */
+Board buildBoard(const BoardSpec &spec,
+                 const DeviceRegistry &registry = DeviceRegistry::builtin());
+
+/**
+ * The board line equivalent to a `--extmem base,size,latency` CLI
+ * flag: `device extmem extmem_cli<index> ...`. disc-run and disc-serve
+ * both append these to the user's board text, so the legacy flags are
+ * sugar over one construction path and the canonical spec — and hence
+ * every checkpoint digest — agrees between offline and served runs.
+ */
+std::string extmemSugarLine(unsigned index, Addr base, Addr size,
+                            unsigned latency);
+
+} // namespace disc
+
+#endif // DISC_BOARD_BOARD_HH

@@ -1,0 +1,343 @@
+#include "board/registry.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "arch/devices.hh"
+#include "board/board.hh"
+#include "common/logging.hh"
+
+namespace disc
+{
+
+namespace
+{
+
+/**
+ * Typed accessors over a device line's key=value map with consumed-key
+ * tracking, so a factory can reject misspelled parameters instead of
+ * silently ignoring them.
+ */
+class Params
+{
+  public:
+    explicit Params(const BoardDeviceSpec &spec) : spec_(spec) {}
+
+    bool has(const std::string &key) const
+    {
+        return spec_.params.count(key) != 0;
+    }
+
+    /** Raw value; fatal() when absent. */
+    std::string str(const std::string &key)
+    {
+        auto it = spec_.params.find(key);
+        if (it == spec_.params.end())
+            fatal("board device '%s': missing required parameter '%s'",
+                  spec_.name.c_str(), key.c_str());
+        used_.insert(key);
+        return it->second;
+    }
+
+    std::string str(const std::string &key, const std::string &dflt)
+    {
+        return has(key) ? str(key) : dflt;
+    }
+
+    /** Unsigned integer (decimal or 0x hex); fatal() on junk. */
+    unsigned num(const std::string &key)
+    {
+        return parseNum(key, str(key));
+    }
+
+    unsigned num(const std::string &key, unsigned dflt)
+    {
+        return has(key) ? num(key) : dflt;
+    }
+
+    /** Comma-separated word list, e.g. pattern=1,0,3. */
+    std::vector<Word> words(const std::string &key)
+    {
+        std::string value = str(key);
+        std::vector<Word> out;
+        std::size_t pos = 0;
+        while (pos <= value.size()) {
+            std::size_t comma = value.find(',', pos);
+            if (comma == std::string::npos)
+                comma = value.size();
+            out.push_back(static_cast<Word>(
+                parseNum(key, value.substr(pos, comma - pos))));
+            pos = comma + 1;
+        }
+        return out;
+    }
+
+    /**
+     * An interrupt line "stream:bit"; validated against the machine's
+     * stream count and the 8-bit interrupt register.
+     */
+    IntRequest irq(const std::string &key)
+    {
+        std::string value = str(key);
+        std::size_t colon = value.find(':');
+        if (colon == std::string::npos)
+            fatal("board device '%s': %s='%s' is not <stream>:<bit>",
+                  spec_.name.c_str(), key.c_str(), value.c_str());
+        unsigned stream = parseNum(key, value.substr(0, colon));
+        unsigned bit = parseNum(key, value.substr(colon + 1));
+        if (stream >= kNumStreams)
+            fatal("board device '%s': %s stream %u out of range (max %u)",
+                  spec_.name.c_str(), key.c_str(), stream, kNumStreams - 1);
+        if (bit >= kNumIntLevels)
+            fatal("board device '%s': %s bit %u out of range (max %u)",
+                  spec_.name.c_str(), key.c_str(), bit, kNumIntLevels - 1);
+        return {static_cast<StreamId>(stream), bit};
+    }
+
+    /** Reject any key no accessor consumed. */
+    void finish()
+    {
+        for (const auto &kv : spec_.params)
+            if (used_.count(kv.first) == 0)
+                fatal("board device '%s' (type %s): unknown parameter '%s'",
+                      spec_.name.c_str(), spec_.type.c_str(),
+                      kv.first.c_str());
+    }
+
+  private:
+    unsigned parseNum(const std::string &key, const std::string &text)
+    {
+        if (text.empty())
+            fatal("board device '%s': empty value for '%s'",
+                  spec_.name.c_str(), key.c_str());
+        char *end = nullptr;
+        unsigned long v = std::strtoul(text.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0')
+            fatal("board device '%s': bad number '%s' for '%s'",
+                  spec_.name.c_str(), text.c_str(), key.c_str());
+        return static_cast<unsigned>(v);
+    }
+
+    const BoardDeviceSpec &spec_;
+    std::set<std::string> used_;
+};
+
+std::unique_ptr<Device>
+makeExtmem(const BoardDeviceSpec &spec, const Board &)
+{
+    Params p(spec);
+    unsigned latency = p.num("latency", 0);
+    p.finish();
+    return std::make_unique<ExternalMemoryDevice>(spec.size, latency);
+}
+
+std::unique_ptr<Device>
+makeSensor(const BoardDeviceSpec &spec, const Board &)
+{
+    Params p(spec);
+    auto dev = std::make_unique<SensorDevice>(p.num("period"),
+                                              p.num("latency", 0));
+    if (p.has("irq")) {
+        IntRequest req = p.irq("irq");
+        dev->setInterrupt(req.stream, req.bit);
+    }
+    p.finish();
+    return dev;
+}
+
+std::unique_ptr<Device>
+makeActuator(const BoardDeviceSpec &spec, const Board &)
+{
+    Params p(spec);
+    unsigned latency = p.num("latency", 0);
+    p.finish();
+    return std::make_unique<ActuatorDevice>(latency);
+}
+
+std::unique_ptr<Device>
+makeTimer(const BoardDeviceSpec &spec, const Board &)
+{
+    Params p(spec);
+    unsigned period = p.num("period");
+    IntRequest req = p.irq("irq");
+    p.finish();
+    return std::make_unique<TimerDevice>(period, req.stream, req.bit);
+}
+
+std::unique_ptr<Device>
+makeUart(const BoardDeviceSpec &spec, const Board &)
+{
+    Params p(spec);
+    auto dev = std::make_unique<UartDevice>(p.num("period"),
+                                            p.num("latency", 0));
+    if (p.has("rx"))
+        dev->scriptRx(p.words("rx"));
+    if (p.has("irq")) {
+        IntRequest req = p.irq("irq");
+        dev->setRxInterrupt(req.stream, req.bit);
+    }
+    p.finish();
+    return dev;
+}
+
+std::unique_ptr<Device>
+makeDma(const BoardDeviceSpec &spec, const Board &board)
+{
+    Params p(spec);
+    std::string target = p.str("target");
+    Device *dev = board.find(target);
+    if (dev == nullptr)
+        fatal("board device '%s': dma target '%s' is not declared "
+              "earlier in the board",
+              spec.name.c_str(), target.c_str());
+    auto *mem = dynamic_cast<ExternalMemoryDevice *>(dev);
+    if (mem == nullptr)
+        fatal("board device '%s': dma target '%s' is a %s, not an extmem",
+              spec.name.c_str(), target.c_str(), dev->name().c_str());
+    auto dma = std::make_unique<DmaDevice>(*mem, p.num("cpw", 1));
+    if (p.has("irq")) {
+        IntRequest req = p.irq("irq");
+        dma->setCompletionInterrupt(req.stream, req.bit);
+    }
+    p.finish();
+    return dma;
+}
+
+std::unique_ptr<Device>
+makeWatchdog(const BoardDeviceSpec &spec, const Board &)
+{
+    Params p(spec);
+    auto dev = std::make_unique<WatchdogDevice>(
+        p.num("timeout"), p.num("grace"), p.num("latency", 0));
+    if (p.has("irq")) {
+        IntRequest req = p.irq("irq");
+        dev->setBiteInterrupt(req.stream, req.bit);
+    }
+    if (p.has("reset")) {
+        IntRequest req = p.irq("reset");
+        dev->setResetInterrupt(req.stream, req.bit);
+    }
+    p.finish();
+    return dev;
+}
+
+GpioDevice::Edge
+parseEdge(const BoardDeviceSpec &spec, const std::string &text)
+{
+    if (text == "rise")
+        return GpioDevice::Edge::Rise;
+    if (text == "fall")
+        return GpioDevice::Edge::Fall;
+    if (text == "any")
+        return GpioDevice::Edge::Any;
+    fatal("board device '%s': edge='%s' is not rise|fall|any",
+          spec.name.c_str(), text.c_str());
+}
+
+std::unique_ptr<Device>
+makeGpio(const BoardDeviceSpec &spec, const Board &)
+{
+    Params p(spec);
+    unsigned period = p.num("period");
+    std::vector<Word> pattern = p.words("pattern");
+    GpioDevice::Edge edge = parseEdge(spec, p.str("edge", "any"));
+    unsigned latency = p.num("latency", 0);
+    auto dev =
+        std::make_unique<GpioDevice>(period, std::move(pattern), edge,
+                                     latency);
+    if (p.has("irq")) {
+        IntRequest req = p.irq("irq");
+        dev->setEdgeInterrupt(req.stream, req.bit);
+    }
+    p.finish();
+    return dev;
+}
+
+std::unique_ptr<Device>
+makeMailbox(const BoardDeviceSpec &spec, const Board &)
+{
+    Params p(spec);
+    auto dev = std::make_unique<MailboxDevice>(
+        p.num("depth"), p.num("delay", 1), p.num("latency", 0));
+    if (p.has("irq")) {
+        IntRequest req = p.irq("irq");
+        dev->setDeliveryInterrupt(req.stream, req.bit);
+    }
+    p.finish();
+    return dev;
+}
+
+} // namespace
+
+void
+DeviceRegistry::add(const std::string &type, Factory factory)
+{
+    if (factories_.count(type) != 0)
+        fatal("device registry: type '%s' already registered",
+              type.c_str());
+    factories_[type] = std::move(factory);
+}
+
+bool
+DeviceRegistry::has(const std::string &type) const
+{
+    return factories_.count(type) != 0;
+}
+
+std::unique_ptr<Device>
+DeviceRegistry::make(const BoardDeviceSpec &spec, const Board &board) const
+{
+    auto it = factories_.find(spec.type);
+    if (it == factories_.end())
+        fatal("board device '%s': unknown device type '%s'",
+              spec.name.c_str(), spec.type.c_str());
+    return it->second(spec, board);
+}
+
+std::vector<std::string>
+DeviceRegistry::types() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &kv : factories_)
+        out.push_back(kv.first);
+    return out; // std::map iterates sorted
+}
+
+std::size_t
+DeviceRegistry::typeIndex(const std::string &type) const
+{
+    std::size_t idx = 0;
+    for (const auto &kv : factories_) {
+        if (kv.first == type)
+            return idx;
+        ++idx;
+    }
+    fatal("device registry: unknown type '%s'", type.c_str());
+}
+
+const DeviceRegistry &
+DeviceRegistry::builtin()
+{
+    static const DeviceRegistry reg = [] {
+        DeviceRegistry r;
+        r.add("extmem", makeExtmem);
+        r.add("sensor", makeSensor);
+        r.add("actuator", makeActuator);
+        r.add("timer", makeTimer);
+        r.add("uart", makeUart);
+        r.add("dma", makeDma);
+        r.add("watchdog", makeWatchdog);
+        r.add("gpio", makeGpio);
+        r.add("mailbox", makeMailbox);
+        if (r.size() != kNumBoardDeviceTypes)
+            fatal("device registry: builtin table has %zu types, "
+                  "kNumBoardDeviceTypes is %zu",
+                  r.size(), kNumBoardDeviceTypes);
+        return r;
+    }();
+    return reg;
+}
+
+} // namespace disc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The device registry: named factories from key=value parameter maps
+ * to bus peripherals (the qemu board/device pattern, ROADMAP item 4).
+ *
+ * Every device type the board subsystem can compose is registered
+ * here under its spec-file name. A factory receives the parsed
+ * BoardDeviceSpec (type, name, base, size, remaining parameters) plus
+ * the board built so far, so cross-device wiring ("dma ... target=ram")
+ * resolves against devices declared earlier in the file — declaration
+ * order is attach order is wiring order, all deterministic.
+ *
+ * Factories validate exhaustively: a missing required parameter, a
+ * malformed value, an out-of-range IRQ line or an unknown key is a
+ * fatal() with the device's name in the message. The builtin registry
+ * covers all nine device types (arch/devices.hh); tests may build
+ * private registries with extra types.
+ */
+
+#ifndef DISC_BOARD_REGISTRY_HH
+#define DISC_BOARD_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/bus.hh"
+#include "common/types.hh"
+
+namespace disc
+{
+
+class Board;
+
+/** One parsed `device` line of a board spec. */
+struct BoardDeviceSpec
+{
+    std::string type; ///< registry factory name
+    std::string name; ///< unique instance name
+    Addr base = 0;    ///< first bus address
+    Addr size = 0;    ///< mapped words
+    /// Remaining key=value parameters (base/size excluded). Sorted by
+    /// key, which makes the canonical rendering deterministic.
+    std::map<std::string, std::string> params;
+};
+
+/**
+ * Number of device types in the builtin registry. The coverage map
+ * (verify/coverage.hh) sizes its board-device point family from this;
+ * registerBuiltins() checks the table agrees.
+ */
+constexpr std::size_t kNumBoardDeviceTypes = 9;
+
+/** Named device factories. */
+class DeviceRegistry
+{
+  public:
+    /**
+     * A factory builds a device from its spec line. @p board exposes
+     * the devices declared earlier for cross-device references.
+     */
+    using Factory = std::function<std::unique_ptr<Device>(
+        const BoardDeviceSpec &, const Board &)>;
+
+    /** Register @p type; fatal() when the name is taken. */
+    void add(const std::string &type, Factory factory);
+
+    /** True when @p type has a factory. */
+    bool has(const std::string &type) const;
+
+    /** Construct a device; fatal() on unknown type or bad params. */
+    std::unique_ptr<Device> make(const BoardDeviceSpec &spec,
+                                 const Board &board) const;
+
+    /** Registered type names, sorted. */
+    std::vector<std::string> types() const;
+
+    /**
+     * Stable index of @p type among the sorted registered names (the
+     * coverage map's board-device point id). fatal() when unknown.
+     */
+    std::size_t typeIndex(const std::string &type) const;
+
+    /** Registered type count. */
+    std::size_t size() const { return factories_.size(); }
+
+    /** The process-wide registry holding all nine builtin types. */
+    static const DeviceRegistry &builtin();
+
+  private:
+    std::map<std::string, Factory> factories_;
+};
+
+} // namespace disc
+
+#endif // DISC_BOARD_REGISTRY_HH

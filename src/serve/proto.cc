@@ -80,6 +80,7 @@ encodeRequest(const Request &req)
             out.put<Addr>(e.size);
             out.put<std::uint16_t>(e.latency);
         }
+        out.putString(req.board);
         break;
       case MsgType::RunReq:
         out.put<Cycle>(req.maxCycles);
@@ -133,6 +134,7 @@ decodeRequest(const std::vector<std::uint8_t> &payload)
             e.latency = in.get<std::uint16_t>();
             req.extmems.push_back(e);
         }
+        req.board = in.getString();
         break;
       }
       case MsgType::RunReq:

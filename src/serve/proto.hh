@@ -30,8 +30,8 @@
 namespace disc::serve
 {
 
-/** Protocol version in every payload (2: sharded server, Migrate). */
-constexpr std::uint16_t kProtoVersion = 2;
+/** Protocol version in every payload (3: OpenReq board spec text). */
+constexpr std::uint16_t kProtoVersion = 3;
 
 /** Upper bound on one frame (guards a hostile length prefix). */
 constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
@@ -86,6 +86,7 @@ struct Request
     std::string entry = "main";
     std::vector<StreamStart> streams;
     std::vector<ExtMemSpec> extmems;
+    std::string board; ///< board spec text (may be empty)
 
     // RunReq body.
     Cycle maxCycles = 0;

@@ -460,6 +460,7 @@ ServeServer::execute(const Request &req)
             spec.entry = req.entry;
             spec.streams = req.streams;
             spec.extmems = req.extmems;
+            spec.board = req.board;
             {
                 // A fresh open always lands on the home shard; drop
                 // any stale route from a closed predecessor.

@@ -21,8 +21,16 @@ namespace
 {
 
 constexpr std::uint32_t kParkMagic = 0x4453534e; // "DSSN"
-constexpr std::uint16_t kParkVersion = 1;
+// v2 appends the board spec text to the session spec; v1 files (no
+// board) are still read everywhere a version is checked.
+constexpr std::uint16_t kParkVersion = 2;
 constexpr const char *kParkExt = ".dsess";
+
+bool
+parkVersionOk(std::uint16_t version)
+{
+    return version == 1 || version == kParkVersion;
+}
 
 /** Session ids double as file stems; keep them filesystem-safe. */
 void
@@ -55,10 +63,11 @@ putSpec(Serializer &out, const SessionSpec &spec)
         out.put<Addr>(e.size);
         out.put<std::uint16_t>(e.latency);
     }
+    out.putString(spec.board);
 }
 
 SessionSpec
-getSpec(Deserializer &in)
+getSpec(Deserializer &in, std::uint16_t version)
 {
     SessionSpec spec;
     spec.id = in.getString();
@@ -80,6 +89,8 @@ getSpec(Deserializer &in)
         e.latency = in.get<std::uint16_t>();
         spec.extmems.push_back(e);
     }
+    if (version >= 2)
+        spec.board = in.getString();
     return spec;
 }
 
@@ -161,15 +172,18 @@ SessionRegistry::build(Session &s, bool start_streams)
 {
     Program prog = assemble(s.spec_.source);
     s.machine_ = std::make_unique<Machine>();
-    s.devices_.clear();
-    // Attach-then-load mirrors disc-run so served state is
-    // bit-identical to an offline run of the same spec.
-    for (const ExtMemSpec &e : s.spec_.extmems) {
-        s.devices_.push_back(std::make_unique<ExternalMemoryDevice>(
-            e.size, e.latency));
-        s.machine_->attachDevice(e.base, e.size,
-                                 s.devices_.back().get());
+    // One construction path with disc-run: board text plus the legacy
+    // --extmem sugar lines feed the same parser/registry, so served
+    // state is bit-identical to an offline run of the same spec.
+    std::string board_text = s.spec_.board;
+    for (std::size_t i = 0; i < s.spec_.extmems.size(); ++i) {
+        const ExtMemSpec &e = s.spec_.extmems[i];
+        board_text += extmemSugarLine(static_cast<unsigned>(i), e.base,
+                                      e.size, e.latency);
     }
+    s.board_ = buildBoard(
+        parseBoardSpec(board_text, "session:" + s.spec_.id));
+    s.board_.attachTo(*s.machine_);
     s.machine_->load(prog);
     s.machine_->setExecTrace(&s.trace_);
     if (start_streams) {
@@ -178,6 +192,7 @@ SessionRegistry::build(Session &s, bool start_streams)
                           ? prog.symbol(s.spec_.entry)
                           : 0;
         s.machine_->startStream(0, entry);
+        s.board_.startStreams(*s.machine_, prog);
         for (const StreamStart &st : s.spec_.streams)
             s.machine_->startStream(st.stream, prog.symbol(st.label));
     }
@@ -197,7 +212,7 @@ SessionRegistry::park(Session &s)
     writeFileAtomic(filePath(s.spec_.id), out.bytes());
     // The file is durable; only now is it safe to drop the machine.
     s.machine_.reset();
-    s.devices_.clear();
+    s.board_ = Board();
     s.resident_.store(false);
     resident_.fetch_sub(1);
     evicted_.fetch_add(1);
@@ -211,10 +226,11 @@ SessionRegistry::unpark(Session &s)
     if (in.get<std::uint32_t>() != kParkMagic)
         fatal("'%s' is not a session file",
               filePath(s.spec_.id).c_str());
-    if (in.get<std::uint16_t>() != kParkVersion)
+    std::uint16_t version = in.get<std::uint16_t>();
+    if (!parkVersionOk(version))
         fatal("session file version mismatch for '%s'",
               s.spec_.id.c_str());
-    SessionSpec spec = getSpec(in);
+    SessionSpec spec = getSpec(in, version);
     if (spec.id != s.spec_.id)
         fatal("session file '%s' holds session '%s'",
               filePath(s.spec_.id).c_str(), spec.id.c_str());
@@ -429,9 +445,10 @@ SessionRegistry::adoptFile(const std::string &path)
     Deserializer in(bytes);
     if (in.get<std::uint32_t>() != kParkMagic)
         fatal("'%s' is not a session file", path.c_str());
-    if (in.get<std::uint16_t>() != kParkVersion)
+    std::uint16_t version = in.get<std::uint16_t>();
+    if (!parkVersionOk(version))
         fatal("session file version mismatch for '%s'", path.c_str());
-    SessionSpec spec = getSpec(in);
+    SessionSpec spec = getSpec(in, version);
     if (path != filePath(spec.id))
         fatal("session file '%s' is not at its home path '%s'",
               path.c_str(), filePath(spec.id).c_str());
@@ -490,13 +507,14 @@ SessionRegistry::restoreDir()
         std::vector<std::uint8_t> bytes =
             readFileBytes(entry.path().string());
         Deserializer in(bytes);
-        if (in.get<std::uint32_t>() != kParkMagic ||
-            in.get<std::uint16_t>() != kParkVersion) {
+        std::uint32_t magic = in.get<std::uint32_t>();
+        std::uint16_t version = in.get<std::uint16_t>();
+        if (magic != kParkMagic || !parkVersionOk(version)) {
             warn("skipping unrecognized session file '%s'",
                  entry.path().c_str());
             continue;
         }
-        SessionSpec spec = getSpec(in);
+        SessionSpec spec = getSpec(in, version);
         std::lock_guard<std::mutex> g(mu_);
         auto [it, inserted] = sessions_.emplace(
             spec.id, std::unique_ptr<Session>(new Session(spec)));
@@ -550,9 +568,10 @@ parkFileDigest(const std::string &path)
     Deserializer in(bytes);
     if (in.get<std::uint32_t>() != kParkMagic)
         fatal("'%s' is not a session file", path.c_str());
-    if (in.get<std::uint16_t>() != kParkVersion)
+    std::uint16_t version = in.get<std::uint16_t>();
+    if (!parkVersionOk(version))
         fatal("session file version mismatch for '%s'", path.c_str());
-    (void)getSpec(in);
+    (void)getSpec(in, version);
     std::vector<std::uint8_t> state = in.getBlob();
     ExecTrace trace(kSessionTraceEntries);
     trace.restore(in);

@@ -8,7 +8,7 @@
  * from it, and the session's execution trace. The registry keys
  * sessions by id and keeps at most `max_resident` machines in memory;
  * colder sessions are *parked* — serialized as a self-contained file
- * (spec + v2 machine checkpoint + trace snapshot) in the state
+ * (spec + machine checkpoint + trace snapshot) in the state
  * directory — and transparently rebuilt on the next acquire(). A
  * parked file is self-describing, so a freshly started server can
  * re-register every session a previous process left behind
@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "arch/devices.hh"
+#include "board/board.hh"
 #include "serve/share_table.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
@@ -70,6 +71,7 @@ struct SessionSpec
     std::string entry = "main"; ///< stream 0 entry label ("" = addr 0)
     std::vector<StreamStart> streams; ///< extra stream starts
     std::vector<ExtMemSpec> extmems;  ///< external memory devices
+    std::string board;                ///< board spec text (may be "")
 };
 
 class SessionRegistry;
@@ -99,7 +101,7 @@ class Session
 
     SessionSpec spec_;
     std::unique_ptr<Machine> machine_;
-    std::vector<std::unique_ptr<ExternalMemoryDevice>> devices_;
+    Board board_; ///< devices built from spec_.board + extmem sugar
     ExecTrace trace_{kSessionTraceEntries};
 
     std::mutex m_;                      ///< machine + park-file access

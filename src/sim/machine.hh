@@ -328,6 +328,17 @@ class Machine
     /** Pipe depth configured for this machine. */
     unsigned pipeDepth() const { return cfg_.pipeDepth; }
 
+    /**
+     * Canonical board spec this machine was composed from (empty for
+     * hand-wired machines). Board::attachTo() records it; checkpoint
+     * v3 embeds it so restore can verify the receiving machine
+     * composed the same board.
+     */
+    const std::string &boardSpec() const { return boardSpec_; }
+
+    /** Record the canonical board spec (see boardSpec()). */
+    void setBoardSpec(std::string spec) { boardSpec_ = std::move(spec); }
+
     /** True while the stream waits on the ABI. */
     bool isWaiting(StreamId s) const;
 
@@ -358,6 +369,7 @@ class Machine
     friend struct ExecOps;
 
     MachineConfig cfg_;
+    std::string boardSpec_; ///< canonical board text (checkpoint v3)
     InternalMemory imem_;
     ProgramMemory pmem_;
     PredecodeTable pdec_; ///< per-address decode + dep masks, built at load()

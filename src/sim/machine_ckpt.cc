@@ -3,10 +3,14 @@
  * Checkpointing: full-fidelity save/restore of the machine state.
  *
  * Version 2 extends the version-1 layout with the per-stream
- * wait-state tallies. The fast-forward counters are deliberately NOT
- * serialized: they are diagnostics of how a run was stepped, not
- * machine state, and keeping them out makes checkpoints taken in
- * event-skip and per-cycle modes byte-identical.
+ * wait-state tallies. Version 3 embeds the canonical board spec in
+ * the header so park/restore and cross-shard migration can verify the
+ * receiving machine composed the same device graph; version-2
+ * checkpoints (no spec) still restore into boardless machines. The
+ * fast-forward counters are deliberately NOT serialized: they are
+ * diagnostics of how a run was stepped, not machine state, and
+ * keeping them out makes checkpoints taken in event-skip and
+ * per-cycle modes byte-identical.
  */
 
 #include "sim/machine.hh"
@@ -21,7 +25,7 @@ namespace
 {
 
 constexpr std::uint32_t kCheckpointMagic = 0x44495343; // "DISC"
-constexpr std::uint16_t kCheckpointVersion = 2;
+constexpr std::uint16_t kCheckpointVersion = 3;
 
 } // namespace
 
@@ -37,6 +41,7 @@ Machine::saveState() const
     out.put(kCheckpointMagic);
     out.put(kCheckpointVersion);
     out.put<std::uint16_t>(static_cast<std::uint16_t>(cfg_.pipeDepth));
+    out.putString(boardSpec_);
 
     imem_.save(out);
     for (Word g : globals_)
@@ -112,10 +117,20 @@ Machine::restoreState(const std::vector<std::uint8_t> &bytes)
     Deserializer in(bytes);
     if (in.get<std::uint32_t>() != kCheckpointMagic)
         fatal("not a DISC checkpoint");
-    if (in.get<std::uint16_t>() != kCheckpointVersion)
+    std::uint16_t version = in.get<std::uint16_t>();
+    if (version != 2 && version != kCheckpointVersion)
         fatal("checkpoint version mismatch");
     if (in.get<std::uint16_t>() != cfg_.pipeDepth)
         fatal("checkpoint pipe depth mismatch");
+    if (version >= 3) {
+        // A v2 checkpoint carries no spec; the caller vouches for the
+        // device graph, exactly as every pre-board checkpoint did.
+        std::string spec = in.getString();
+        if (spec != boardSpec_)
+            fatal("checkpoint board spec mismatch: checkpoint has %zu "
+                  "spec bytes, machine has %zu",
+                  spec.size(), boardSpec_.size());
+    }
 
     imem_.restore(in);
     for (Word &g : globals_)

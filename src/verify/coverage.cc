@@ -17,9 +17,10 @@ constexpr std::size_t kDenseSize =
     static_cast<std::size_t>(kNumOpcodes) * kNumPipeEvents *
     kActiveBuckets * kSkipBuckets * kUopBuckets;
 // Dense (op x event x active x skip x uop) block, then one slot per
-// superblock bail reason, then one per batch peel reason.
+// superblock bail reason, one per batch peel reason, and one per
+// board device type.
 constexpr std::size_t kMapSize =
-    kDenseSize + kNumSbBails + kNumBatchPeels;
+    kDenseSize + kNumSbBails + kNumBatchPeels + kNumBoardDeviceTypes;
 } // namespace
 
 CoverageMap::CoverageMap() : hits_(kMapSize, 0) {}
@@ -69,6 +70,17 @@ CoverageMap::recordPeel(BatchPeel p)
     if (i >= kNumBatchPeels)
         panic("peel reason %zu out of range", i);
     std::uint32_t &h = hits_[kDenseSize + kNumSbBails + i];
+    if (h != std::numeric_limits<std::uint32_t>::max())
+        ++h;
+}
+
+void
+CoverageMap::recordBoardDevice(std::size_t type)
+{
+    if (type >= kNumBoardDeviceTypes)
+        panic("board device type %zu out of range", type);
+    std::uint32_t &h =
+        hits_[kDenseSize + kNumSbBails + kNumBatchPeels + type];
     if (h != std::numeric_limits<std::uint32_t>::max())
         ++h;
 }

@@ -22,7 +22,10 @@
  * third family of the same shape: each BatchPeel value a batched
  * replay triggered keeps inputs that push lanes out of the lockstep
  * hot lane through distinct exits (event horizon, excluded ops,
- * stalls, opt-outs).
+ * stalls, opt-outs). Board device types are a fourth family: each
+ * registry device type a generated board composed at least once is
+ * its own point, so the board-axis corpus keeps specs that exercise
+ * peripherals earlier boards never placed on the bus.
  */
 
 #ifndef DISC_VERIFY_COVERAGE_HH
@@ -31,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "board/registry.hh"
 #include "common/types.hh"
 #include "isa/opcodes.hh"
 #include "sim/batch.hh"
@@ -67,6 +71,12 @@ class CoverageMap
     /** Record that a batched lane peeled to scalar for reason @p p. */
     void recordPeel(BatchPeel p);
 
+    /**
+     * Record that a generated board composed a device of registry
+     * type index @p type (DeviceRegistry::typeIndex()).
+     */
+    void recordBoardDevice(std::size_t type);
+
     /** Number of distinct points hit at least once. */
     std::size_t pointsHit() const;
 
@@ -86,7 +96,8 @@ class CoverageMap
     // Indexed [op][event][active][skip][uop]; one 32-bit saturating
     // counter each. The superblock bail-reason points live in a
     // kNumSbBails-long tail after the dense block, followed by a
-    // kNumBatchPeels-long tail for the batch peel reasons.
+    // kNumBatchPeels-long tail for the batch peel reasons and a
+    // kNumBoardDeviceTypes-long tail for board device types.
     std::vector<std::uint32_t> hits_;
 
     static std::size_t index(Opcode op, PipeEvent ev, unsigned active,

@@ -10,14 +10,16 @@ MachineRig::MachineRig(const MultiStreamProgram &msp, MachineConfig cfg)
     : msp_(msp), machine_(cfg)
 {
     if (msp_.opts.useDevices) {
-        for (StreamId s = 0; s < msp_.streams; ++s) {
-            devices_[s] = std::make_unique<ExternalMemoryDevice>(
-                kFuzzDeviceWords, fuzzDeviceLatency(msp_.opts, s));
-            machine_.attachDevice(
+        std::string text;
+        for (StreamId s = 0; s < msp_.streams; ++s)
+            text += strprintf(
+                "device extmem fuzz%u base=0x%04x size=%u latency=%u\n",
+                s,
                 static_cast<Addr>(kFuzzDeviceBase +
                                   s * kFuzzDeviceStride),
-                kFuzzDeviceWords, devices_[s].get());
-        }
+                kFuzzDeviceWords, fuzzDeviceLatency(msp_.opts, s));
+        board_ = buildBoard(parseBoardSpec(text, "<fuzz-rig>"));
+        board_.attachTo(machine_);
     }
     machine_.load(msp_.program);
 }
@@ -25,7 +27,9 @@ MachineRig::MachineRig(const MultiStreamProgram &msp, MachineConfig cfg)
 ExternalMemoryDevice *
 MachineRig::device(StreamId s)
 {
-    return s < kNumStreams ? devices_[s].get() : nullptr;
+    if (s >= msp_.streams || !msp_.opts.useDevices)
+        return nullptr;
+    return &board_.findAs<ExternalMemoryDevice>(strprintf("fuzz%u", s));
 }
 
 void

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/devices.hh"
+#include "board/board.hh"
 #include "sim/machine.hh"
 #include "verify/generator.hh"
 
@@ -55,8 +56,12 @@ class MachineRig
   private:
     MultiStreamProgram msp_;
     Machine machine_;
-    std::array<std::unique_ptr<ExternalMemoryDevice>, kNumStreams>
-        devices_;
+    /// Per-stream fuzz devices, composed through the board registry
+    /// (one construction path with disc-run and disc-serve). The
+    /// golden-model references in compareWithReference() stay
+    /// hand-wired on purpose: a registry bug then has to be made
+    /// twice, in two unrelated code paths, to go unnoticed.
+    Board board_;
 };
 
 /**

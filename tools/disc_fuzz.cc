@@ -9,12 +9,18 @@
  * stream, against the sequential golden model. Cases with the batch
  * axis set additionally replay the same program through a MachineBatch
  * lane (no observer, so the lockstep hot lane can engage) and demand a
- * checkpoint bit-identical to the observed scalar run. Coverage is the
- * set of (opcode x pipeline event x active-stream-count) points the
- * run touched, plus one point per superblock bail reason and one per
- * batch peel reason the run triggered; cases that reach new points
- * join the corpus and later cases mutate corpus entries instead of
- * starting fresh.
+ * checkpoint bit-identical to the observed scalar run. Cases with the
+ * board axis set (boardseed != 0) additionally compose a generated
+ * board spec — a random selection of registry device types with random
+ * parameters and interrupt wiring — plus a driver program that sweeps
+ * the device windows, then demand that a fully accelerated run ends
+ * checkpoint-identical to a plain scalar run of the same board and
+ * that the checkpoint save/restore round-trips byte-exactly. Coverage
+ * is the set of (opcode x pipeline event x active-stream-count) points
+ * the run touched, plus one point per superblock bail reason, one per
+ * batch peel reason, and one per board device type the case composed;
+ * cases that reach new points join the corpus and later cases mutate
+ * corpus entries instead of starting fresh.
  *
  * Usage:
  *   disc-fuzz [options]
@@ -43,10 +49,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "board/board.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "isa/assembler.hh"
@@ -72,6 +80,10 @@ struct FuzzCase
     bool useSuperblock = true;
     /** Replay through a MachineBatch lane and diff (coverage axis). */
     bool useBatch = false;
+    /** Board axis: when nonzero, also run a generated board case. */
+    std::uint64_t boardSeed = 0;
+    /** Enabled optional device slots of the generated board (4 bits). */
+    unsigned boardMask = 0;
 };
 
 struct RunResult
@@ -81,6 +93,240 @@ struct RunResult
 };
 
 Cycle g_max_cycles = 0;
+
+/** Fixed free-run horizon for board cases (independent of the per-case
+ *  differential budget, so board repros don't depend on --max-cycles). */
+constexpr Cycle kBoardBudget = 4000;
+
+/** A generated board case: spec text plus the driver program. */
+struct BoardCaseText
+{
+    std::string board;
+    std::string driver;
+};
+
+/**
+ * Generate a board spec and its driver program, both pure functions of
+ * (boardSeed, boardMask). Slot 0 is always an extmem named d0 (it
+ * anchors the address map and gives dma devices a target); mask bits
+ * 0..3 enable four more slots whose types, parameters and interrupt
+ * wiring are drawn from the seed. The driver installs a vector-table
+ * entry and a counting handler for every interrupt line the board
+ * uses, sweeps each device's register window with random reads and
+ * writes, spins briefly so in-flight interrupts preempt live code,
+ * and halts — device events keep arriving after the halt, so the run
+ * also exercises interrupt wake-from-idle under the fixed horizon.
+ */
+BoardCaseText
+generateBoardCase(std::uint64_t board_seed, unsigned board_mask)
+{
+    Rng rng(board_seed * 0x2545f4914f6cdd1dULL + 0xb0a2d);
+    const std::vector<std::string> types =
+        DeviceRegistry::builtin().types();
+
+    std::ostringstream board;
+    std::vector<IntRequest> irqs;
+    std::set<unsigned> irq_keys;
+    auto irqParam = [&](const char *key) {
+        unsigned s = static_cast<unsigned>(rng.below(kNumStreams));
+        unsigned b = 1 + static_cast<unsigned>(rng.below(6));
+        if (irq_keys.insert(s * 8 + b).second)
+            irqs.push_back({static_cast<StreamId>(s), b});
+        return strprintf(" %s=%u:%u", key, s, b);
+    };
+
+    board << "# generated by disc-fuzz (boardseed=" << board_seed
+          << " boardmask=" << board_mask << ")\n";
+    board << "device extmem d0 base=0x2000 size=64 latency="
+          << rng.below(4) << "\n";
+
+    // (base, register-window span the driver may touch)
+    std::vector<std::pair<Addr, unsigned>> windows{{0x2000, 48}};
+    for (unsigned slot = 0; slot < 4; ++slot) {
+        if (!(board_mask & (1u << slot)))
+            continue;
+        Addr base = static_cast<Addr>(0x2100 + slot * 0x100);
+        const std::string &t = types[rng.below(types.size())];
+        board << "device " << t << " d" << (slot + 1)
+              << strprintf(" base=0x%04x", base);
+        if (t == "extmem") {
+            board << " size=32 latency=" << rng.below(4);
+        } else if (t == "sensor") {
+            board << " size=4 period=" << 3 + rng.below(40)
+                  << " latency=" << rng.below(3);
+            if (rng.chance(0.75))
+                board << irqParam("irq");
+        } else if (t == "actuator") {
+            board << " size=4 latency=" << rng.below(3);
+        } else if (t == "timer") {
+            board << " size=4 period=" << 5 + rng.below(50)
+                  << irqParam("irq");
+        } else if (t == "uart") {
+            board << " size=4 period=" << 4 + rng.below(30)
+                  << " latency=" << rng.below(3) << " rx=";
+            unsigned n = 1 + static_cast<unsigned>(rng.below(4));
+            for (unsigned i = 0; i < n; ++i)
+                board << (i ? "," : "") << rng.below(0x10000);
+            if (rng.chance(0.75))
+                board << irqParam("irq");
+        } else if (t == "dma") {
+            board << " size=8 target=d0 cpw=" << 1 + rng.below(3);
+            if (rng.chance(0.75))
+                board << irqParam("irq");
+        } else if (t == "watchdog") {
+            board << " size=4 timeout=" << 20 + rng.below(200)
+                  << " grace=" << 5 + rng.below(40) << " latency="
+                  << rng.below(3);
+            if (rng.chance(0.75))
+                board << irqParam("irq");
+        } else if (t == "gpio") {
+            board << " size=4 period=" << 4 + rng.below(40)
+                  << " pattern=";
+            unsigned n = 2 + static_cast<unsigned>(rng.below(5));
+            for (unsigned i = 0; i < n; ++i)
+                board << (i ? "," : "") << rng.below(4);
+            static const char *const edges[] = {"rise", "fall", "any"};
+            board << " edge=" << edges[rng.below(3)] << " latency="
+                  << rng.below(3);
+            if (rng.chance(0.75))
+                board << irqParam("irq");
+        } else if (t == "mailbox") {
+            board << " size=4 depth=" << 1 + rng.below(4)
+                  << " delay=" << 1 + rng.below(4) << " latency="
+                  << rng.below(3);
+            if (rng.chance(0.75))
+                board << irqParam("irq");
+        } else {
+            fatal("board fuzz generator does not know type '%s'",
+                  t.c_str());
+        }
+        board << "\n";
+        windows.push_back({base, 4});
+    }
+
+    std::ostringstream drv;
+    drv << "; disc-fuzz board driver (boardseed=" << board_seed
+        << " boardmask=" << board_mask << ")\n";
+    for (const IntRequest &q : irqs)
+        drv << strprintf(".org %u\n    jmp h_%u_%u\n",
+                         static_cast<unsigned>(q.stream) * 8 + q.bit,
+                         static_cast<unsigned>(q.stream), q.bit);
+    drv << ".org 0x40\nmain:\n";
+    for (const auto &w : windows) {
+        drv << strprintf("    ldi  g1, 0x%02x\n",
+                         static_cast<unsigned>(w.first) & 0xff);
+        drv << strprintf("    ldih g1, 0x%02x\n",
+                         static_cast<unsigned>(w.first) >> 8);
+        unsigned ops = 2 + static_cast<unsigned>(rng.below(5));
+        for (unsigned i = 0; i < ops; ++i) {
+            unsigned off = static_cast<unsigned>(rng.below(w.second));
+            if (rng.chance(0.5)) {
+                drv << strprintf("    ldi  r1, %u\n",
+                                 static_cast<unsigned>(rng.below(0x100)));
+                drv << strprintf("    st   r1, [g1+%u]\n", off);
+            } else {
+                drv << strprintf("    ld   r2, [g1+%u]\n", off);
+            }
+        }
+    }
+    drv << strprintf("    ldi  r3, %u\n",
+                     8 + static_cast<unsigned>(rng.below(24)));
+    drv << "spin:\n"
+           "    addi r3, r3, -1\n"
+           "    cmpi r3, 0\n"
+           "    bne  spin\n"
+           "    halt\n";
+    unsigned idx = 0;
+    for (const IntRequest &q : irqs) {
+        drv << strprintf("h_%u_%u:\n",
+                         static_cast<unsigned>(q.stream), q.bit);
+        drv << strprintf("    ldmd r6, [0x%02x]\n", 0x60 + idx);
+        drv << "    addi r6, r6, 1\n";
+        drv << strprintf("    stmd r6, [0x%02x]\n", 0x60 + idx);
+        drv << strprintf("    clri %u\n", q.bit);
+        drv << "    reti\n";
+        ++idx;
+    }
+    return {board.str(), drv.str()};
+}
+
+/**
+ * Run a case's board axis: a plain scalar run of the generated board
+ * is the baseline; a run through the case's acceleration flags (and a
+ * MachineBatch lane when the batch axis is set) must end
+ * checkpoint-identical, and the baseline checkpoint must survive a
+ * save/restore round-trip byte-exactly.
+ */
+RunResult
+runBoardCase(const FuzzCase &c, CoverageMap *cov)
+{
+    BoardCaseText bc = generateBoardCase(c.boardSeed, c.boardMask);
+    BoardSpec spec = parseBoardSpec(bc.board, "<fuzz-board>");
+    if (cov) {
+        for (const BoardDeviceSpec &d : spec.devices)
+            cov->recordBoardDevice(
+                DeviceRegistry::builtin().typeIndex(d.type));
+    }
+    Program prog = assemble(bc.driver);
+
+    auto runOne = [&](const MachineConfig &mc, bool batch) {
+        Machine m(mc);
+        Board board = buildBoard(spec);
+        board.attachTo(m);
+        m.load(prog);
+        m.startStream(0, prog.symbol("main"));
+        if (batch) {
+            MachineBatch mb(1);
+            mb.add(&m);
+            mb.run(kBoardBudget, false);
+        } else {
+            m.run(kBoardBudget, false);
+        }
+        if (cov && mc.superblockExec) {
+            const MachineStats &st = m.stats();
+            for (unsigned b = 0; b < kNumSbBails; ++b)
+                if (st.superblockBails[b] > 0)
+                    cov->recordBail(static_cast<SbBail>(b));
+        }
+        return m.saveState();
+    };
+
+    MachineConfig scalar;
+    scalar.fastForward = false;
+    scalar.uopDispatch = false;
+    scalar.superblockExec = false;
+    std::vector<std::uint8_t> base = runOne(scalar, false);
+
+    MachineConfig accel;
+    accel.fastForward = c.fastForward;
+    accel.uopDispatch = c.useUops;
+    accel.superblockExec = c.useSuperblock;
+    std::vector<std::uint8_t> fast = runOne(accel, c.useBatch);
+
+    RunResult res;
+    if (fast != base) {
+        res.failed = true;
+        res.detail += strprintf(
+            "board case: accelerated run (ff=%d uops=%d sb=%d "
+            "batch=%d) diverged from scalar stepping "
+            "(checkpoint mismatch)\n",
+            c.fastForward ? 1 : 0, c.useUops ? 1 : 0,
+            c.useSuperblock ? 1 : 0, c.useBatch ? 1 : 0);
+    }
+
+    // Save/restore round-trip through the checkpoint-v3 board header.
+    Machine rm(scalar);
+    Board rboard = buildBoard(spec);
+    rboard.attachTo(rm);
+    rm.load(prog);
+    rm.restoreState(base);
+    if (rm.saveState() != base) {
+        res.failed = true;
+        res.detail += "board case: checkpoint save/restore round-trip "
+                      "is not byte-identical\n";
+    }
+    return res;
+}
 
 RunResult
 runCase(const FuzzCase &c, CoverageMap *cov)
@@ -142,6 +388,14 @@ runCase(const FuzzCase &c, CoverageMap *cov)
                 "(checkpoint mismatch)\n";
         }
     }
+
+    if (c.boardSeed != 0) {
+        RunResult br = runBoardCase(c, cov);
+        if (br.failed) {
+            res.failed = true;
+            res.detail += br.detail;
+        }
+    }
     return res;
 }
 
@@ -167,6 +421,25 @@ caseInstructions(const FuzzCase &c)
 FuzzCase
 shrinkCase(FuzzCase c)
 {
+    if (c.boardSeed != 0) {
+        // Prefer a repro without the board axis; when the failure
+        // needs the board, drop optional device slots one at a time.
+        FuzzCase t = c;
+        t.boardSeed = 0;
+        t.boardMask = 0;
+        if (stillFails(t)) {
+            c = t;
+        } else {
+            for (unsigned bit = 0; bit < 4; ++bit) {
+                if (!(c.boardMask & (1u << bit)))
+                    continue;
+                FuzzCase t2 = c;
+                t2.boardMask &= ~(1u << bit);
+                if (stillFails(t2))
+                    c = t2;
+            }
+        }
+    }
     while (c.opts.streams > 1) {
         FuzzCase t = c;
         --t.opts.streams;
@@ -250,12 +523,25 @@ reproText(const FuzzCase &c, const std::string &detail)
     out << "uops=" << (c.useUops ? 1 : 0) << "\n";
     out << "superblock=" << (c.useSuperblock ? 1 : 0) << "\n";
     out << "batch=" << (c.useBatch ? 1 : 0) << "\n";
+    out << "boardseed=" << c.boardSeed << "\n";
+    out << "boardmask=" << c.boardMask << "\n";
     out << "# instructions="
         << msp.program.code.size() - kVectorTableEnd << "\n";
     out << "# failure:\n";
     std::istringstream lines(detail);
     for (std::string line; std::getline(lines, line);)
         out << "#   " << line << "\n";
+    if (c.boardSeed != 0) {
+        BoardCaseText bc = generateBoardCase(c.boardSeed, c.boardMask);
+        out << "# board spec:\n";
+        std::istringstream blines(bc.board);
+        for (std::string line; std::getline(blines, line);)
+            out << "#   " << line << "\n";
+        out << "# board driver:\n";
+        std::istringstream dlines(bc.driver);
+        for (std::string line; std::getline(dlines, line);)
+            out << "#   " << line << "\n";
+    }
     out << "# disassembly:\n";
     std::istringstream dis(disassemble(msp.program));
     for (std::string line; std::getline(dis, line);)
@@ -301,6 +587,10 @@ parseRepro(const char *path)
             c.useSuperblock = val != 0;
         else if (key == "batch")
             c.useBatch = val != 0;
+        else if (key == "boardseed")
+            c.boardSeed = val;
+        else if (key == "boardmask")
+            c.boardMask = static_cast<unsigned>(val);
         else
             fatal("unknown repro key '%s'", key.c_str());
     }
@@ -324,6 +614,10 @@ freshCase(std::uint64_t seed, bool defect)
     c.useUops = !rng.chance(0.25);
     c.useSuperblock = !rng.chance(0.25);
     c.useBatch = !rng.chance(0.25);
+    if (rng.chance(0.25)) {
+        c.boardSeed = rng.next64() | 1;
+        c.boardMask = static_cast<unsigned>(rng.below(16));
+    }
     return c;
 }
 
@@ -332,7 +626,7 @@ FuzzCase
 mutateCase(const FuzzCase &base, Rng &rng)
 {
     FuzzCase c = base;
-    switch (rng.below(9)) {
+    switch (rng.below(10)) {
       case 0:
         c.seed = rng.next64();
         break;
@@ -358,6 +652,17 @@ mutateCase(const FuzzCase &base, Rng &rng)
         break;
       case 7:
         c.useBatch = !c.useBatch;
+        break;
+      case 8:
+        if (c.boardSeed == 0) {
+            c.boardSeed = rng.next64() | 1;
+            c.boardMask = static_cast<unsigned>(rng.below(16));
+        } else if (rng.chance(0.5)) {
+            c.boardMask = static_cast<unsigned>(rng.below(16));
+        } else {
+            c.boardSeed = 0;
+            c.boardMask = 0;
+        }
         break;
       default:
         c.opts.useInterrupts = !c.opts.useInterrupts;

@@ -43,6 +43,11 @@
  *     --out FILE         write BENCH_serve.json-style results
  *     --check            verify digests against in-process runs
  *     --fail-on-shed     exit 1 if any request was refused or shed
+ *     --board FILE       open every session with this board spec
+ *                        (docs/BOARDS.md); --check composes the same
+ *                        board offline
+ *     --board-source FILE  assembly driving the board (replaces the
+ *                        generated arithmetic workload)
  *     --resume           sessions already exist (restarted server)
  *     --tolerate-disconnect  a server that vanishes mid-run (e.g.
  *                        SIGTERM drills) ends the run cleanly with
@@ -75,6 +80,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "board/board.hh"
 #include "common/logging.hh"
 #include "isa/assembler.hh"
 #include "serve/event_loop.hh"
@@ -113,6 +119,17 @@ std::string
 sessionName(unsigned index)
 {
     return strprintf("s%u", index);
+}
+
+std::string
+readFileText(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s'", path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
 }
 
 /**
@@ -392,8 +409,11 @@ main(int argc, char **argv)
         std::uint64_t requests = 2000;
         std::vector<unsigned> rates = {200, 400, 800};
         const char *out_path = nullptr;
+        const char *board_path = nullptr;
+        const char *board_source_path = nullptr;
         bool check = false, fail_on_shed = false, resume = false;
         bool want_shutdown = false, tolerate_disconnect = false;
+        int dump_workload = -1;
 
         for (int i = 1; i < argc; ++i) {
             const char *a = argv[i];
@@ -429,6 +449,10 @@ main(int argc, char **argv)
                     std::strtoul(value(), nullptr, 0));
             } else if (!std::strcmp(a, "--out")) {
                 out_path = value();
+            } else if (!std::strcmp(a, "--board")) {
+                board_path = value();
+            } else if (!std::strcmp(a, "--board-source")) {
+                board_source_path = value();
             } else if (!std::strcmp(a, "--check")) {
                 check = true;
             } else if (!std::strcmp(a, "--fail-on-shed")) {
@@ -440,14 +464,26 @@ main(int argc, char **argv)
             } else if (!std::strcmp(a, "--shutdown")) {
                 want_shutdown = true;
             } else if (!std::strcmp(a, "--dump-workload")) {
-                std::fputs(workloadSource(static_cast<unsigned>(
-                               std::strtoul(value(), nullptr, 0)))
-                               .c_str(),
-                           stdout);
-                return 0;
+                dump_workload = static_cast<int>(
+                    std::strtol(value(), nullptr, 0));
             } else {
                 fatal("unknown option '%s'", a);
             }
+        }
+        std::string board_text =
+            board_path ? readFileText(board_path) : std::string();
+        std::string board_source = board_source_path
+                                       ? readFileText(board_source_path)
+                                       : std::string();
+        auto sourceFor = [&](unsigned index) {
+            return board_source_path ? board_source
+                                     : workloadSource(index);
+        };
+        if (dump_workload >= 0) {
+            std::fputs(
+                sourceFor(static_cast<unsigned>(dump_workload)).c_str(),
+                stdout);
+            return 0;
         }
         if (port == 0)
             fatal("usage: disc-loadgen --port P [options]");
@@ -503,7 +539,8 @@ main(int argc, char **argv)
                 req.type = MsgType::QueryReq;
             } else {
                 req.type = MsgType::OpenReq;
-                req.source = workloadSource(s);
+                req.source = sourceFor(s);
+                req.board = board_text;
             }
             Response resp = clientFor(s).transact(req);
             if (resp.type == MsgType::ErrorResp)
@@ -733,14 +770,20 @@ main(int argc, char **argv)
                 continue;
             // Re-run the same workload in-process for the served
             // cycle count; state and trace must match bit-for-bit.
-            Program prog = assemble(workloadSource(s));
+            // Board composition mirrors the server's build() exactly:
+            // attach, load, stream 0, then board start lines.
+            Program prog = assemble(sourceFor(s));
             Machine m;
+            Board board = buildBoard(parseBoardSpec(
+                board_text, board_path ? board_path : "<none>"));
+            board.attachTo(m);
             m.load(prog);
             ExecTrace trace(65536);
             m.setExecTrace(&trace);
             m.startStream(0, prog.hasSymbol("main")
                                  ? prog.symbol("main")
                                  : 0);
+            board.startStreams(m, prog);
             m.run(resp.totalCycles, false);
             std::uint64_t local = runDigest(m, trace);
             if (local != resp.digest) {

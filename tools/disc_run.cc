@@ -10,7 +10,11 @@
  *     --stream S:LABEL     also start stream S at LABEL (repeatable)
  *     --cycles N           cycle budget (default 1000000)
  *     --free-run           do not stop when the machine goes idle
+ *     --board FILE         compose devices from a board spec file
+ *                          (docs/BOARDS.md); `start` lines launch
+ *                          extra streams
  *     --extmem BASE:SIZE:LAT  attach an external memory device
+ *                          (sugar for a board `device extmem` line)
  *     --trace              print the retired-instruction trace
  *     --pipe               print the last 32 cycles of pipe occupancy
  *     --list               print the disassembly listing and exit
@@ -33,6 +37,7 @@
 #include <sstream>
 
 #include "arch/devices.hh"
+#include "board/board.hh"
 #include "common/logging.hh"
 #include "isa/assembler.hh"
 #include "sim/digest.hh"
@@ -81,6 +86,7 @@ main(int argc, char **argv)
         std::string entry = "main";
         std::vector<StreamStart> extra;
         std::vector<ExtMemSpec> extmems;
+        const char *board_path = nullptr;
         Cycle budget = 1000000;
         bool free_run = false;
         bool want_trace = false, want_pipe = false, want_list = false;
@@ -109,6 +115,8 @@ main(int argc, char **argv)
                 budget = std::strtoull(value(), nullptr, 0);
             } else if (!std::strcmp(a, "--free-run")) {
                 free_run = true;
+            } else if (!std::strcmp(a, "--board")) {
+                board_path = value();
             } else if (!std::strcmp(a, "--extmem")) {
                 const char *v = value();
                 unsigned base, size, lat;
@@ -146,12 +154,19 @@ main(int argc, char **argv)
         }
 
         Machine m;
-        std::vector<std::unique_ptr<ExternalMemoryDevice>> devices;
-        for (const ExtMemSpec &e : extmems) {
-            devices.push_back(std::make_unique<ExternalMemoryDevice>(
-                e.size, e.latency));
-            m.attachDevice(e.base, e.size, devices.back().get());
-        }
+        // One construction path: the board file plus the --extmem
+        // sugar lines feed the board parser/registry (disc-serve
+        // composes open requests the same way, so digests line up).
+        std::string board_text =
+            board_path ? readFile(board_path) : std::string();
+        for (std::size_t i = 0; i < extmems.size(); ++i)
+            board_text += extmemSugarLine(static_cast<unsigned>(i),
+                                          extmems[i].base,
+                                          extmems[i].size,
+                                          extmems[i].latency);
+        Board board = buildBoard(parseBoardSpec(
+            board_text, board_path ? board_path : "<args>"));
+        board.attachTo(m);
         m.load(prog);
         if (no_superblock)
             m.setSuperblockExec(false);
@@ -168,6 +183,7 @@ main(int argc, char **argv)
         PAddr entry_addr =
             prog.hasSymbol(entry) ? prog.symbol(entry) : 0;
         m.startStream(0, entry_addr);
+        board.startStreams(m, prog);
         for (const StreamStart &s : extra)
             m.startStream(s.stream, prog.symbol(s.label));
 
